@@ -1,0 +1,120 @@
+// Shared evaluation harness for the figure/table benches: config
+// construction, per-category sweeps, rate formatting.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/expert_model.hpp"
+#include "baselines/fixed_pipeline.hpp"
+#include "baselines/standalone_llm.hpp"
+#include "core/rustbrain.hpp"
+#include "dataset/corpus.hpp"
+#include "kb/seed.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace rustbrain::bench {
+
+inline const dataset::Corpus& corpus() {
+    static const dataset::Corpus c = dataset::Corpus::standard();
+    return c;
+}
+
+inline const kb::KnowledgeBase& knowledge_base() {
+    static const kb::KnowledgeBase kbase = [] {
+        kb::KnowledgeBase k;
+        kb::seed_from_corpus(corpus(), k);
+        return k;
+    }();
+    return kbase;
+}
+
+struct CategoryRates {
+    std::map<miri::UbCategory, int> pass;
+    std::map<miri::UbCategory, int> exec;
+    std::map<miri::UbCategory, int> total;
+    std::map<miri::UbCategory, double> time_ms;
+    int pass_total = 0;
+    int exec_total = 0;
+    int case_total = 0;
+    double time_total_ms = 0.0;
+
+    void add(const dataset::UbCase& ub_case, const core::CaseResult& result) {
+        ++total[ub_case.category];
+        ++case_total;
+        time_ms[ub_case.category] += result.time_ms;
+        time_total_ms += result.time_ms;
+        if (result.pass) {
+            ++pass[ub_case.category];
+            ++pass_total;
+        }
+        if (result.exec) {
+            ++exec[ub_case.category];
+            ++exec_total;
+        }
+    }
+
+    [[nodiscard]] double pass_rate(miri::UbCategory category) const {
+        auto it = total.find(category);
+        if (it == total.end() || it->second == 0) return 0.0;
+        auto passed = pass.find(category);
+        return 100.0 * (passed == pass.end() ? 0 : passed->second) / it->second;
+    }
+    [[nodiscard]] double exec_rate(miri::UbCategory category) const {
+        auto it = total.find(category);
+        if (it == total.end() || it->second == 0) return 0.0;
+        auto executed = exec.find(category);
+        return 100.0 * (executed == exec.end() ? 0 : executed->second) / it->second;
+    }
+    [[nodiscard]] double avg_time_s(miri::UbCategory category) const {
+        auto it = total.find(category);
+        if (it == total.end() || it->second == 0) return 0.0;
+        return time_ms.at(category) / it->second / 1000.0;
+    }
+    [[nodiscard]] double pass_rate_total() const {
+        return case_total == 0 ? 0.0 : 100.0 * pass_total / case_total;
+    }
+    [[nodiscard]] double exec_rate_total() const {
+        return case_total == 0 ? 0.0 : 100.0 * exec_total / case_total;
+    }
+};
+
+/// Run a repair functor over every corpus case (optionally a category
+/// subset) and aggregate per-category rates.
+template <typename RepairFn>
+CategoryRates sweep(RepairFn&& repair,
+                    const std::vector<miri::UbCategory>* only = nullptr) {
+    CategoryRates rates;
+    for (const dataset::UbCase& ub_case : corpus().cases()) {
+        if (only != nullptr) {
+            bool wanted = false;
+            for (miri::UbCategory category : *only) {
+                if (ub_case.category == category) wanted = true;
+            }
+            if (!wanted) continue;
+        }
+        rates.add(ub_case, repair(ub_case));
+    }
+    return rates;
+}
+
+inline std::string pct(double value) {
+    return support::format_double(value, 1);
+}
+
+inline core::RustBrainConfig rustbrain_config(const std::string& model,
+                                              bool use_kb, double temperature = 0.5,
+                                              std::uint64_t seed = 42) {
+    core::RustBrainConfig config;
+    config.model = model;
+    config.temperature = temperature;
+    config.use_knowledge_base = use_kb;
+    config.seed = seed;
+    return config;
+}
+
+}  // namespace rustbrain::bench

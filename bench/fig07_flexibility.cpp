@@ -1,0 +1,89 @@
+// Fig. 7 (RQ1, flexibility) — one UB requiring semantic modification is
+// repaired under ten solution-group configurations with agents selectively
+// enabled/disabled. The paper's observations reproduced here:
+//   (i)   fast thinking yields diverse solutions, not one fixed path;
+//   (ii)  the knowledge base helps but costs 2-4x overhead; the feedback
+//         mechanism recovers most of the benefit without it;
+//   (iii) fixed-process configurations include generic steps that add
+//         overhead and can miss semantically acceptable fixes;
+//   (iv)  wrong strategy families may pass Miri yet fail acceptability.
+#include "common.hpp"
+
+using namespace rustbrain;
+using namespace rustbrain::bench;
+
+int main() {
+    std::printf("== Fig. 7: flexible repair of one semantic-modification UB ==\n\n");
+
+    // A both-borrow case whose developer fix is a semantic modification.
+    const dataset::UbCase* ub_case = corpus().find("bothborrow/juggle_0");
+    if (ub_case == nullptr) {
+        std::printf("corpus case missing\n");
+        return 1;
+    }
+    std::printf("case: %s (category %s, intended fix: %s)\n\n",
+                ub_case->id.c_str(), miri::ub_category_label(ub_case->category),
+                dataset::fix_strategy_name(ub_case->intended_strategy));
+
+    struct Group {
+        const char* label;
+        bool kb;
+        bool feedback;
+        bool rollback;
+        bool features;
+        int solutions;
+    };
+    const Group groups[] = {
+        {"G1  full RustBrain", true, true, true, true, 6},
+        {"G2  no knowledge base", false, true, true, true, 6},
+        {"G3  fixed single-solution", false, false, true, true, 1},
+        {"G4  no rollback", true, true, false, true, 6},
+        {"G5  KB only (no feedback)", true, false, true, true, 6},
+        {"G6  KB + feedback, 3 solutions", true, true, true, true, 3},
+        {"G7  no features, single", false, false, true, false, 1},
+        {"G8  KB, no features", true, true, true, false, 6},
+        {"G9  feedback only", false, true, true, true, 6},
+        {"G10 minimal (no scaffolding)", false, false, false, false, 1},
+    };
+
+    support::TextTable table({"group", "agents", "solutions", "pass", "exec",
+                              "time(s)", "winning rule"});
+    double baseline_time = 0.0;
+    for (const Group& group : groups) {
+        core::RustBrainConfig config = rustbrain_config("gpt-4", group.kb);
+        config.use_feedback = group.feedback;
+        config.use_adaptive_rollback = group.rollback;
+        config.use_feature_extraction = group.features;
+        config.max_solutions = group.solutions;
+        core::FeedbackStore feedback;
+        // Feedback needs history to matter: warm it on the sibling variants.
+        if (group.feedback) {
+            core::RustBrain warm(config, group.kb ? &knowledge_base() : nullptr,
+                                 &feedback);
+            for (const char* sibling :
+                 {"bothborrow/juggle_1", "bothborrow/juggle_2"}) {
+                if (const auto* warm_case = corpus().find(sibling)) {
+                    warm.repair(*warm_case);
+                }
+            }
+        }
+        core::RustBrain rb(config, group.kb ? &knowledge_base() : nullptr,
+                           group.feedback ? &feedback : nullptr);
+        const core::CaseResult result = rb.repair(*ub_case);
+        if (baseline_time == 0.0) baseline_time = result.time_ms;
+
+        std::string agents = "fix";
+        if (group.rollback) agents += "+rollback";
+        if (group.kb) agents += "+reasoning";
+        table.add_row({group.label, agents, std::to_string(result.solutions_generated),
+                       result.pass ? "yes" : "no", result.exec ? "yes" : "no",
+                       support::format_double(result.time_ms / 1000.0, 1),
+                       result.winning_rule.empty() ? "-" : result.winning_rule});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "observations: multi-solution groups succeed where single-solution "
+        "fixed configurations miss acceptability; the knowledge base and "
+        "feedback trade overhead for precision (paper notes 2-4x KB cost).\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 8 — "RustBrain fixes UBs pass by Miri rate": pass rate per UB
+// category for seven configurations (three bare models, three +RustBrain,
+// GPT-4+RustBrain without the knowledge base).
+#include "common.hpp"
+
+using namespace rustbrain;
+using namespace rustbrain::bench;
+
+int main() {
+    std::printf("== Fig. 8: pass-by-Miri rate (%%) per UB category ==\n\n");
+
+    struct Config {
+        std::string label;
+        CategoryRates rates;
+    };
+    std::vector<Config> configs;
+
+    for (const char* model : {"gpt-3.5", "claude-3.5", "gpt-4"}) {
+        baselines::StandaloneLlmRepair solo({model, 0.5, 2, 42});
+        configs.push_back({model, sweep([&](const dataset::UbCase& ub_case) {
+                               return solo.repair(ub_case);
+                           })});
+    }
+    for (const char* model : {"gpt-3.5", "claude-3.5"}) {
+        core::FeedbackStore feedback;
+        core::RustBrain rb(rustbrain_config(model, true), &knowledge_base(),
+                           &feedback);
+        configs.push_back({std::string(model) + "+RustBrain",
+                           sweep([&](const dataset::UbCase& ub_case) {
+                               return rb.repair(ub_case);
+                           })});
+    }
+    {
+        core::FeedbackStore feedback;
+        core::RustBrain rb(rustbrain_config("gpt-4", false), nullptr, &feedback);
+        configs.push_back({"gpt-4+RustBrain(non-knowledge)",
+                           sweep([&](const dataset::UbCase& ub_case) {
+                               return rb.repair(ub_case);
+                           })});
+    }
+    {
+        core::FeedbackStore feedback;
+        core::RustBrain rb(rustbrain_config("gpt-4", true), &knowledge_base(),
+                           &feedback);
+        configs.push_back({"gpt-4+RustBrain",
+                           sweep([&](const dataset::UbCase& ub_case) {
+                               return rb.repair(ub_case);
+                           })});
+    }
+
+    std::vector<std::string> headers = {"category"};
+    for (const auto& config : configs) headers.push_back(config.label);
+    support::TextTable table(headers);
+    for (miri::UbCategory category : corpus().categories()) {
+        std::vector<std::string> row = {miri::ub_category_label(category)};
+        for (const auto& config : configs) {
+            row.push_back(pct(config.rates.pass_rate(category)));
+        }
+        table.add_row(std::move(row));
+    }
+    std::vector<std::string> avg_row = {"AVERAGE"};
+    for (const auto& config : configs) {
+        avg_row.push_back(pct(config.rates.pass_rate_total()));
+    }
+    table.add_row(std::move(avg_row));
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "paper headline: GPT-4+RustBrain(+KB) averages 94.3%% pass; "
+        "+RustBrain lifts every base model by 25-35 points.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 10 — GPT-4+RustBrain vs GPT-O1+RustBrain on the subset of categories
+// the paper evaluated (O1's cost limited the study): alloc, tailcall,
+// danglingpointer, func.pointer, panic, unaligned, func.call.
+#include "common.hpp"
+
+using namespace rustbrain;
+using namespace rustbrain::bench;
+
+int main() {
+    std::printf("== Fig. 10: GPT-4+RustBrain vs GPT-O1+RustBrain (subset) ==\n\n");
+
+    const std::vector<miri::UbCategory> subset = {
+        miri::UbCategory::Alloc,       miri::UbCategory::TailCall,
+        miri::UbCategory::DanglingPointer, miri::UbCategory::FuncPointer,
+        miri::UbCategory::Panic,       miri::UbCategory::Unaligned,
+        miri::UbCategory::FuncCall,
+    };
+
+    core::FeedbackStore feedback_gpt4;
+    core::RustBrain gpt4(rustbrain_config("gpt-4", true), &knowledge_base(),
+                         &feedback_gpt4);
+    const CategoryRates gpt4_rates = sweep(
+        [&](const dataset::UbCase& ub_case) { return gpt4.repair(ub_case); },
+        &subset);
+
+    core::FeedbackStore feedback_o1;
+    core::RustBrain o1(rustbrain_config("gpt-o1", true), &knowledge_base(),
+                       &feedback_o1);
+    const CategoryRates o1_rates = sweep(
+        [&](const dataset::UbCase& ub_case) { return o1.repair(ub_case); },
+        &subset);
+
+    support::TextTable table({"category", "gpt4+RB pass", "o1+RB pass",
+                              "gpt4+RB exec", "o1+RB exec"});
+    for (miri::UbCategory category : subset) {
+        table.add_row({miri::ub_category_label(category),
+                       pct(gpt4_rates.pass_rate(category)),
+                       pct(o1_rates.pass_rate(category)),
+                       pct(gpt4_rates.exec_rate(category)),
+                       pct(o1_rates.exec_rate(category))});
+    }
+    table.add_row({"AVERAGE", pct(gpt4_rates.pass_rate_total()),
+                   pct(o1_rates.pass_rate_total()),
+                   pct(gpt4_rates.exec_rate_total()),
+                   pct(o1_rates.exec_rate_total())});
+    std::printf("%s\n", table.render().c_str());
+
+    const double panic_gap = gpt4_rates.exec_rate(miri::UbCategory::Panic) -
+                             o1_rates.exec_rate(miri::UbCategory::Panic);
+    std::printf(
+        "panic exec gap (gpt4+RB - o1+RB): %+.1f points — the paper reports "
+        "O1 'fails to provide suitable solutions' for uncommon errors like "
+        "panic (RustBrain+GPT-4 exec +35.6%% there).\n",
+        panic_gap);
+    std::printf("avg o1 repair time: %.1fs vs gpt-4: %.1fs (O1's cost is why "
+                "the paper only ran a subset).\n",
+                o1_rates.time_total_ms / o1_rates.case_total / 1000.0,
+                gpt4_rates.time_total_ms / gpt4_rates.case_total / 1000.0);
+    return 0;
+}

@@ -1,0 +1,135 @@
+// Engineering micro-benchmarks (google-benchmark) for the substrates:
+// parser, type checker, interpreter, pruning, vectorization, KB query,
+// rule application. Not a paper figure — performance guardrails for the
+// toolchain the experiments run on.
+#include <benchmark/benchmark.h>
+
+#include "analysis/prune.hpp"
+#include "analysis/vectorize.hpp"
+#include "dataset/corpus.hpp"
+#include "kb/seed.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "lang/typecheck.hpp"
+#include "llm/rules.hpp"
+#include "miri/mirilite.hpp"
+
+namespace {
+
+using namespace rustbrain;
+
+const dataset::Corpus& corpus() {
+    static const dataset::Corpus c = dataset::Corpus::standard();
+    return c;
+}
+
+const std::string& sample_source() {
+    static const std::string source =
+        corpus().find("uninit/partial_init_0")->buggy_source;
+    return source;
+}
+
+void BM_Parse(benchmark::State& state) {
+    for (auto _ : state) {
+        auto program = lang::try_parse(sample_source());
+        benchmark::DoNotOptimize(program);
+    }
+}
+BENCHMARK(BM_Parse);
+
+void BM_TypeCheck(benchmark::State& state) {
+    auto program = lang::try_parse(sample_source());
+    for (auto _ : state) {
+        lang::Program clone = program->clone();
+        const bool ok = lang::type_check(clone);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_TypeCheck);
+
+void BM_Print(benchmark::State& state) {
+    auto program = lang::try_parse(sample_source());
+    for (auto _ : state) {
+        std::string out = lang::print_program(*program);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_Print);
+
+void BM_MiriRun(benchmark::State& state) {
+    const auto* ub_case = corpus().find("uninit/partial_init_0");
+    miri::MiriLite miri;
+    for (auto _ : state) {
+        auto report = miri.test_source(ub_case->reference_fix, ub_case->inputs);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_MiriRun);
+
+void BM_MiriThreadedRun(benchmark::State& state) {
+    const auto* ub_case = corpus().find("datarace/counter_0");
+    miri::MiriLite miri;
+    for (auto _ : state) {
+        auto report = miri.test_source(ub_case->reference_fix, ub_case->inputs);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_MiriThreadedRun);
+
+void BM_PruneAst(benchmark::State& state) {
+    auto program = lang::try_parse(sample_source());
+    for (auto _ : state) {
+        auto pruned = analysis::prune_ast(*program);
+        benchmark::DoNotOptimize(pruned);
+    }
+}
+BENCHMARK(BM_PruneAst);
+
+void BM_Vectorize(benchmark::State& state) {
+    auto program = lang::try_parse(sample_source());
+    for (auto _ : state) {
+        auto vec = analysis::vectorize(*program);
+        benchmark::DoNotOptimize(vec);
+    }
+}
+BENCHMARK(BM_Vectorize);
+
+void BM_KbQuery(benchmark::State& state) {
+    static const kb::KnowledgeBase kbase = [] {
+        kb::KnowledgeBase k;
+        kb::seed_from_corpus(corpus(), k);
+        return k;
+    }();
+    auto program = lang::try_parse(sample_source());
+    const auto probe = analysis::vectorize(*program);
+    for (auto _ : state) {
+        auto hits = kbase.query(probe, 3, 0.6);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_KbQuery);
+
+void BM_RuleApply(benchmark::State& state) {
+    const auto* ub_case = corpus().find("danglingpointer/use_after_free_0");
+    auto program = lang::try_parse(ub_case->buggy_source);
+    const llm::RepairRule* rule = llm::find_rule("move-dealloc-to-end");
+    miri::Finding finding;
+    finding.category = miri::UbCategory::DanglingPointer;
+    for (auto _ : state) {
+        auto patched = rule->apply(*program, finding);
+        benchmark::DoNotOptimize(patched);
+    }
+}
+BENCHMARK(BM_RuleApply);
+
+void BM_CorpusBuild(benchmark::State& state) {
+    for (auto _ : state) {
+        auto c = dataset::Corpus::standard();
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CorpusBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

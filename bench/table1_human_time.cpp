@@ -1,0 +1,67 @@
+// Table I — repair time of RustBrain vs human experts, per UB category.
+//
+// Columns follow the paper: RustBrain with no knowledge base, RustBrain
+// with the knowledge base (feedback disabled so every case pays the KB
+// consultation — the "knowledge" cost column), the human expert, and the
+// speedup (human / no-knowledge, as in the paper's average of 7.4x).
+// A final column shows knowledge+feedback, where the self-learning loop
+// skips KB lookups once it is confident — the paper's red cells.
+#include "common.hpp"
+
+using namespace rustbrain;
+using namespace rustbrain::bench;
+
+int main() {
+    std::printf("== Table I: execution time of RustBrain against human ==\n\n");
+
+    core::FeedbackStore fb_nk;
+    core::RustBrain no_knowledge(rustbrain_config("gpt-4", false), nullptr, &fb_nk);
+    const CategoryRates nk = sweep(
+        [&](const dataset::UbCase& ub_case) { return no_knowledge.repair(ub_case); });
+
+    core::RustBrainConfig kb_config = rustbrain_config("gpt-4", true);
+    kb_config.use_feedback = false;  // pure-knowledge column: consult always
+    core::RustBrain knowledge(kb_config, &knowledge_base(), nullptr);
+    const CategoryRates kn = sweep(
+        [&](const dataset::UbCase& ub_case) { return knowledge.repair(ub_case); });
+
+    core::FeedbackStore fb_kf;
+    core::RustBrain knowledge_feedback(rustbrain_config("gpt-4", true),
+                                       &knowledge_base(), &fb_kf);
+    const CategoryRates kf = sweep([&](const dataset::UbCase& ub_case) {
+        return knowledge_feedback.repair(ub_case);
+    });
+
+    baselines::ExpertModel expert(42);
+    const CategoryRates human = sweep(
+        [&](const dataset::UbCase& ub_case) { return expert.repair(ub_case); });
+
+    support::TextTable table({"type", "RB no-knowledge (s)", "RB knowledge (s)",
+                              "human (s)", "speedup", "knowledge+feedback (s)"});
+    for (miri::UbCategory category : corpus().categories()) {
+        const double nk_s = nk.avg_time_s(category);
+        const double human_s = human.avg_time_s(category);
+        table.add_row({miri::ub_category_label(category),
+                       support::format_double(nk_s, 1),
+                       support::format_double(kn.avg_time_s(category), 1),
+                       support::format_double(human_s, 1),
+                       support::format_double(nk_s > 0 ? human_s / nk_s : 0.0, 2) +
+                           "x",
+                       support::format_double(kf.avg_time_s(category), 1)});
+    }
+    const double nk_avg = nk.time_total_ms / nk.case_total / 1000.0;
+    const double kn_avg = kn.time_total_ms / kn.case_total / 1000.0;
+    const double kf_avg = kf.time_total_ms / kf.case_total / 1000.0;
+    const double human_avg = human.time_total_ms / human.case_total / 1000.0;
+    table.add_row({"Average", support::format_double(nk_avg, 1),
+                   support::format_double(kn_avg, 1),
+                   support::format_double(human_avg, 1),
+                   support::format_double(human_avg / nk_avg, 2) + "x",
+                   support::format_double(kf_avg, 1)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "paper: avg 62.6s (no knowledge) / 84.9s (knowledge) / 442s (human), "
+        "7.4x average speedup, up to 18.1x on func.calls; the feedback "
+        "mechanism reduces knowledge-base dependence (red cells).\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+#include "agents/abstract_reasoning_agent.hpp"
+
+#include <algorithm>
+
+#include "analysis/prune.hpp"
+#include "analysis/vectorize.hpp"
+#include "kb/seed.hpp"
+#include "lang/parser.hpp"
+
+namespace rustbrain::agents {
+
+ReasoningResult AbstractReasoningAgent::consult(const std::string& code,
+                                                miri::UbCategory category,
+                                                AgentContext& context) const {
+    ReasoningResult result;
+    if (context.knowledge_base == nullptr || context.knowledge_base->empty()) {
+        return result;
+    }
+
+    // 1. LLM-based AST extraction (the paper argues syn's tree is too noisy
+    //    and semantically flat; the model's reconstruction is the input).
+    llm::PromptSpec spec;
+    spec.task = "extract_ast";
+    spec.code = code;
+    const llm::ChatResponse response = context.call_llm(spec);
+    const std::string ast_source = llm::parse_code_block(response.content);
+    auto program = lang::try_parse(ast_source);
+    if (!program) {
+        // Extraction noise produced garbage — fall back to the raw code.
+        program = lang::try_parse(code);
+        if (!program) return result;
+    }
+
+    // 2. Algorithm 1 pruning + vectorization (whole-AST fallback when the
+    //    program has little unsafe code to anchor the pruning).
+    analysis::PruneStats stats;
+    analysis::prune_ast(*program, &stats);
+    result.retained_fraction = stats.retained_fraction();
+    const analysis::AstVector probe =
+        analysis::vectorize(kb::prune_or_whole(*program));
+
+    // 3. Similarity search scoped to the error category; the clock pays per
+    //    entry scanned.
+    context.clock.charge(
+        "kb", 2200.0 + 24.0 * static_cast<double>(context.knowledge_base->size()));
+    const auto hits = context.knowledge_base->query(probe, 3, min_similarity_,
+                                                    context.case_hint, category);
+    result.hits = hits.size();
+    for (const kb::KbHit& hit : hits) {
+        result.best_similarity = std::max(result.best_similarity, hit.similarity);
+        for (const std::string& rule : hit.entry->rule_ids) {
+            if (std::find(result.exemplar_rules.begin(), result.exemplar_rules.end(),
+                          rule) == result.exemplar_rules.end()) {
+                result.exemplar_rules.push_back(rule);
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace rustbrain::agents

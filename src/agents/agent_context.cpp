@@ -1,0 +1,25 @@
+#include "agents/agent_context.hpp"
+
+namespace rustbrain::agents {
+
+llm::ChatResponse AgentContext::call_llm(const llm::PromptSpec& spec) {
+    ++llm_calls;
+    llm::ChatRequest request;
+    request.temperature = temperature;
+    request.messages.push_back({llm::Role::User, spec.render()});
+    llm::ChatResponse response = llm.complete(request);
+    clock.charge("llm", response.latency_ms);
+    return response;
+}
+
+miri::MiriReport AgentContext::verify(const std::string& source) {
+    static const std::vector<std::vector<std::int64_t>> kNoInputs;
+    miri::MiriLite miri;
+    const miri::MiriReport report =
+        miri.test_source(source, inputs != nullptr ? *inputs : kNoInputs);
+    // Interpretation cost: fixed setup plus per-step execution time.
+    clock.charge("miri", 120.0 + static_cast<double>(report.total_steps) * 0.01);
+    return report;
+}
+
+}  // namespace rustbrain::agents

@@ -1,0 +1,44 @@
+// Shared execution context for the slow-thinking agents: the model, the
+// virtual clock, the verifier and the (optional) knowledge base.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.hpp"
+#include "llm/simllm.hpp"
+#include "miri/mirilite.hpp"
+#include "support/sim_clock.hpp"
+
+namespace rustbrain::agents {
+
+struct AgentContext {
+    llm::SimLLM& llm;
+    support::SimClock& clock;
+    double temperature = 0.5;
+    /// Inputs of the case's semantic benchmark (for verification runs).
+    const std::vector<std::vector<std::int64_t>>* inputs = nullptr;
+    /// Optional knowledge base (Fig 6); nullptr disables it.
+    const kb::KnowledgeBase* knowledge_base = nullptr;
+    /// Identity of the problem being repaired — excluded from KB retrieval
+    /// so a case never retrieves itself.
+    std::string case_hint;
+    /// Few-shot exemplar rules gathered by the abstract reasoning agent;
+    /// fix agents attach these to their prompts.
+    std::vector<std::string> exemplar_rules;
+    /// Feedback-store hints from fast thinking.
+    std::vector<std::string> preferred_rules;
+    /// Extracted feature summary (empty when the feature stage is off).
+    std::string feature_key;
+
+    std::uint64_t llm_calls = 0;
+
+    /// Send one chat request, charging the clock with the model's latency.
+    llm::ChatResponse call_llm(const llm::PromptSpec& spec);
+
+    /// Verify code with MiriLite, charging verification time.
+    miri::MiriReport verify(const std::string& source);
+};
+
+}  // namespace rustbrain::agents

@@ -1,0 +1,26 @@
+#include "agents/rollback_agent.hpp"
+
+namespace rustbrain::agents {
+
+void RollbackAgent::observe(const std::string& code, std::size_t error_count) {
+    trajectory_.push_back(error_count);
+    if (!observed_ || error_count < best_errors_) {
+        observed_ = true;
+        best_code_ = code;
+        best_errors_ = error_count;
+    }
+}
+
+bool RollbackAgent::should_rollback(std::size_t latest_error_count) const {
+    return observed_ && latest_error_count > best_errors_;
+}
+
+const std::string& RollbackAgent::rollback(support::SimClock& clock) {
+    ++rollbacks_;
+    // Reverting to the best intermediate state costs replaying the thoughts
+    // since that state — proportionally cheaper than a restart-from-T0.
+    clock.charge("rollback", 180.0);
+    return best_code_;
+}
+
+}  // namespace rustbrain::agents

@@ -1,0 +1,426 @@
+#include "analysis/ast_edit.hpp"
+
+#include "analysis/walk.hpp"
+
+namespace rustbrain::analysis {
+
+using namespace lang;
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+ExprPtr mk_int(std::uint64_t value) {
+    auto node = std::make_unique<IntLitExpr>();
+    node->value = value;
+    return node;
+}
+
+ExprPtr mk_bool(bool value) {
+    auto node = std::make_unique<BoolLitExpr>();
+    node->value = value;
+    return node;
+}
+
+ExprPtr mk_var(const std::string& name) {
+    auto node = std::make_unique<VarRefExpr>();
+    node->name = name;
+    return node;
+}
+
+ExprPtr mk_unary(UnaryOp op, ExprPtr operand) {
+    auto node = std::make_unique<UnaryExpr>();
+    node->op = op;
+    node->operand = std::move(operand);
+    return node;
+}
+
+ExprPtr mk_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto node = std::make_unique<BinaryExpr>();
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+}
+
+ExprPtr mk_cast(ExprPtr operand, Type target) {
+    auto node = std::make_unique<CastExpr>();
+    node->operand = std::move(operand);
+    node->target = std::move(target);
+    return node;
+}
+
+ExprPtr mk_call(const std::string& callee, std::vector<ExprPtr> args) {
+    auto node = std::make_unique<CallExpr>();
+    node->callee = callee;
+    node->args = std::move(args);
+    return node;
+}
+
+ExprPtr mk_index(ExprPtr base, ExprPtr index) {
+    auto node = std::make_unique<IndexExpr>();
+    node->base = std::move(base);
+    node->index = std::move(index);
+    return node;
+}
+
+StmtPtr mk_let(const std::string& name, bool is_mut, ExprPtr init,
+               std::optional<Type> declared) {
+    auto node = std::make_unique<LetStmt>();
+    node->name = name;
+    node->is_mut = is_mut;
+    node->init = std::move(init);
+    node->declared_type = std::move(declared);
+    return node;
+}
+
+StmtPtr mk_assign(ExprPtr place, ExprPtr value) {
+    auto node = std::make_unique<AssignStmt>();
+    node->place = std::move(place);
+    node->value = std::move(value);
+    return node;
+}
+
+StmtPtr mk_expr_stmt(ExprPtr expr) {
+    auto node = std::make_unique<ExprStmt>();
+    node->expr = std::move(expr);
+    return node;
+}
+
+StmtPtr mk_return(ExprPtr value) {
+    auto node = std::make_unique<ReturnStmt>();
+    node->value = std::move(value);
+    return node;
+}
+
+StmtPtr mk_print_sentinel() {
+    return mk_expr_stmt(
+        mk_call("print_int", [] {
+            std::vector<ExprPtr> args;
+            args.push_back(mk_binary(BinaryOp::Sub, mk_int(0), mk_int(1)));
+            return args;
+        }()));
+}
+
+StmtPtr mk_guard(ExprPtr cond, Block then_block, bool with_sentinel_else) {
+    auto node = std::make_unique<IfStmt>();
+    node->condition = std::move(cond);
+    node->then_block = std::move(then_block);
+    if (with_sentinel_else) {
+        Block else_block;
+        else_block.statements.push_back(mk_print_sentinel());
+        node->else_block = std::move(else_block);
+    }
+    return node;
+}
+
+StmtPtr mk_unsafe(Block block) {
+    auto node = std::make_unique<UnsafeStmt>();
+    node->block = std::move(block);
+    return node;
+}
+
+// ---------------------------------------------------------------------------
+// Traversal
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool for_each_block_in(Block& block, const std::function<bool(Block&)>& fn) {
+    if (fn(block)) return true;
+    for (auto& stmt : block.statements) {
+        switch (stmt->kind) {
+            case StmtKind::If: {
+                auto& node = static_cast<IfStmt&>(*stmt);
+                if (for_each_block_in(node.then_block, fn)) return true;
+                if (node.else_block && for_each_block_in(*node.else_block, fn)) {
+                    return true;
+                }
+                break;
+            }
+            case StmtKind::While:
+                if (for_each_block_in(static_cast<WhileStmt&>(*stmt).body, fn)) {
+                    return true;
+                }
+                break;
+            case StmtKind::Block:
+                if (for_each_block_in(static_cast<BlockStmt&>(*stmt).block, fn)) {
+                    return true;
+                }
+                break;
+            case StmtKind::Unsafe:
+                if (for_each_block_in(static_cast<UnsafeStmt&>(*stmt).block, fn)) {
+                    return true;
+                }
+                break;
+            default:
+                break;
+        }
+    }
+    return false;
+}
+
+using Rewriter = std::function<std::optional<ExprPtr>(const Expr&)>;
+
+int rewrite_slot(ExprPtr& slot, const Rewriter& fn);
+
+int rewrite_children(Expr& expr, const Rewriter& fn) {
+    int count = 0;
+    switch (expr.kind) {
+        case ExprKind::Unary:
+            count += rewrite_slot(static_cast<UnaryExpr&>(expr).operand, fn);
+            break;
+        case ExprKind::Binary: {
+            auto& node = static_cast<BinaryExpr&>(expr);
+            count += rewrite_slot(node.lhs, fn);
+            count += rewrite_slot(node.rhs, fn);
+            break;
+        }
+        case ExprKind::Cast:
+            count += rewrite_slot(static_cast<CastExpr&>(expr).operand, fn);
+            break;
+        case ExprKind::Index: {
+            auto& node = static_cast<IndexExpr&>(expr);
+            count += rewrite_slot(node.base, fn);
+            count += rewrite_slot(node.index, fn);
+            break;
+        }
+        case ExprKind::Call:
+            for (auto& arg : static_cast<CallExpr&>(expr).args) {
+                count += rewrite_slot(arg, fn);
+            }
+            break;
+        case ExprKind::CallPtr: {
+            auto& node = static_cast<CallPtrExpr&>(expr);
+            count += rewrite_slot(node.callee, fn);
+            for (auto& arg : node.args) {
+                count += rewrite_slot(arg, fn);
+            }
+            break;
+        }
+        case ExprKind::ArrayLit:
+            for (auto& element : static_cast<ArrayLitExpr&>(expr).elements) {
+                count += rewrite_slot(element, fn);
+            }
+            break;
+        case ExprKind::ArrayRepeat:
+            count += rewrite_slot(static_cast<ArrayRepeatExpr&>(expr).element, fn);
+            break;
+        default:
+            break;
+    }
+    return count;
+}
+
+int rewrite_slot(ExprPtr& slot, const Rewriter& fn) {
+    if (!slot) return 0;
+    if (auto replacement = fn(*slot)) {
+        slot = std::move(*replacement);
+        return 1;
+    }
+    return rewrite_children(*slot, fn);
+}
+
+int rewrite_stmt(Stmt& stmt, const Rewriter& fn);
+
+int rewrite_block(Block& block, const Rewriter& fn) {
+    int count = 0;
+    for (auto& stmt : block.statements) {
+        count += rewrite_stmt(*stmt, fn);
+    }
+    return count;
+}
+
+int rewrite_stmt(Stmt& stmt, const Rewriter& fn) {
+    int count = 0;
+    switch (stmt.kind) {
+        case StmtKind::Let:
+            count += rewrite_slot(static_cast<LetStmt&>(stmt).init, fn);
+            break;
+        case StmtKind::Assign: {
+            auto& node = static_cast<AssignStmt&>(stmt);
+            count += rewrite_slot(node.place, fn);
+            count += rewrite_slot(node.value, fn);
+            break;
+        }
+        case StmtKind::Expr:
+            count += rewrite_slot(static_cast<ExprStmt&>(stmt).expr, fn);
+            break;
+        case StmtKind::If: {
+            auto& node = static_cast<IfStmt&>(stmt);
+            count += rewrite_slot(node.condition, fn);
+            count += rewrite_block(node.then_block, fn);
+            if (node.else_block) count += rewrite_block(*node.else_block, fn);
+            break;
+        }
+        case StmtKind::While: {
+            auto& node = static_cast<WhileStmt&>(stmt);
+            count += rewrite_slot(node.condition, fn);
+            count += rewrite_block(node.body, fn);
+            break;
+        }
+        case StmtKind::Return: {
+            auto& node = static_cast<ReturnStmt&>(stmt);
+            if (node.value) count += rewrite_slot(node.value, fn);
+            break;
+        }
+        case StmtKind::Block:
+            count += rewrite_block(static_cast<BlockStmt&>(stmt).block, fn);
+            break;
+        case StmtKind::Unsafe:
+            count += rewrite_block(static_cast<UnsafeStmt&>(stmt).block, fn);
+            break;
+        case StmtKind::Become: {
+            auto& node = static_cast<BecomeStmt&>(stmt);
+            count += rewrite_slot(node.callee, fn);
+            for (auto& arg : node.args) {
+                count += rewrite_slot(arg, fn);
+            }
+            break;
+        }
+    }
+    return count;
+}
+
+}  // namespace
+
+bool for_each_block(Program& program, const std::function<bool(Block&)>& fn) {
+    for (auto& function : program.functions) {
+        if (for_each_block_in(function.body, fn)) return true;
+    }
+    return false;
+}
+
+int rewrite_exprs(Program& program, const Rewriter& fn) {
+    int count = 0;
+    for (auto& function : program.functions) {
+        count += rewrite_block(function.body, fn);
+    }
+    return count;
+}
+
+int rewrite_exprs_in_block(Block& block, const Rewriter& fn) {
+    return rewrite_block(block, fn);
+}
+
+int find_stmt(const Block& block, const std::function<bool(const Stmt&)>& pred,
+              int start_index) {
+    for (std::size_t i = static_cast<std::size_t>(start_index);
+         i < block.statements.size(); ++i) {
+        if (pred(*block.statements[i])) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+const LetStmt* find_let_by_name(const Program& program, const std::string& name) {
+    const LetStmt* found = nullptr;
+    WalkCallbacks callbacks;
+    callbacks.on_stmt = [&](const Stmt& stmt, bool) {
+        if (found == nullptr && stmt.kind == StmtKind::Let &&
+            static_cast<const LetStmt&>(stmt).name == name) {
+            found = &static_cast<const LetStmt&>(stmt);
+        }
+    };
+    walk_program(program, callbacks);
+    return found;
+}
+
+bool stmt_mentions(const Stmt& stmt, const std::string& name) {
+    bool found = false;
+    WalkCallbacks callbacks;
+    callbacks.on_expr = [&](const Expr& expr, bool) {
+        if (expr.kind == ExprKind::VarRef &&
+            static_cast<const VarRefExpr&>(expr).name == name) {
+            found = true;
+        }
+        if (expr.kind == ExprKind::Call &&
+            static_cast<const CallExpr&>(expr).callee == name) {
+            found = true;
+        }
+    };
+    callbacks.on_stmt = [&](const Stmt& inner, bool) {
+        if (inner.kind == StmtKind::Let &&
+            static_cast<const LetStmt&>(inner).name == name) {
+            found = true;
+        }
+    };
+    // Walk just this statement by wrapping it in a fake block view.
+    switch (stmt.kind) {
+        case StmtKind::Let: {
+            const auto& node = static_cast<const LetStmt&>(stmt);
+            if (node.name == name) return true;
+            walk_expr(*node.init, callbacks, false);
+            break;
+        }
+        case StmtKind::Assign: {
+            const auto& node = static_cast<const AssignStmt&>(stmt);
+            walk_expr(*node.place, callbacks, false);
+            walk_expr(*node.value, callbacks, false);
+            break;
+        }
+        case StmtKind::Expr:
+            walk_expr(*static_cast<const ExprStmt&>(stmt).expr, callbacks, false);
+            break;
+        case StmtKind::If: {
+            const auto& node = static_cast<const IfStmt&>(stmt);
+            walk_expr(*node.condition, callbacks, false);
+            walk_block(node.then_block, callbacks, false);
+            if (node.else_block) walk_block(*node.else_block, callbacks, false);
+            break;
+        }
+        case StmtKind::While: {
+            const auto& node = static_cast<const WhileStmt&>(stmt);
+            walk_expr(*node.condition, callbacks, false);
+            walk_block(node.body, callbacks, false);
+            break;
+        }
+        case StmtKind::Return: {
+            const auto& node = static_cast<const ReturnStmt&>(stmt);
+            if (node.value) walk_expr(*node.value, callbacks, false);
+            break;
+        }
+        case StmtKind::Block:
+            walk_block(static_cast<const BlockStmt&>(stmt).block, callbacks, false);
+            break;
+        case StmtKind::Unsafe:
+            walk_block(static_cast<const UnsafeStmt&>(stmt).block, callbacks, false);
+            break;
+        case StmtKind::Become: {
+            const auto& node = static_cast<const BecomeStmt&>(stmt);
+            walk_expr(*node.callee, callbacks, false);
+            for (const auto& arg : node.args) {
+                walk_expr(*arg, callbacks, false);
+            }
+            break;
+        }
+    }
+    return found;
+}
+
+bool stmt_calls(const Stmt& stmt, const std::string& callee) {
+    return stmt_mentions(stmt, callee);
+}
+
+bool move_stmt(Block& block, std::size_t from, std::size_t to) {
+    if (from >= block.statements.size() || to >= block.statements.size()) {
+        return false;
+    }
+    if (from == to) return true;
+    StmtPtr stmt = std::move(block.statements[from]);
+    block.statements.erase(block.statements.begin() +
+                           static_cast<std::ptrdiff_t>(from));
+    block.statements.insert(
+        block.statements.begin() + static_cast<std::ptrdiff_t>(to),
+        std::move(stmt));
+    return true;
+}
+
+int count_statements(const Program& program) {
+    int count = 0;
+    WalkCallbacks callbacks;
+    callbacks.on_stmt = [&](const Stmt&, bool) { ++count; };
+    walk_program(program, callbacks);
+    return count;
+}
+
+}  // namespace rustbrain::analysis

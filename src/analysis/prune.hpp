@@ -1,0 +1,33 @@
+// Algorithm 1 from the paper: prune irrelevant nodes from the Rust AST.
+//
+//   Input: original AST, Miri errors
+//   1. keep every node containing the `unsafe` keyword (Principle 1);
+//   2. for each unsafe node, keep context relevant to the unsafe operation
+//      (here: statements that define or touch names used inside unsafe
+//      regions, and the control-flow statements containing them);
+//   3. drop everything else.
+//
+// Invariants (property-tested): the pruned program contains every unsafe
+// statement of the original, and never more nodes than the original.
+#pragma once
+
+#include "lang/ast.hpp"
+
+namespace rustbrain::analysis {
+
+struct PruneStats {
+    std::uint32_t original_nodes = 0;
+    std::uint32_t pruned_nodes = 0;
+
+    [[nodiscard]] double retained_fraction() const {
+        return original_nodes == 0
+                   ? 1.0
+                   : static_cast<double>(pruned_nodes) / original_nodes;
+    }
+};
+
+/// Produce a pruned clone of `program`. Functions whose bodies end up empty
+/// and that are not referenced from unsafe regions are dropped entirely.
+lang::Program prune_ast(const lang::Program& program, PruneStats* stats = nullptr);
+
+}  // namespace rustbrain::analysis

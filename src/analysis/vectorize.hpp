@@ -1,0 +1,28 @@
+// AST vectorization for the knowledge base (Fig 6: "Vector Error AST",
+// "Compare similarities").
+//
+// Feature hashing of structural n-grams: node kinds, parent-child kind
+// pairs, operators, cast source/target kinds, intrinsic names. Identifier
+// spellings are deliberately excluded so that corpus variants that differ
+// only in names land close together, while constants are bucketed coarsely.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "lang/ast.hpp"
+
+namespace rustbrain::analysis {
+
+constexpr std::size_t kAstVectorDim = 64;
+
+using AstVector = std::array<float, kAstVectorDim>;
+
+/// L2-normalized structural feature vector of the program.
+AstVector vectorize(const lang::Program& program);
+
+/// Cosine similarity in [-1, 1] (vectors are non-negative pre-normalization,
+/// so effectively [0, 1]).
+double cosine_similarity(const AstVector& a, const AstVector& b);
+
+}  // namespace rustbrain::analysis

@@ -1,0 +1,29 @@
+// Baseline: human expert repair (the Thetis-Lathe expert study the paper's
+// Table I compares against).
+//
+// Only *time* is compared in the paper — expert correctness is assumed.
+// Per-category mean times are calibrated to Table I's human column; each
+// case gets a deterministic jitter and a difficulty multiplier.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rustbrain.hpp"
+#include "dataset/case.hpp"
+
+namespace rustbrain::baselines {
+
+class ExpertModel {
+  public:
+    explicit ExpertModel(std::uint64_t seed = 42) : seed_(seed) {}
+
+    core::CaseResult repair(const dataset::UbCase& ub_case) const;
+
+    /// Mean human repair time for a category, in virtual seconds.
+    static double category_mean_seconds(miri::UbCategory category);
+
+  private:
+    std::uint64_t seed_;
+};
+
+}  // namespace rustbrain::baselines

@@ -1,0 +1,98 @@
+#include "baselines/fixed_pipeline.hpp"
+
+#include <stdexcept>
+
+#include "agents/agent_context.hpp"
+#include "dataset/semantic.hpp"
+#include "llm/rules.hpp"
+#include "support/hashing.hpp"
+
+namespace rustbrain::baselines {
+
+FixedPipeline::FixedPipeline(FixedPipelineConfig config)
+    : config_(std::move(config)) {
+    if (llm::find_profile(config_.model) == nullptr) {
+        throw std::invalid_argument("unknown model profile: " + config_.model);
+    }
+}
+
+core::CaseResult FixedPipeline::repair(const dataset::UbCase& ub_case) {
+    core::CaseResult result;
+    result.case_id = ub_case.id;
+
+    llm::SimLLM sim(*llm::find_profile(config_.model),
+                    support::derive_seed(config_.seed, "fixed:" + ub_case.id));
+    support::SimClock clock;
+    agents::AgentContext context{sim, clock};
+    context.temperature = config_.temperature;
+    context.inputs = &ub_case.inputs;
+
+    const miri::MiriReport initial = context.verify(ub_case.buggy_source);
+    if (initial.passed()) {
+        result.pass = true;
+        result.exec = true;
+        result.time_ms = clock.now_ms();
+        return result;
+    }
+    const miri::Finding& finding = initial.findings.front();
+    const std::size_t initial_errors = initial.error_count();
+
+    // The pattern store: a fixed ordered step list per error category. The
+    // pipeline always walks it in the same order — the rigidity the paper
+    // criticizes ("numerous generic steps ... unnecessary complexity").
+    // RustAssistant's store was built for rustc error codes, not UB shapes,
+    // so its ordering is generic: modelled here by walking the category's
+    // rules in reverse registration order (assertion-style generic patches
+    // first, shape-specific semantic fixes last).
+    std::vector<std::string> fixed_steps;
+    for (const llm::RepairRule* rule :
+         llm::rules_for_category(finding.category)) {
+        fixed_steps.insert(fixed_steps.begin(), rule->id);
+    }
+    if (fixed_steps.empty()) {
+        result.time_ms = clock.now_ms();
+        return result;
+    }
+
+    std::string current = ub_case.buggy_source;
+    int iterations = 0;
+    for (std::size_t step = 0;
+         step < fixed_steps.size() && iterations < config_.max_iterations;
+         ++step, ++iterations) {
+        llm::PromptSpec apply;
+        apply.task = "apply_rule";
+        apply.fields["rule"] = fixed_steps[step];
+        apply.fields["error_category"] =
+            miri::ub_category_label(finding.category);
+        apply.fields["error_message"] = finding.message;
+        apply.code = current;
+        const auto patched = context.call_llm(apply);
+        const std::string candidate = llm::parse_code_block(patched.content);
+
+        const miri::MiriReport report = context.verify(candidate);
+        result.error_trajectory.push_back(report.error_count());
+        ++result.steps_executed;
+
+        if (report.passed()) {
+            result.pass = true;
+            result.exec = dataset::judge_semantics(candidate, ub_case).acceptable();
+            result.winning_rule = fixed_steps[step];
+            result.final_source = candidate;
+            break;
+        }
+        if (report.error_count() > initial_errors) {
+            // Full rollback to the initial state (Fig 5a): every partial
+            // correction is discarded and the restart is charged in full.
+            clock.charge("rollback", 400.0);
+            ++result.rollbacks;
+            current = ub_case.buggy_source;
+        } else {
+            current = candidate;
+        }
+    }
+    result.llm_calls = context.llm_calls;
+    result.time_ms = clock.now_ms();
+    return result;
+}
+
+}  // namespace rustbrain::baselines

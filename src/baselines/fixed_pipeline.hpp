@@ -1,0 +1,38 @@
+// Baseline: RustAssistant-style fixed repair pipeline (Deligiannis et al.,
+// ICSE 2025 — the paper's state-of-the-art LLM comparator).
+//
+// Faithful to its published design philosophy, transplanted to UB repair:
+//   * an error-code -> fix-pattern store selects a FIXED, pre-designed
+//     sequence of repair steps for each error category;
+//   * one candidate path, executed in order, re-verifying after each step;
+//   * on regression the pipeline discards everything and restarts from the
+//     ORIGINAL code (full rollback to T0, the Fig 5a behaviour);
+//   * no feature extraction, no multi-solution generation, no feedback.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/rustbrain.hpp"
+#include "dataset/case.hpp"
+
+namespace rustbrain::baselines {
+
+struct FixedPipelineConfig {
+    std::string model = "gpt-4";
+    double temperature = 0.5;
+    int max_iterations = 2;
+    std::uint64_t seed = 42;
+};
+
+class FixedPipeline {
+  public:
+    explicit FixedPipeline(FixedPipelineConfig config);
+
+    core::CaseResult repair(const dataset::UbCase& ub_case);
+
+  private:
+    FixedPipelineConfig config_;
+};
+
+}  // namespace rustbrain::baselines

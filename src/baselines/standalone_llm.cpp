@@ -1,0 +1,83 @@
+#include "baselines/standalone_llm.hpp"
+
+#include <stdexcept>
+
+#include "agents/agent_context.hpp"
+#include "dataset/semantic.hpp"
+#include "support/hashing.hpp"
+
+namespace rustbrain::baselines {
+
+StandaloneLlmRepair::StandaloneLlmRepair(StandaloneConfig config)
+    : config_(std::move(config)) {
+    if (llm::find_profile(config_.model) == nullptr) {
+        throw std::invalid_argument("unknown model profile: " + config_.model);
+    }
+}
+
+core::CaseResult StandaloneLlmRepair::repair(const dataset::UbCase& ub_case) {
+    core::CaseResult result;
+    result.case_id = ub_case.id;
+
+    llm::SimLLM sim(*llm::find_profile(config_.model),
+                    support::derive_seed(config_.seed, "solo:" + ub_case.id));
+    support::SimClock clock;
+    agents::AgentContext context{sim, clock};
+    context.temperature = config_.temperature;
+    context.inputs = &ub_case.inputs;
+
+    const miri::MiriReport initial = context.verify(ub_case.buggy_source);
+    if (initial.passed()) {
+        result.pass = true;
+        result.exec = true;
+        result.time_ms = clock.now_ms();
+        return result;
+    }
+    const miri::Finding& finding = initial.findings.front();
+
+    std::string current = ub_case.buggy_source;
+    for (int attempt = 0; attempt < config_.attempts; ++attempt) {
+        // The bare model picks its own strategy (one candidate, no features,
+        // no hints) and applies it in the same breath.
+        llm::PromptSpec generate;
+        generate.task = "generate_solutions";
+        generate.fields["error_category"] =
+            miri::ub_category_label(finding.category);
+        generate.fields["error_message"] = finding.message;
+        generate.fields["count"] = "1";
+        generate.fields["difficulty"] = std::to_string(ub_case.difficulty);
+        generate.code = current;
+        const auto idea = context.call_llm(generate);
+        const auto rules = llm::parse_solution_lines(idea.content);
+        if (rules.empty()) break;
+
+        llm::PromptSpec apply;
+        apply.task = "apply_rule";
+        apply.fields["rule"] = rules.front();
+        apply.fields["error_category"] =
+            miri::ub_category_label(finding.category);
+        apply.fields["error_message"] = finding.message;
+        apply.code = current;
+        const auto patched = context.call_llm(apply);
+        const std::string candidate = llm::parse_code_block(patched.content);
+
+        const miri::MiriReport report = context.verify(candidate);
+        result.error_trajectory.push_back(report.error_count());
+        ++result.steps_executed;
+        if (report.passed()) {
+            result.pass = true;
+            result.exec = dataset::judge_semantics(candidate, ub_case).acceptable();
+            result.winning_rule = rules.front();
+            result.final_source = candidate;
+            break;
+        }
+        // No rollback: the (possibly worse) code is what the next attempt
+        // starts from, exactly the failure mode RustBrain's rollback fixes.
+        current = candidate;
+    }
+    result.llm_calls = context.llm_calls;
+    result.time_ms = clock.now_ms();
+    return result;
+}
+
+}  // namespace rustbrain::baselines

@@ -1,0 +1,33 @@
+// Baseline: the bare model ("GPT-4", "Claude-3.5", ... columns of Figs 8/9).
+//
+// One shot, optionally one retry: the model is shown the code and the Miri
+// error and asked to fix it — no feature extraction, no multi-solution fast
+// thinking, no agents, no rollback, no knowledge base, no feedback.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/rustbrain.hpp"
+#include "dataset/case.hpp"
+
+namespace rustbrain::baselines {
+
+struct StandaloneConfig {
+    std::string model = "gpt-4";
+    double temperature = 0.5;
+    int attempts = 2;  // common practice: re-prompt once on failure
+    std::uint64_t seed = 42;
+};
+
+class StandaloneLlmRepair {
+  public:
+    explicit StandaloneLlmRepair(StandaloneConfig config);
+
+    core::CaseResult repair(const dataset::UbCase& ub_case);
+
+  private:
+    StandaloneConfig config_;
+};
+
+}  // namespace rustbrain::baselines

@@ -1,0 +1,46 @@
+// Fast thinking (paper Fig 2, stages F1-F2): Miri detection, intuitive
+// feature extraction, and rapid multi-solution generation driven by pattern
+// recognition plus feedback hints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agents/agent_context.hpp"
+#include "core/feedback.hpp"
+#include "miri/finding.hpp"
+
+namespace rustbrain::core {
+
+/// One candidate repair solution: an ordered list of rule steps. (Slow
+/// thinking decomposes, executes and verifies them.)
+struct Solution {
+    std::vector<std::string> rule_ids;
+};
+
+struct FastThinkingResult {
+    bool already_clean = false;          // F1 said "pass"
+    miri::Finding finding;               // primary finding driving the repair
+    std::string feature_key;             // extracted feature signature
+    std::vector<Solution> solutions;     // generation order = model ranking
+    std::size_t initial_error_count = 0;
+};
+
+class FastThinking {
+  public:
+    FastThinking(bool use_feature_extraction, int max_solutions)
+        : use_feature_extraction_(use_feature_extraction),
+          max_solutions_(max_solutions) {}
+
+    /// Run F1 (detection) + F2 (feature extraction, solution generation).
+    /// `difficulty` calibrates competence penalties; `feedback` may be null.
+    FastThinkingResult run(const std::string& source, int difficulty,
+                           const FeedbackStore* feedback,
+                           agents::AgentContext& context) const;
+
+  private:
+    bool use_feature_extraction_;
+    int max_solutions_;
+};
+
+}  // namespace rustbrain::core

@@ -1,0 +1,56 @@
+#include "core/feedback.hpp"
+
+#include <algorithm>
+
+namespace rustbrain::core {
+
+double RuleOutcome::score() const {
+    // Full successes dominate; accurate-but-unacceptable fixes count a
+    // little (they at least silenced the UB); failures push down.
+    return 2.0 * successes + 0.4 * partial - 1.0 * failures;
+}
+
+void FeedbackStore::record(const std::string& feature_key,
+                           const std::string& rule_id, const EvalTriplet& triplet) {
+    RuleOutcome& outcome = outcomes_[feature_key][rule_id];
+    if (triplet.accuracy && triplet.acceptability) {
+        ++outcome.successes;
+    } else if (triplet.accuracy) {
+        ++outcome.partial;
+    } else {
+        ++outcome.failures;
+    }
+    outcome.total_overhead_ms += triplet.overhead_ms;
+    ++records_;
+}
+
+std::vector<std::string> FeedbackStore::preferred_rules(
+    const std::string& feature_key, std::size_t max_rules) const {
+    auto it = outcomes_.find(feature_key);
+    if (it == outcomes_.end()) return {};
+    std::vector<std::pair<std::string, double>> scored;
+    for (const auto& [rule_id, outcome] : it->second) {
+        if (outcome.score() > 0.0) {
+            scored.emplace_back(rule_id, outcome.score());
+        }
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::vector<std::string> out;
+    for (const auto& [rule_id, score] : scored) {
+        out.push_back(rule_id);
+        if (out.size() >= max_rules) break;
+    }
+    return out;
+}
+
+bool FeedbackStore::is_confident(const std::string& feature_key) const {
+    auto it = outcomes_.find(feature_key);
+    if (it == outcomes_.end()) return false;
+    for (const auto& [rule_id, outcome] : it->second) {
+        if (outcome.successes >= 2) return true;
+    }
+    return false;
+}
+
+}  // namespace rustbrain::core

@@ -1,0 +1,115 @@
+#include "core/rustbrain.hpp"
+
+#include <stdexcept>
+
+#include "agents/abstract_reasoning_agent.hpp"
+#include "dataset/semantic.hpp"
+#include "support/hashing.hpp"
+
+namespace rustbrain::core {
+
+RustBrain::RustBrain(RustBrainConfig config, const kb::KnowledgeBase* knowledge_base,
+                     FeedbackStore* feedback)
+    : config_(std::move(config)),
+      knowledge_base_(knowledge_base),
+      feedback_(feedback) {
+    if (llm::find_profile(config_.model) == nullptr) {
+        throw std::invalid_argument("unknown model profile: " + config_.model);
+    }
+}
+
+CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
+    CaseResult result;
+    result.case_id = ub_case.id;
+
+    // A fresh model conversation per case, deterministically seeded.
+    llm::SimLLM sim(*llm::find_profile(config_.model),
+                    support::derive_seed(config_.seed, ub_case.id));
+    support::SimClock clock;
+
+    agents::AgentContext context{sim, clock};
+    context.temperature = config_.temperature;
+    context.inputs = &ub_case.inputs;
+    context.knowledge_base =
+        config_.use_knowledge_base ? knowledge_base_ : nullptr;
+    context.case_hint = ub_case.id;
+
+    FastThinking fast_stage(config_.use_feature_extraction, config_.max_solutions);
+    SlowThinkingOptions slow_options;
+    slow_options.use_adaptive_rollback = config_.use_adaptive_rollback;
+    slow_options.max_steps_per_solution = config_.max_steps_per_solution;
+    SlowThinking slow_stage(slow_options);
+
+    // --- Fast thinking (F1 + features) -------------------------------------
+    FastThinkingResult fast = fast_stage.run(
+        ub_case.buggy_source, ub_case.difficulty,
+        config_.use_feedback ? feedback_ : nullptr, context);
+    if (fast.already_clean) {
+        result.pass = true;
+        result.exec = true;
+        result.final_source = ub_case.buggy_source;
+        result.time_ms = clock.now_ms();
+        return result;
+    }
+
+    // --- Abstract reasoning: knowledge-base consultation --------------------
+    // Self-learning shortcut: once feedback is confident about this error
+    // signature, skip the (expensive) KB lookup — the paper's reduced-KB-
+    // dependence effect.
+    const bool feedback_confident =
+        config_.use_feedback && feedback_ != nullptr &&
+        !fast.feature_key.empty() && feedback_->is_confident(fast.feature_key);
+    if (context.knowledge_base != nullptr && !feedback_confident) {
+        agents::AbstractReasoningAgent reasoning;
+        const agents::ReasoningResult consult = reasoning.consult(
+            ub_case.buggy_source, fast.finding.category, context);
+        context.exemplar_rules = consult.exemplar_rules;
+        result.kb_consulted = true;
+        if (!consult.exemplar_rules.empty()) {
+            // Exemplars sharpen generation: regenerate solutions with them.
+            fast = fast_stage.run(ub_case.buggy_source, ub_case.difficulty,
+                                  config_.use_feedback ? feedback_ : nullptr,
+                                  context);
+        }
+    } else if (feedback_confident) {
+        result.kb_skipped_by_feedback = true;
+    }
+    result.solutions_generated = static_cast<int>(fast.solutions.size());
+
+    // --- Slow thinking --------------------------------------------------
+    support::Rng judge_rng(
+        support::derive_seed(config_.seed, "judge:" + ub_case.id));
+    const SemanticOracle oracle = [&](const std::string& candidate) {
+        // Judging against the acceptability benchmark costs evaluation time.
+        clock.charge("eval", 60.0);
+        if (dataset::judge_semantics(candidate, ub_case).acceptable()) {
+            return true;
+        }
+        // The internal judgment is imperfect: with some probability a
+        // divergent fix is approved and refinement stops (the harness still
+        // scores it exec=false). Retrieved exemplars sharpen the judgment —
+        // similar verified fixes give the comparison a concrete reference.
+        const double error = context.exemplar_rules.empty()
+                                 ? config_.internal_judge_error
+                                 : config_.internal_judge_error * 0.85;
+        return judge_rng.chance(error);
+    };
+    const SlowThinkingResult slow =
+        slow_stage.run(ub_case.buggy_source, fast, oracle,
+                       config_.use_feedback ? feedback_ : nullptr, context);
+
+    result.pass = slow.pass;
+    // The harness's exact semantic verdict (the paper's exec metric).
+    result.exec = slow.pass && !slow.final_source.empty() &&
+                  dataset::judge_semantics(slow.final_source, ub_case).acceptable();
+    result.steps_executed = slow.steps_executed;
+    result.rollbacks = slow.rollbacks;
+    result.error_trajectory = slow.error_trajectory;
+    result.winning_rule = slow.winning_rule;
+    result.final_source = slow.final_source;
+    result.llm_calls = context.llm_calls;
+    result.time_ms = clock.now_ms();
+    return result;
+}
+
+}  // namespace rustbrain::core

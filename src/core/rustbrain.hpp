@@ -1,0 +1,77 @@
+// RustBrain — the paper's primary contribution, assembled.
+//
+// Orchestrates one repair: fast thinking (detect, extract features,
+// generate candidate solutions), the abstract reasoning agent's
+// knowledge-base consultation, slow thinking (decompose, execute with fix
+// agents, verify, adaptively roll back), and the feedback loop that feeds
+// evaluation triplets back into future fast-thinking runs.
+//
+// Every stochastic choice derives from `config.seed` + the case id, so whole
+// experiment sweeps are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fast_thinking.hpp"
+#include "core/feedback.hpp"
+#include "core/slow_thinking.hpp"
+#include "dataset/case.hpp"
+#include "kb/knowledge_base.hpp"
+
+namespace rustbrain::core {
+
+struct RustBrainConfig {
+    std::string model = "gpt-4";
+    double temperature = 0.5;
+    bool use_knowledge_base = true;
+    bool use_feedback = true;
+    bool use_adaptive_rollback = true;
+    bool use_feature_extraction = true;
+    int max_solutions = 6;
+    int max_steps_per_solution = 3;
+    /// Probability that RustBrain's *internal* acceptability judgment
+    /// wrongly approves a semantically-divergent fix (the paper's §II-A
+    /// benchmark-subjectivity caveat: the framework cannot check semantics
+    /// perfectly mid-loop). The harness's exec metric is always exact —
+    /// this only controls when the pipeline stops refining.
+    double internal_judge_error = 0.70;
+    std::uint64_t seed = 42;
+};
+
+struct CaseResult {
+    std::string case_id;
+    bool pass = false;   // repaired code passes MiriLite
+    bool exec = false;   // ... and matches the reference semantics
+    double time_ms = 0.0;  // virtual repair time
+    int solutions_generated = 0;
+    int steps_executed = 0;
+    int rollbacks = 0;
+    std::uint64_t llm_calls = 0;
+    bool kb_consulted = false;
+    bool kb_skipped_by_feedback = false;
+    std::vector<std::size_t> error_trajectory;
+    std::string winning_rule;
+    std::string final_source;
+};
+
+class RustBrain {
+  public:
+    /// `knowledge_base` may be null (disables KB regardless of config);
+    /// `feedback` may be null (disables the self-learning loop).
+    RustBrain(RustBrainConfig config, const kb::KnowledgeBase* knowledge_base,
+              FeedbackStore* feedback);
+
+    /// Repair one corpus case end to end.
+    CaseResult repair(const dataset::UbCase& ub_case);
+
+    [[nodiscard]] const RustBrainConfig& config() const { return config_; }
+
+  private:
+    RustBrainConfig config_;
+    const kb::KnowledgeBase* knowledge_base_;
+    FeedbackStore* feedback_;
+};
+
+}  // namespace rustbrain::core

@@ -1,0 +1,115 @@
+#include "core/slow_thinking.hpp"
+
+#include "agents/fix_agents.hpp"
+#include "agents/rollback_agent.hpp"
+
+namespace rustbrain::core {
+
+SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
+                                     const FastThinkingResult& fast,
+                                     const SemanticOracle& oracle,
+                                     FeedbackStore* feedback,
+                                     agents::AgentContext& context) const {
+    SlowThinkingResult result;
+    // Fallback candidate: passes Miri but failed the semantic benchmark.
+    std::optional<std::pair<std::string, std::string>> pass_only;  // source, rule
+
+    for (const Solution& solution : fast.solutions) {
+        const double attempt_start_ms = context.clock.now_ms();
+        agents::RollbackAgent rollback;
+        rollback.observe(buggy_source, fast.initial_error_count);
+
+        std::string current = buggy_source;
+        bool solution_passed = false;
+        bool solution_acceptable = false;
+
+        // S1: decomposition — the solution's rules form the step sequence;
+        // reasoning grants extra iterations up to the configured bound.
+        std::vector<std::string> steps = solution.rule_ids;
+        while (static_cast<int>(steps.size()) < options_.max_steps_per_solution &&
+               !solution.rule_ids.empty()) {
+            steps.push_back(solution.rule_ids.front());  // retry the strategy
+        }
+
+        for (const std::string& rule_id : steps) {
+            // S2: the matching agent executes the step...
+            const agents::FixAgent& agent = agents::agent_for_rule(rule_id);
+            const agents::FixOutcome outcome =
+                agent.run(current, fast.finding, rule_id, context);
+            ++result.steps_executed;
+
+            // ...and verification measures it.
+            const miri::MiriReport report = context.verify(outcome.code);
+            const std::size_t errors = report.error_count();
+            result.error_trajectory.push_back(errors);
+            rollback.observe(outcome.code, errors);
+
+            if (errors == 0) {
+                solution_passed = true;
+                solution_acceptable = oracle(outcome.code);
+                current = outcome.code;
+                if (solution_acceptable) break;
+                // Passes Miri but semantics diverge (often a corrupted
+                // application of the right strategy). Keep it as a fallback
+                // and spend the remaining iterations re-attempting the
+                // strategy from the original code — the paper's "fine-tune
+                // through reasoning" loop.
+                if (!pass_only) {
+                    pass_only = {outcome.code, rule_id};
+                }
+                current = buggy_source;
+                continue;
+            }
+            if (options_.use_adaptive_rollback) {
+                // "Before proceeding to the next stage, the process rolls
+                // back to the optimal code state (the fewest detected
+                // errors)" — strict improvements advance the baseline;
+                // regressions and sideways corruption are both discarded
+                // (Fig 5b). Only true regressions charge rollback cost.
+                if (rollback.should_rollback(errors)) {
+                    current = rollback.rollback(context.clock);
+                } else {
+                    current = rollback.best_code();
+                }
+            } else {
+                // Fig 5a: no rollback — hallucinated states propagate.
+                current = outcome.code;
+            }
+        }
+        result.rollbacks += rollback.rollbacks_performed();
+
+        // S2 evaluation: the triplet for this attempt feeds back into fast
+        // thinking (S3's self-learning edge).
+        EvalTriplet triplet;
+        triplet.accuracy = solution_passed;
+        triplet.acceptability = solution_acceptable;
+        triplet.overhead_ms = context.clock.now_ms() - attempt_start_ms;
+        result.attempt_triplets.push_back(triplet);
+        if (feedback != nullptr && !fast.feature_key.empty() &&
+            !solution.rule_ids.empty()) {
+            feedback->record(fast.feature_key, solution.rule_ids.front(), triplet);
+        }
+
+        if (solution_passed && solution_acceptable) {
+            result.pass = true;
+            result.acceptable = true;
+            result.final_source = current;
+            result.winning_rule = solution.rule_ids.empty()
+                                      ? ""
+                                      : solution.rule_ids.front();
+            return result;
+        }
+    }
+
+    if (pass_only) {
+        result.pass = true;
+        result.acceptable = false;
+        result.final_source = pass_only->first;
+        result.winning_rule = pass_only->second;
+    } else {
+        result.final_source = buggy_source;
+    }
+    return result;
+}
+
+}  // namespace rustbrain::core

@@ -1,0 +1,59 @@
+// Slow thinking (paper Fig 2, stages S1-S3): decompose each fast-thinking
+// solution into steps, execute them with the matching fix agents, verify
+// after every step, contain hallucination with the adaptive rollback agent,
+// and evaluate each attempt on the (accuracy, acceptability, overhead)
+// triplet.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agents/agent_context.hpp"
+#include "core/fast_thinking.hpp"
+#include "core/feedback.hpp"
+
+namespace rustbrain::core {
+
+/// Acceptability oracle: the evaluation harness's semantic benchmark
+/// (developer-repaired code). Maps candidate source -> acceptable?
+using SemanticOracle = std::function<bool(const std::string&)>;
+
+struct SlowThinkingResult {
+    bool pass = false;                    // a Miri-clean candidate was found
+    bool acceptable = false;              // ... that also matched semantics
+    std::string final_source;             // best candidate produced
+    std::string winning_rule;             // rule credited with the repair
+    int steps_executed = 0;
+    int rollbacks = 0;
+    std::vector<std::size_t> error_trajectory;  // N = {n_0, n_1, ...}
+    std::vector<EvalTriplet> attempt_triplets;  // one per solution tried
+};
+
+struct SlowThinkingOptions {
+    bool use_adaptive_rollback = true;
+    /// Extra repair iterations granted per solution when verification shows
+    /// progress (the paper's "fine-tune through reasoning": adjust iteration
+    /// count / execution path).
+    int max_steps_per_solution = 3;
+};
+
+class SlowThinking {
+  public:
+    explicit SlowThinking(SlowThinkingOptions options) : options_(options) {}
+
+    /// Execute & verify the candidate solutions against the buggy source.
+    /// Records every attempt into `feedback` (when non-null) keyed by
+    /// `feature_key`.
+    SlowThinkingResult run(const std::string& buggy_source,
+                           const FastThinkingResult& fast,
+                           const SemanticOracle& oracle,
+                           FeedbackStore* feedback,
+                           agents::AgentContext& context) const;
+
+  private:
+    SlowThinkingOptions options_;
+};
+
+}  // namespace rustbrain::core

@@ -1,0 +1,39 @@
+// Per-category case builders. Each produces kVariantsPerShape parametric
+// variants of a handful of bug shapes; variants differ in identifier names,
+// constants and array sizes so that knowledge-base similarity search has
+// real work to do.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/case.hpp"
+
+namespace rustbrain::dataset {
+
+constexpr int kVariantsPerShape = 3;
+
+std::vector<UbCase> make_alloc_cases();
+std::vector<UbCase> make_dangling_cases();
+std::vector<UbCase> make_uninit_cases();
+std::vector<UbCase> make_provenance_cases();
+
+std::vector<UbCase> make_bothborrow_cases();
+std::vector<UbCase> make_stackborrow_cases();
+std::vector<UbCase> make_validity_cases();
+std::vector<UbCase> make_unaligned_cases();
+
+std::vector<UbCase> make_panic_cases();
+std::vector<UbCase> make_funccall_cases();
+std::vector<UbCase> make_funcpointer_cases();
+std::vector<UbCase> make_tailcall_cases();
+
+std::vector<UbCase> make_datarace_cases();
+std::vector<UbCase> make_concurrency_cases();
+
+namespace detail {
+/// Replace `$0`..`$9` placeholders with the given fragments.
+std::string fill(std::string templ, const std::vector<std::string>& args);
+}  // namespace detail
+
+}  // namespace rustbrain::dataset

@@ -1,0 +1,37 @@
+// A single corpus entry: a mini-Rust program with a seeded UB, the
+// developer's reference fix (defines the expected semantics), and the input
+// vectors of its semantic benchmark. Stand-in for the paper's Miri-derived
+// dataset (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "miri/finding.hpp"
+
+namespace rustbrain::dataset {
+
+/// Which repair family the developer fix uses — the paper's Principle 2
+/// classification (safe alternative / assertion-guard / semantic
+/// modification). Used for analysis and by the Fig 7 flexibility bench.
+enum class FixStrategy { SafeAlternative, AssertionGuard, SemanticModification };
+
+const char* fix_strategy_name(FixStrategy strategy);
+
+struct UbCase {
+    std::string id;  // "<category>/<shape>_<variant>"
+    miri::UbCategory category = miri::UbCategory::Panic;
+    FixStrategy intended_strategy = FixStrategy::SemanticModification;
+    std::string buggy_source;
+    std::string reference_fix;
+    /// Input vectors for the semantic benchmark; each triggers one
+    /// interpreter run. At least one input must trigger the UB in the buggy
+    /// program.
+    std::vector<std::vector<std::int64_t>> inputs;
+    /// 1 (routine) .. 3 (rare/complex) — drives the expert-time model and
+    /// the SimLLM competence penalty.
+    int difficulty = 1;
+};
+
+}  // namespace rustbrain::dataset

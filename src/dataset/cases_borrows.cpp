@@ -1,0 +1,411 @@
+// Corpus builders: both-borrow, stack-borrow, validity, unaligned.
+#include <array>
+
+#include "dataset/builders.hpp"
+
+namespace rustbrain::dataset {
+
+using detail::fill;
+
+namespace {
+const std::array<const char*, 3> kVar = {"x", "count", "cell"};
+const std::array<const char*, 3> kConstA = {"5", "70", "900"};
+const std::array<const char*, 3> kConstB = {"6", "71", "901"};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// both borrow
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_bothborrow_cases() {
+    std::vector<UbCase> cases;
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kVar[v], kConstA[v], kConstB[v]};
+
+        // Shape 0: shared ref used after a &mut was created.
+        UbCase shared_then_mut;
+        shared_then_mut.id = "bothborrow/shared_then_mut_" + std::to_string(v);
+        shared_then_mut.category = miri::UbCategory::BothBorrow;
+        shared_then_mut.intended_strategy = FixStrategy::SemanticModification;
+        shared_then_mut.difficulty = 2;
+        shared_then_mut.buggy_source = fill(R"(fn main() {
+    let mut $0 = $1;
+    let shared = &$0;
+    let exclusive = &mut $0;
+    *exclusive = $2;
+    print_int(*shared as i64);
+    print_int($0 as i64);
+}
+)",
+                                            args);
+        shared_then_mut.reference_fix = fill(R"(fn main() {
+    let mut $0 = $1;
+    let shared = &$0;
+    print_int(*shared as i64);
+    let exclusive = &mut $0;
+    *exclusive = $2;
+    print_int($0 as i64);
+}
+)",
+                                             args);
+        shared_then_mut.inputs = {{}};
+        cases.push_back(std::move(shared_then_mut));
+
+        // Shape 1: direct write to the place while a shared ref is live.
+        UbCase write_under_shared;
+        write_under_shared.id = "bothborrow/write_under_shared_" + std::to_string(v);
+        write_under_shared.category = miri::UbCategory::BothBorrow;
+        write_under_shared.intended_strategy = FixStrategy::SemanticModification;
+        write_under_shared.difficulty = 1;
+        write_under_shared.buggy_source = fill(R"(fn main() {
+    let mut $0 = $1;
+    let shared = &$0;
+    $0 = $2;
+    print_int(*shared as i64);
+}
+)",
+                                               args);
+        write_under_shared.reference_fix = fill(R"(fn main() {
+    let mut $0 = $1;
+    let shared = &$0;
+    print_int(*shared as i64);
+    $0 = $2;
+}
+)",
+                                                args);
+        write_under_shared.inputs = {{}};
+        cases.push_back(std::move(write_under_shared));
+
+        // Shape 2: read-modify-write juggling both borrows.
+        UbCase juggle;
+        juggle.id = "bothborrow/juggle_" + std::to_string(v);
+        juggle.category = miri::UbCategory::BothBorrow;
+        juggle.intended_strategy = FixStrategy::SemanticModification;
+        juggle.difficulty = 3;
+        juggle.buggy_source = fill(R"(fn main() {
+    let mut $0 = $1;
+    let shared = &$0;
+    let snapshot = *shared;
+    let exclusive = &mut $0;
+    *exclusive = snapshot + 1;
+    print_int(*shared as i64);
+}
+)",
+                                   args);
+        juggle.reference_fix = fill(R"(fn main() {
+    let mut $0 = $1;
+    let shared = &$0;
+    let snapshot = *shared;
+    let exclusive = &mut $0;
+    *exclusive = snapshot + 1;
+    print_int($0 as i64);
+}
+)",
+                                    args);
+        juggle.inputs = {{}};
+        cases.push_back(std::move(juggle));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// stack borrow
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_stackborrow_cases() {
+    std::vector<UbCase> cases;
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kVar[v], kConstA[v], kConstB[v]};
+
+        // Shape 0: raw pointer invalidated by a later &mut, then written.
+        UbCase raw_invalidated;
+        raw_invalidated.id = "stackborrow/raw_invalidated_" + std::to_string(v);
+        raw_invalidated.category = miri::UbCategory::StackBorrow;
+        raw_invalidated.intended_strategy = FixStrategy::SemanticModification;
+        raw_invalidated.difficulty = 2;
+        raw_invalidated.buggy_source = fill(R"(fn main() {
+    let mut $0 = $1;
+    let raw = &mut $0 as *mut i32;
+    let fresh = &mut $0;
+    *fresh = $2;
+    unsafe {
+        *raw = $1;
+    }
+    print_int($0 as i64);
+}
+)",
+                                            args);
+        raw_invalidated.reference_fix = fill(R"(fn main() {
+    let mut $0 = $1;
+    let raw = &mut $0 as *mut i32;
+    unsafe {
+        *raw = $1;
+    }
+    let fresh = &mut $0;
+    *fresh = $2;
+    print_int($0 as i64);
+}
+)",
+                                             args);
+        raw_invalidated.inputs = {{}};
+        cases.push_back(std::move(raw_invalidated));
+
+        // Shape 1: raw read after the place itself was reassigned.
+        UbCase raw_after_write;
+        raw_after_write.id = "stackborrow/raw_after_write_" + std::to_string(v);
+        raw_after_write.category = miri::UbCategory::StackBorrow;
+        raw_after_write.intended_strategy = FixStrategy::SemanticModification;
+        raw_after_write.difficulty = 2;
+        raw_after_write.buggy_source = fill(R"(fn main() {
+    let mut $0 = $1;
+    let raw = &mut $0 as *mut i32;
+    $0 = $2;
+    unsafe {
+        print_int(*raw as i64);
+    }
+}
+)",
+                                            args);
+        raw_after_write.reference_fix = fill(R"(fn main() {
+    let mut $0 = $1;
+    let raw = &mut $0 as *mut i32;
+    unsafe {
+        print_int(*raw as i64);
+    }
+    $0 = $2;
+}
+)",
+                                             args);
+        raw_after_write.inputs = {{}};
+        cases.push_back(std::move(raw_after_write));
+
+        // Shape 2: writing through a raw pointer derived from a shared ref.
+        UbCase readonly_write;
+        readonly_write.id = "stackborrow/readonly_write_" + std::to_string(v);
+        readonly_write.category = miri::UbCategory::StackBorrow;
+        readonly_write.intended_strategy = FixStrategy::SafeAlternative;
+        readonly_write.difficulty = 3;
+        readonly_write.buggy_source = fill(R"(fn main() {
+    let mut $0 = $1;
+    let shared = &$0;
+    let raw = shared as *const i32 as *mut i32;
+    unsafe {
+        *raw = $2;
+    }
+    print_int($0 as i64);
+}
+)",
+                                           args);
+        readonly_write.reference_fix = fill(R"(fn main() {
+    let mut $0 = $1;
+    let raw = &mut $0 as *mut i32;
+    unsafe {
+        *raw = $2;
+    }
+    print_int($0 as i64);
+}
+)",
+                                            args);
+        readonly_write.inputs = {{}};
+        cases.push_back(std::move(readonly_write));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// validity
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_validity_cases() {
+    std::vector<UbCase> cases;
+    const std::array<const char*, 3> bad_byte = {"2", "3", "255"};
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kVar[v], bad_byte[v]};
+
+        // Shape 0: type-punned bool from an arbitrary byte.
+        UbCase pun;
+        pun.id = "validity/bool_pun_" + std::to_string(v);
+        pun.category = miri::UbCategory::Validity;
+        pun.intended_strategy = FixStrategy::SafeAlternative;
+        pun.difficulty = 2;
+        pun.buggy_source = fill(R"(fn main() {
+    let $0: [u8; 2] = [$1, 1];
+    let first = &$0 as *const u8 as *const bool;
+    unsafe {
+        print_bool(*first);
+    }
+}
+)",
+                                args);
+        pun.reference_fix = fill(R"(fn main() {
+    let $0: [u8; 2] = [$1, 1];
+    print_bool($0[0] != 0);
+}
+)",
+                                 args);
+        pun.inputs = {{}};
+        cases.push_back(std::move(pun));
+
+        // Shape 1: heap byte written out of bool range, read as bool.
+        UbCase heap_pun;
+        heap_pun.id = "validity/heap_bool_" + std::to_string(v);
+        heap_pun.category = miri::UbCategory::Validity;
+        heap_pun.intended_strategy = FixStrategy::SafeAlternative;
+        heap_pun.difficulty = 2;
+        heap_pun.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc(1, 1);
+        *$0 = $1;
+        let flag = $0 as *const bool;
+        print_bool(*flag);
+        dealloc($0, 1, 1);
+    }
+}
+)",
+                                     args);
+        heap_pun.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc(1, 1);
+        *$0 = $1;
+        print_bool(*$0 != 0);
+        dealloc($0, 1, 1);
+    }
+}
+)",
+                                      args);
+        heap_pun.inputs = {{}};
+        cases.push_back(std::move(heap_pun));
+
+        // Shape 2: input-dependent byte punned to bool.
+        UbCase input_pun;
+        input_pun.id = "validity/input_bool_" + std::to_string(v);
+        input_pun.category = miri::UbCategory::Validity;
+        input_pun.intended_strategy = FixStrategy::SafeAlternative;
+        input_pun.difficulty = 3;
+        input_pun.buggy_source = fill(R"(fn main() {
+    let mut $0: [u8; 1] = [0];
+    $0[0] = input(0) as u8;
+    let p = &$0 as *const u8 as *const bool;
+    unsafe {
+        print_bool(*p);
+    }
+}
+)",
+                                      args);
+        input_pun.reference_fix = fill(R"(fn main() {
+    let mut $0: [u8; 1] = [0];
+    $0[0] = input(0) as u8;
+    print_bool($0[0] != 0);
+}
+)",
+                                       args);
+        input_pun.inputs = {{0}, {1}, {7}};
+        cases.push_back(std::move(input_pun));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// unaligned
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_unaligned_cases() {
+    std::vector<UbCase> cases;
+    const std::array<const char*, 3> elem_count = {"2", "3", "4"};
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kVar[v], elem_count[v]};
+
+        // Shape 0: byte-offset confusion — offsetting the u8 view by the
+        // element index instead of the element size.
+        UbCase byte_confusion;
+        byte_confusion.id = "unaligned/byte_confusion_" + std::to_string(v);
+        byte_confusion.category = miri::UbCategory::Unaligned;
+        byte_confusion.intended_strategy = FixStrategy::SemanticModification;
+        byte_confusion.difficulty = 2;
+        byte_confusion.buggy_source = fill(R"(fn main() {
+    let $0: [u32; $1] = [11; $1];
+    unsafe {
+        let bytes = &$0 as *const u32 as *const u8;
+        let second = offset(bytes, 1) as *const u32;
+        print_int(*second as i64);
+    }
+}
+)",
+                                           args);
+        byte_confusion.reference_fix = fill(R"(fn main() {
+    let $0: [u32; $1] = [11; $1];
+    unsafe {
+        let elems = &$0 as *const u32;
+        let second = offset(elems, 1);
+        print_int(*second as i64);
+    }
+}
+)",
+                                            args);
+        byte_confusion.inputs = {{}};
+        cases.push_back(std::move(byte_confusion));
+
+        // Shape 1: wide store at a misaligned heap offset.
+        UbCase wide_store;
+        wide_store.id = "unaligned/wide_store_" + std::to_string(v);
+        wide_store.category = miri::UbCategory::Unaligned;
+        wide_store.intended_strategy = FixStrategy::SemanticModification;
+        wide_store.difficulty = 2;
+        wide_store.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc(16, 8);
+        let word = offset($0, 1) as *mut i64;
+        *word = 77;
+        print_int(*word);
+        dealloc($0, 16, 8);
+    }
+}
+)",
+                                       args);
+        wide_store.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc(16, 8);
+        let word = offset($0, 8) as *mut i64;
+        *word = 77;
+        print_int(*word);
+        dealloc($0, 16, 8);
+    }
+}
+)",
+                                        args);
+        wide_store.inputs = {{}};
+        cases.push_back(std::move(wide_store));
+
+        // Shape 2: u16 read at an odd address.
+        UbCase odd_u16;
+        odd_u16.id = "unaligned/odd_u16_" + std::to_string(v);
+        odd_u16.category = miri::UbCategory::Unaligned;
+        odd_u16.intended_strategy = FixStrategy::SemanticModification;
+        odd_u16.difficulty = 1;
+        odd_u16.buggy_source = fill(R"(fn main() {
+    let $0: [u16; $1] = [9; $1];
+    unsafe {
+        let bytes = &$0 as *const u16 as *const u8;
+        let entry = offset(bytes, 1) as *const u16;
+        print_int(*entry as i64);
+    }
+}
+)",
+                                    args);
+        odd_u16.reference_fix = fill(R"(fn main() {
+    let $0: [u16; $1] = [9; $1];
+    unsafe {
+        let elems = &$0 as *const u16;
+        let entry = offset(elems, 1);
+        print_int(*entry as i64);
+    }
+}
+)",
+                                     args);
+        odd_u16.inputs = {{}};
+        cases.push_back(std::move(odd_u16));
+    }
+    return cases;
+}
+
+}  // namespace rustbrain::dataset

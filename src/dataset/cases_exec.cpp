@@ -1,0 +1,438 @@
+// Corpus builders: panic, func.call, func.pointer, tail call.
+#include <array>
+
+#include "dataset/builders.hpp"
+
+namespace rustbrain::dataset {
+
+using detail::fill;
+
+namespace {
+const std::array<const char*, 3> kArr = {"table", "values", "samples"};
+const std::array<const char*, 3> kLen = {"4", "5", "6"};
+const std::array<const char*, 3> kFn = {"compute", "transform", "score"};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// panic
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_panic_cases() {
+    std::vector<UbCase> cases;
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kArr[v], kLen[v]};
+
+        // Shape 0: unchecked index from input.
+        UbCase oob_index;
+        oob_index.id = "panic/oob_index_" + std::to_string(v);
+        oob_index.category = miri::UbCategory::Panic;
+        oob_index.intended_strategy = FixStrategy::AssertionGuard;
+        oob_index.difficulty = 1;
+        oob_index.buggy_source = fill(R"(fn main() {
+    let $0: [i64; $1] = [7; $1];
+    let pick = input(0) as usize;
+    print_int($0[pick]);
+}
+)",
+                                      args);
+        oob_index.reference_fix = fill(R"(fn main() {
+    let $0: [i64; $1] = [7; $1];
+    let pick = input(0) as usize;
+    if pick < $1 {
+        print_int($0[pick]);
+    } else {
+        print_int(0 - 1);
+    }
+}
+)",
+                                       args);
+        oob_index.inputs = {{1}, {9}};
+        cases.push_back(std::move(oob_index));
+
+        // Shape 1: division by an input that can be zero.
+        UbCase div_zero;
+        div_zero.id = "panic/div_zero_" + std::to_string(v);
+        div_zero.category = miri::UbCategory::Panic;
+        div_zero.intended_strategy = FixStrategy::AssertionGuard;
+        div_zero.difficulty = 1;
+        div_zero.buggy_source = fill(R"(fn main() {
+    let total: i64 = 100;
+    let parts = input(0);
+    print_int(total / parts);
+}
+)",
+                                     args);
+        div_zero.reference_fix = fill(R"(fn main() {
+    let total: i64 = 100;
+    let parts = input(0);
+    if parts != 0 {
+        print_int(total / parts);
+    } else {
+        print_int(0 - 1);
+    }
+}
+)",
+                                      args);
+        div_zero.inputs = {{4}, {0}};
+        cases.push_back(std::move(div_zero));
+
+        // Shape 2: i32 accumulator overflows; fix widens to i64.
+        UbCase overflow;
+        overflow.id = "panic/overflow_" + std::to_string(v);
+        overflow.category = miri::UbCategory::Panic;
+        overflow.intended_strategy = FixStrategy::SafeAlternative;
+        overflow.difficulty = 2;
+        overflow.buggy_source = fill(R"(fn main() {
+    let base: i32 = 2147483000;
+    let extra = input(0) as i32;
+    print_int((base + extra) as i64);
+}
+)",
+                                     args);
+        overflow.reference_fix = fill(R"(fn main() {
+    let base: i64 = 2147483000;
+    let extra = input(0);
+    print_int(base + extra);
+}
+)",
+                                      args);
+        overflow.inputs = {{5}, {5000}};
+        cases.push_back(std::move(overflow));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// func.call
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_funccall_cases() {
+    std::vector<UbCase> cases;
+    const std::array<const char*, 3> kBogus = {"4096", "65536", "12288"};
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kFn[v], kBogus[v]};
+
+        // Shape 0: call through a constant bogus address.
+        UbCase bogus;
+        bogus.id = "func.call/bogus_address_" + std::to_string(v);
+        bogus.category = miri::UbCategory::FuncCall;
+        bogus.intended_strategy = FixStrategy::SemanticModification;
+        bogus.difficulty = 2;
+        bogus.buggy_source = fill(R"(fn $0() {
+    print_int(42);
+}
+fn main() {
+    unsafe {
+        let handler = $1 as fn();
+        handler();
+    }
+}
+)",
+                                  args);
+        bogus.reference_fix = fill(R"(fn $0() {
+    print_int(42);
+}
+fn main() {
+    $0();
+}
+)",
+                                   args);
+        bogus.inputs = {{}};
+        cases.push_back(std::move(bogus));
+
+        // Shape 1: address arithmetic corrupts a real function address.
+        UbCase corrupted;
+        corrupted.id = "func.call/corrupted_address_" + std::to_string(v);
+        corrupted.category = miri::UbCategory::FuncCall;
+        corrupted.intended_strategy = FixStrategy::SemanticModification;
+        corrupted.difficulty = 3;
+        corrupted.buggy_source = fill(R"(fn $0() {
+    print_int(7);
+}
+fn main() {
+    unsafe {
+        let addr = $0 as usize + 8;
+        let handler = addr as fn();
+        handler();
+    }
+}
+)",
+                                      args);
+        corrupted.reference_fix = fill(R"(fn $0() {
+    print_int(7);
+}
+fn main() {
+    unsafe {
+        let addr = $0 as usize;
+        let handler = addr as fn();
+        handler();
+    }
+}
+)",
+                                       args);
+        corrupted.inputs = {{}};
+        cases.push_back(std::move(corrupted));
+
+        // Shape 2: data pointer treated as code.
+        UbCase data_as_code;
+        data_as_code.id = "func.call/data_as_code_" + std::to_string(v);
+        data_as_code.category = miri::UbCategory::FuncCall;
+        data_as_code.intended_strategy = FixStrategy::SemanticModification;
+        data_as_code.difficulty = 2;
+        data_as_code.buggy_source = fill(R"(fn $0() {
+    print_int(9);
+}
+fn main() {
+    let slot = 1;
+    unsafe {
+        let addr = &slot as *const i32 as usize;
+        let handler = addr as fn();
+        handler();
+    }
+}
+)",
+                                         args);
+        data_as_code.reference_fix = fill(R"(fn $0() {
+    print_int(9);
+}
+fn main() {
+    let slot = 1;
+    $0();
+}
+)",
+                                          args);
+        data_as_code.inputs = {{}};
+        cases.push_back(std::move(data_as_code));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// func.pointer
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_funcpointer_cases() {
+    std::vector<UbCase> cases;
+    const std::array<const char*, 3> kMul = {"2", "3", "5"};
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kFn[v], kMul[v]};
+
+        // Shape 0: i64 function transmuted to an i32 signature.
+        UbCase narrow;
+        narrow.id = "func.pointer/narrowed_sig_" + std::to_string(v);
+        narrow.category = miri::UbCategory::FuncPointer;
+        narrow.intended_strategy = FixStrategy::SemanticModification;
+        narrow.difficulty = 2;
+        narrow.buggy_source = fill(R"(fn $0(x: i64) -> i64 {
+    return x * $1;
+}
+fn main() {
+    unsafe {
+        let addr = $0 as usize;
+        let f = addr as fn(i32) -> i32;
+        print_int(f(10) as i64);
+    }
+}
+)",
+                                   args);
+        narrow.reference_fix = fill(R"(fn $0(x: i64) -> i64 {
+    return x * $1;
+}
+fn main() {
+    unsafe {
+        let addr = $0 as usize;
+        let f = addr as fn(i64) -> i64;
+        print_int(f(10) as i64);
+    }
+}
+)",
+                                    args);
+        narrow.inputs = {{}};
+        cases.push_back(std::move(narrow));
+
+        // Shape 1: two-argument function called through a one-argument type.
+        UbCase arity;
+        arity.id = "func.pointer/wrong_arity_" + std::to_string(v);
+        arity.category = miri::UbCategory::FuncPointer;
+        arity.intended_strategy = FixStrategy::SemanticModification;
+        arity.difficulty = 3;
+        arity.buggy_source = fill(R"(fn $0(a: i64, b: i64) -> i64 {
+    return a * $1 + b;
+}
+fn main() {
+    unsafe {
+        let addr = $0 as usize;
+        let f = addr as fn(i64) -> i64;
+        print_int(f(10));
+    }
+}
+)",
+                                  args);
+        arity.reference_fix = fill(R"(fn $0(a: i64, b: i64) -> i64 {
+    return a * $1 + b;
+}
+fn main() {
+    unsafe {
+        let addr = $0 as usize;
+        let f = addr as fn(i64, i64) -> i64;
+        print_int(f(10, 0));
+    }
+}
+)",
+                                   args);
+        arity.inputs = {{}};
+        cases.push_back(std::move(arity));
+
+        // Shape 2: fn-pointer-to-fn-pointer signature transmute.
+        UbCase transmute;
+        transmute.id = "func.pointer/sig_transmute_" + std::to_string(v);
+        transmute.category = miri::UbCategory::FuncPointer;
+        transmute.intended_strategy = FixStrategy::SafeAlternative;
+        transmute.difficulty = 2;
+        transmute.buggy_source = fill(R"(fn $0(x: i64) -> i64 {
+    return x + $1;
+}
+fn main() {
+    let typed: fn(i64) -> i64 = $0;
+    unsafe {
+        let twisted = typed as fn(i32) -> i32;
+        print_int(twisted(1) as i64);
+    }
+}
+)",
+                                      args);
+        transmute.reference_fix = fill(R"(fn $0(x: i64) -> i64 {
+    return x + $1;
+}
+fn main() {
+    let typed: fn(i64) -> i64 = $0;
+    print_int(typed(1));
+}
+)",
+                                       args);
+        transmute.inputs = {{}};
+        cases.push_back(std::move(transmute));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// tail call
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_tailcall_cases() {
+    std::vector<UbCase> cases;
+    const std::array<const char*, 3> kAdd = {"1", "10", "100"};
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kFn[v], kAdd[v]};
+
+        // Shape 0: become through a zero-arg transmute of a one-arg fn.
+        UbCase wrong_sig;
+        wrong_sig.id = "tailcall/wrong_sig_" + std::to_string(v);
+        wrong_sig.category = miri::UbCategory::TailCall;
+        wrong_sig.intended_strategy = FixStrategy::SemanticModification;
+        wrong_sig.difficulty = 3;
+        wrong_sig.buggy_source = fill(R"(fn $0(x: i64) -> i64 {
+    return x + $1;
+}
+fn dispatch(n: i64) -> i64 {
+    unsafe {
+        let addr = $0 as usize;
+        let k = addr as fn() -> i64;
+        become k();
+    }
+}
+fn main() {
+    print_int(dispatch(5));
+}
+)",
+                                      args);
+        wrong_sig.reference_fix = fill(R"(fn $0(x: i64) -> i64 {
+    return x + $1;
+}
+fn dispatch(n: i64) -> i64 {
+    return $0(n);
+}
+fn main() {
+    print_int(dispatch(5));
+}
+)",
+                                       args);
+        wrong_sig.inputs = {{}};
+        cases.push_back(std::move(wrong_sig));
+
+        // Shape 1: become to a bogus address.
+        UbCase bogus;
+        bogus.id = "tailcall/bogus_target_" + std::to_string(v);
+        bogus.category = miri::UbCategory::TailCall;
+        bogus.intended_strategy = FixStrategy::SemanticModification;
+        bogus.difficulty = 2;
+        bogus.buggy_source = fill(R"(fn $0() -> i64 {
+    return $1;
+}
+fn trampoline() -> i64 {
+    unsafe {
+        let k = 4096 as fn() -> i64;
+        become k();
+    }
+}
+fn main() {
+    print_int(trampoline());
+}
+)",
+                                  args);
+        bogus.reference_fix = fill(R"(fn $0() -> i64 {
+    return $1;
+}
+fn trampoline() -> i64 {
+    return $0();
+}
+fn main() {
+    print_int(trampoline());
+}
+)",
+                                   args);
+        bogus.inputs = {{}};
+        cases.push_back(std::move(bogus));
+
+        // Shape 2: caller local escapes into the tail callee.
+        UbCase escape;
+        escape.id = "tailcall/local_escape_" + std::to_string(v);
+        escape.category = miri::UbCategory::TailCall;
+        escape.intended_strategy = FixStrategy::SemanticModification;
+        escape.difficulty = 3;
+        escape.buggy_source = fill(R"(fn read_slot(slot: *const i64) -> i64 {
+    unsafe {
+        return *slot;
+    }
+}
+fn trampoline() -> i64 {
+    let local: i64 = $1;
+    become read_slot(&local as *const i64);
+}
+fn main() {
+    print_int(trampoline());
+}
+)",
+                                   args);
+        escape.reference_fix = fill(R"(fn read_slot(slot: *const i64) -> i64 {
+    unsafe {
+        return *slot;
+    }
+}
+fn trampoline() -> i64 {
+    let local: i64 = $1;
+    return read_slot(&local as *const i64);
+}
+fn main() {
+    print_int(trampoline());
+}
+)",
+                                    args);
+        escape.inputs = {{}};
+        cases.push_back(std::move(escape));
+    }
+    return cases;
+}
+
+}  // namespace rustbrain::dataset

@@ -1,0 +1,512 @@
+// Corpus builders: alloc, dangling pointer, uninit, provenance.
+#include <array>
+
+#include "dataset/builders.hpp"
+
+namespace rustbrain::dataset {
+
+namespace detail {
+std::string fill(std::string templ, const std::vector<std::string>& args) {
+    std::string out;
+    out.reserve(templ.size());
+    for (std::size_t i = 0; i < templ.size(); ++i) {
+        if (templ[i] == '$' && i + 1 < templ.size() && templ[i + 1] >= '0' &&
+            templ[i + 1] <= '9') {
+            const std::size_t index = static_cast<std::size_t>(templ[i + 1] - '0');
+            if (index < args.size()) {
+                out += args[index];
+                ++i;
+                continue;
+            }
+        }
+        out += templ[i];
+    }
+    return out;
+}
+}  // namespace detail
+
+using detail::fill;
+
+namespace {
+// Identifier pools indexed by variant.
+const std::array<const char*, 3> kPtr = {"p", "buf", "mem"};
+const std::array<const char*, 3> kVal = {"x", "value", "data"};
+const std::array<const char*, 3> kSize = {"8", "16", "24"};
+const std::array<const char*, 3> kConst = {"41", "123", "977"};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// alloc
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_alloc_cases() {
+    std::vector<UbCase> cases;
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kPtr[v], kSize[v], kConst[v]};
+        // Shape 0: double free.
+        UbCase double_free;
+        double_free.id = "alloc/double_free_" + std::to_string(v);
+        double_free.category = miri::UbCategory::Alloc;
+        double_free.intended_strategy = FixStrategy::SemanticModification;
+        double_free.difficulty = 1;
+        double_free.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($1, 8);
+        let slot = $0 as *mut i64;
+        *slot = $2;
+        print_int(*slot);
+        dealloc($0, $1, 8);
+        dealloc($0, $1, 8);
+    }
+}
+)",
+                                        args);
+        double_free.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($1, 8);
+        let slot = $0 as *mut i64;
+        *slot = $2;
+        print_int(*slot);
+        dealloc($0, $1, 8);
+    }
+}
+)",
+                                         args);
+        double_free.inputs = {{}};
+        cases.push_back(std::move(double_free));
+
+        // Shape 1: dealloc with the wrong layout.
+        UbCase wrong_layout;
+        wrong_layout.id = "alloc/wrong_layout_" + std::to_string(v);
+        wrong_layout.category = miri::UbCategory::Alloc;
+        wrong_layout.intended_strategy = FixStrategy::SemanticModification;
+        wrong_layout.difficulty = 1;
+        wrong_layout.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($1, 8);
+        let slot = $0 as *mut i64;
+        *slot = $2;
+        print_int(*slot);
+        dealloc($0, 4, 8);
+    }
+}
+)",
+                                         args);
+        wrong_layout.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($1, 8);
+        let slot = $0 as *mut i64;
+        *slot = $2;
+        print_int(*slot);
+        dealloc($0, $1, 8);
+    }
+}
+)",
+                                          args);
+        wrong_layout.inputs = {{}};
+        cases.push_back(std::move(wrong_layout));
+
+        // Shape 2: leak (missing dealloc).
+        UbCase leak;
+        leak.id = "alloc/leak_" + std::to_string(v);
+        leak.category = miri::UbCategory::Alloc;
+        leak.intended_strategy = FixStrategy::SemanticModification;
+        leak.difficulty = 2;
+        leak.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($1, 8);
+        let slot = $0 as *mut i64;
+        *slot = input(0) + $2;
+        print_int(*slot);
+    }
+}
+)",
+                                 args);
+        leak.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($1, 8);
+        let slot = $0 as *mut i64;
+        *slot = input(0) + $2;
+        print_int(*slot);
+        dealloc($0, $1, 8);
+    }
+}
+)",
+                                  args);
+        leak.inputs = {{1}, {50}};
+        cases.push_back(std::move(leak));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// dangling pointer
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_dangling_cases() {
+    std::vector<UbCase> cases;
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kPtr[v], kSize[v], kConst[v], kVal[v]};
+
+        // Shape 0: heap use-after-free — dealloc before the last read.
+        UbCase uaf;
+        uaf.id = "danglingpointer/use_after_free_" + std::to_string(v);
+        uaf.category = miri::UbCategory::DanglingPointer;
+        uaf.intended_strategy = FixStrategy::SemanticModification;
+        uaf.difficulty = 1;
+        uaf.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($1, 8);
+        let slot = $0 as *mut i64;
+        *slot = $2;
+        dealloc($0, $1, 8);
+        print_int(*slot);
+    }
+}
+)",
+                                args);
+        uaf.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($1, 8);
+        let slot = $0 as *mut i64;
+        *slot = $2;
+        print_int(*slot);
+        dealloc($0, $1, 8);
+    }
+}
+)",
+                                 args);
+        uaf.inputs = {{}};
+        cases.push_back(std::move(uaf));
+
+        // Shape 1: pointer to a local escaping its scope.
+        UbCase escape;
+        escape.id = "danglingpointer/scope_escape_" + std::to_string(v);
+        escape.category = miri::UbCategory::DanglingPointer;
+        escape.intended_strategy = FixStrategy::SemanticModification;
+        escape.difficulty = 2;
+        escape.buggy_source = fill(R"(fn main() {
+    let mut $0 = 0 as *const i32;
+    {
+        let $3 = $2;
+        $0 = &$3 as *const i32;
+    }
+    unsafe {
+        print_int(*$0 as i64);
+    }
+}
+)",
+                                   args);
+        escape.reference_fix = fill(R"(fn main() {
+    let $3 = $2;
+    let mut $0 = 0 as *const i32;
+    {
+        $0 = &$3 as *const i32;
+    }
+    unsafe {
+        print_int(*$0 as i64);
+    }
+}
+)",
+                                    args);
+        escape.inputs = {{}};
+        cases.push_back(std::move(escape));
+
+        // Shape 2: conditional null dereference (null unless input selects).
+        UbCase null_deref;
+        null_deref.id = "danglingpointer/null_deref_" + std::to_string(v);
+        null_deref.category = miri::UbCategory::DanglingPointer;
+        null_deref.intended_strategy = FixStrategy::AssertionGuard;
+        null_deref.difficulty = 2;
+        null_deref.buggy_source = fill(R"(fn main() {
+    let $3 = $2;
+    let mut $0 = 0 as *const i32;
+    if input(0) > 0 {
+        $0 = &$3 as *const i32;
+    }
+    unsafe {
+        print_int(*$0 as i64);
+    }
+}
+)",
+                                       args);
+        null_deref.reference_fix = fill(R"(fn main() {
+    let $3 = $2;
+    let mut $0 = 0 as *const i32;
+    if input(0) > 0 {
+        $0 = &$3 as *const i32;
+    }
+    if $0 as usize != 0 {
+        unsafe {
+            print_int(*$0 as i64);
+        }
+    } else {
+        print_int(0 - 1);
+    }
+}
+)",
+                                        args);
+        null_deref.inputs = {{0}, {1}};
+        cases.push_back(std::move(null_deref));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// uninit
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_uninit_cases() {
+    std::vector<UbCase> cases;
+    const std::array<const char*, 3> counts = {"4", "6", "8"};
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kPtr[v], kSize[v], kConst[v],
+                                               counts[v]};
+
+        // Shape 0: read of freshly allocated memory.
+        UbCase fresh;
+        fresh.id = "uninit/fresh_read_" + std::to_string(v);
+        fresh.category = miri::UbCategory::Uninit;
+        fresh.intended_strategy = FixStrategy::SemanticModification;
+        fresh.difficulty = 1;
+        fresh.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc(8, 8);
+        let slot = $0 as *mut i64;
+        print_int(*slot + $2);
+        dealloc($0, 8, 8);
+    }
+}
+)",
+                                  args);
+        fresh.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc(8, 8);
+        let slot = $0 as *mut i64;
+        *slot = 0;
+        print_int(*slot + $2);
+        dealloc($0, 8, 8);
+    }
+}
+)",
+                                   args);
+        fresh.inputs = {{}};
+        cases.push_back(std::move(fresh));
+
+        // Shape 1: partial initialization — loop bound is off by one.
+        UbCase partial;
+        partial.id = "uninit/partial_init_" + std::to_string(v);
+        partial.category = miri::UbCategory::Uninit;
+        partial.intended_strategy = FixStrategy::SemanticModification;
+        partial.difficulty = 2;
+        partial.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($3 * 8, 8);
+        let base = $0 as *mut i64;
+        let mut i: i64 = 0;
+        while i < $3 - 1 {
+            *offset(base, i as isize) = i * 2;
+            i = i + 1;
+        }
+        let mut total: i64 = 0;
+        i = 0;
+        while i < $3 {
+            total = total + *offset(base, i as isize);
+            i = i + 1;
+        }
+        print_int(total);
+        dealloc($0, $3 * 8, 8);
+    }
+}
+)",
+                                    args);
+        partial.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($3 * 8, 8);
+        let base = $0 as *mut i64;
+        let mut i: i64 = 0;
+        while i < $3 {
+            *offset(base, i as isize) = i * 2;
+            i = i + 1;
+        }
+        let mut total: i64 = 0;
+        i = 0;
+        while i < $3 {
+            total = total + *offset(base, i as isize);
+            i = i + 1;
+        }
+        print_int(total);
+        dealloc($0, $3 * 8, 8);
+    }
+}
+)",
+                                     args);
+        partial.inputs = {{}};
+        cases.push_back(std::move(partial));
+
+        // Shape 2: conditional initialization with a missing else branch.
+        UbCase conditional;
+        conditional.id = "uninit/conditional_init_" + std::to_string(v);
+        conditional.category = miri::UbCategory::Uninit;
+        conditional.intended_strategy = FixStrategy::SemanticModification;
+        conditional.difficulty = 2;
+        conditional.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc(8, 8);
+        let slot = $0 as *mut i64;
+        if input(0) > 0 {
+            *slot = input(0) * $2;
+        }
+        print_int(*slot);
+        dealloc($0, 8, 8);
+    }
+}
+)",
+                                        args);
+        conditional.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc(8, 8);
+        let slot = $0 as *mut i64;
+        if input(0) > 0 {
+            *slot = input(0) * $2;
+        } else {
+            *slot = 0;
+        }
+        print_int(*slot);
+        dealloc($0, 8, 8);
+    }
+}
+)",
+                                         args);
+        conditional.inputs = {{0}, {3}};
+        cases.push_back(std::move(conditional));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// provenance
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_provenance_cases() {
+    std::vector<UbCase> cases;
+    const std::array<const char*, 3> lens = {"4", "5", "6"};
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kPtr[v], kVal[v], kConst[v], lens[v]};
+
+        // Shape 0: int-to-pointer round trip loses provenance.
+        UbCase roundtrip;
+        roundtrip.id = "provenance/int_roundtrip_" + std::to_string(v);
+        roundtrip.category = miri::UbCategory::Provenance;
+        roundtrip.intended_strategy = FixStrategy::SafeAlternative;
+        roundtrip.difficulty = 2;
+        roundtrip.buggy_source = fill(R"(fn main() {
+    let $1 = $2;
+    let addr = &$1 as *const i32 as usize;
+    let $0 = addr as *const i32;
+    unsafe {
+        print_int(*$0 as i64);
+    }
+}
+)",
+                                      args);
+        roundtrip.reference_fix = fill(R"(fn main() {
+    let $1 = $2;
+    let $0 = &$1 as *const i32;
+    unsafe {
+        print_int(*$0 as i64);
+    }
+}
+)",
+                                       args);
+        roundtrip.inputs = {{}};
+        cases.push_back(std::move(roundtrip));
+
+        // Shape 1: off-by-one pointer arithmetic walks past the end.
+        UbCase overrun;
+        overrun.id = "provenance/loop_overrun_" + std::to_string(v);
+        overrun.category = miri::UbCategory::Provenance;
+        overrun.intended_strategy = FixStrategy::SemanticModification;
+        overrun.difficulty = 1;
+        overrun.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($3 * 8, 8);
+        let base = $0 as *mut i64;
+        let mut i: i64 = 0;
+        while i <= $3 {
+            *offset(base, i as isize) = i;
+            i = i + 1;
+        }
+        print_int(*offset(base, 1));
+        dealloc($0, $3 * 8, 8);
+    }
+}
+)",
+                                    args);
+        overrun.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($3 * 8, 8);
+        let base = $0 as *mut i64;
+        let mut i: i64 = 0;
+        while i < $3 {
+            *offset(base, i as isize) = i;
+            i = i + 1;
+        }
+        print_int(*offset(base, 1));
+        dealloc($0, $3 * 8, 8);
+    }
+}
+)",
+                                     args);
+        overrun.inputs = {{}};
+        cases.push_back(std::move(overrun));
+
+        // Shape 2: input-controlled offset can exceed the allocation.
+        UbCase wild_offset;
+        wild_offset.id = "provenance/wild_offset_" + std::to_string(v);
+        wild_offset.category = miri::UbCategory::Provenance;
+        wild_offset.intended_strategy = FixStrategy::AssertionGuard;
+        wild_offset.difficulty = 2;
+        wild_offset.buggy_source = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($3 * 8, 8);
+        let base = $0 as *mut i64;
+        let mut i: i64 = 0;
+        while i < $3 {
+            *offset(base, i as isize) = i * 10;
+            i = i + 1;
+        }
+        let pick = input(0);
+        print_int(*offset(base, pick as isize));
+        dealloc($0, $3 * 8, 8);
+    }
+}
+)",
+                                        args);
+        wild_offset.reference_fix = fill(R"(fn main() {
+    unsafe {
+        let $0 = alloc($3 * 8, 8);
+        let base = $0 as *mut i64;
+        let mut i: i64 = 0;
+        while i < $3 {
+            *offset(base, i as isize) = i * 10;
+            i = i + 1;
+        }
+        let pick = input(0);
+        if pick >= 0 && pick < $3 {
+            print_int(*offset(base, pick as isize));
+        } else {
+            print_int(0 - 1);
+        }
+        dealloc($0, $3 * 8, 8);
+    }
+}
+)",
+                                         args);
+        wild_offset.inputs = {{2}, {100}};
+        cases.push_back(std::move(wild_offset));
+    }
+    return cases;
+}
+
+}  // namespace rustbrain::dataset

@@ -1,0 +1,273 @@
+// Corpus builders: data race, concurrency.
+#include <array>
+
+#include "dataset/builders.hpp"
+
+namespace rustbrain::dataset {
+
+using detail::fill;
+
+namespace {
+const std::array<const char*, 3> kGlobal = {"COUNTER", "TOTAL", "HITS"};
+const std::array<const char*, 3> kWorker = {"worker", "tally", "bump"};
+const std::array<const char*, 3> kStep = {"1", "5", "9"};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// data race
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_datarace_cases() {
+    std::vector<UbCase> cases;
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kGlobal[v], kWorker[v], kStep[v]};
+
+        // Shape 0: two workers increment a static mut without sync.
+        UbCase counter;
+        counter.id = "datarace/counter_" + std::to_string(v);
+        counter.category = miri::UbCategory::DataRace;
+        counter.intended_strategy = FixStrategy::SafeAlternative;
+        counter.difficulty = 2;
+        counter.buggy_source = fill(R"(static mut $0: i64 = 0;
+fn $1() {
+    unsafe {
+        $0 = $0 + $2;
+    }
+}
+fn main() {
+    let first = spawn($1);
+    let second = spawn($1);
+    join(first);
+    join(second);
+    unsafe {
+        print_int($0);
+    }
+}
+)",
+                                    args);
+        counter.reference_fix = fill(R"(static mut $0: i64 = 0;
+fn $1() {
+    unsafe {
+        let cell = &mut $0 as *mut i64;
+        let old = atomic_fetch_add(cell, $2);
+    }
+}
+fn main() {
+    let first = spawn($1);
+    let second = spawn($1);
+    join(first);
+    join(second);
+    unsafe {
+        let cell = &mut $0 as *mut i64;
+        print_int(atomic_load(cell as *const i64));
+    }
+}
+)",
+                                     args);
+        counter.inputs = {{}};
+        cases.push_back(std::move(counter));
+
+        // Shape 1: writer/reader pair on a shared flag.
+        UbCase flag;
+        flag.id = "datarace/flag_" + std::to_string(v);
+        flag.category = miri::UbCategory::DataRace;
+        flag.intended_strategy = FixStrategy::SafeAlternative;
+        flag.difficulty = 2;
+        flag.buggy_source = fill(R"(static mut $0: i64 = 0;
+fn set_flag() {
+    unsafe {
+        $0 = $2;
+    }
+}
+fn read_flag() {
+    unsafe {
+        print_int($0);
+    }
+}
+fn main() {
+    let writer = spawn(set_flag);
+    let reader = spawn(read_flag);
+    join(writer);
+    join(reader);
+}
+)",
+                                 args);
+        flag.reference_fix = fill(R"(static mut $0: i64 = 0;
+fn set_flag() {
+    unsafe {
+        let cell = &mut $0 as *mut i64;
+        atomic_store(cell, $2);
+    }
+}
+fn read_flag() {
+    unsafe {
+        let cell = &mut $0 as *mut i64;
+        print_int(atomic_load(cell as *const i64));
+    }
+}
+fn main() {
+    let writer = spawn(set_flag);
+    let reader = spawn(read_flag);
+    join(writer);
+    join(reader);
+}
+)",
+                                  args);
+        flag.inputs = {{}};
+        cases.push_back(std::move(flag));
+
+        // Shape 2: main races with a still-running worker it joins too late.
+        UbCase late_join;
+        late_join.id = "datarace/late_join_" + std::to_string(v);
+        late_join.category = miri::UbCategory::DataRace;
+        late_join.intended_strategy = FixStrategy::SemanticModification;
+        late_join.difficulty = 3;
+        late_join.buggy_source = fill(R"(static mut $0: i64 = 0;
+fn $1() {
+    unsafe {
+        $0 = $0 + $2;
+    }
+}
+fn main() {
+    let handle = spawn($1);
+    unsafe {
+        $0 = $0 + 1;
+    }
+    join(handle);
+    unsafe {
+        print_int($0);
+    }
+}
+)",
+                                      args);
+        late_join.reference_fix = fill(R"(static mut $0: i64 = 0;
+fn $1() {
+    unsafe {
+        $0 = $0 + $2;
+    }
+}
+fn main() {
+    let handle = spawn($1);
+    join(handle);
+    unsafe {
+        $0 = $0 + 1;
+    }
+    unsafe {
+        print_int($0);
+    }
+}
+)",
+                                       args);
+        late_join.inputs = {{}};
+        cases.push_back(std::move(late_join));
+    }
+    return cases;
+}
+
+// ---------------------------------------------------------------------------
+// concurrency
+// ---------------------------------------------------------------------------
+
+std::vector<UbCase> make_concurrency_cases() {
+    std::vector<UbCase> cases;
+    for (int v = 0; v < kVariantsPerShape; ++v) {
+        const std::vector<std::string> args = {kGlobal[v], kWorker[v], kStep[v]};
+
+        // Shape 0: spawned thread never joined.
+        UbCase leak;
+        leak.id = "concurrency/thread_leak_" + std::to_string(v);
+        leak.category = miri::UbCategory::Concurrency;
+        leak.intended_strategy = FixStrategy::SemanticModification;
+        leak.difficulty = 1;
+        leak.buggy_source = fill(R"(fn $1() {
+    print_int($2);
+}
+fn main() {
+    let handle = spawn($1);
+    print_int(0);
+}
+)",
+                                 args);
+        leak.reference_fix = fill(R"(fn $1() {
+    print_int($2);
+}
+fn main() {
+    let handle = spawn($1);
+    join(handle);
+    print_int(0);
+}
+)",
+                                  args);
+        leak.inputs = {{}};
+        cases.push_back(std::move(leak));
+
+        // Shape 1: joining the same handle twice.
+        UbCase double_join;
+        double_join.id = "concurrency/double_join_" + std::to_string(v);
+        double_join.category = miri::UbCategory::Concurrency;
+        double_join.intended_strategy = FixStrategy::SemanticModification;
+        double_join.difficulty = 1;
+        double_join.buggy_source = fill(R"(fn $1() {
+    print_int($2);
+}
+fn main() {
+    let handle = spawn($1);
+    join(handle);
+    join(handle);
+}
+)",
+                                        args);
+        double_join.reference_fix = fill(R"(fn $1() {
+    print_int($2);
+}
+fn main() {
+    let handle = spawn($1);
+    join(handle);
+}
+)",
+                                         args);
+        double_join.inputs = {{}};
+        cases.push_back(std::move(double_join));
+
+        // Shape 2: re-locking a held mutex (should have unlocked).
+        UbCase relock;
+        relock.id = "concurrency/relock_" + std::to_string(v);
+        relock.category = miri::UbCategory::Concurrency;
+        relock.intended_strategy = FixStrategy::SemanticModification;
+        relock.difficulty = 2;
+        relock.buggy_source = fill(R"(static mut LOCK: i64 = 0;
+static mut $0: i64 = 0;
+fn main() {
+    unsafe {
+        LOCK = mutex_new();
+        mutex_lock(LOCK);
+        $0 = $0 + $2;
+        mutex_lock(LOCK);
+        print_int($0);
+        mutex_unlock(LOCK);
+    }
+}
+)",
+                                   args);
+        relock.reference_fix = fill(R"(static mut LOCK: i64 = 0;
+static mut $0: i64 = 0;
+fn main() {
+    unsafe {
+        LOCK = mutex_new();
+        mutex_lock(LOCK);
+        $0 = $0 + $2;
+        mutex_unlock(LOCK);
+        mutex_lock(LOCK);
+        print_int($0);
+        mutex_unlock(LOCK);
+    }
+}
+)",
+                                    args);
+        relock.inputs = {{}};
+        cases.push_back(std::move(relock));
+    }
+    return cases;
+}
+
+}  // namespace rustbrain::dataset

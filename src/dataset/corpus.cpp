@@ -1,0 +1,99 @@
+#include "dataset/corpus.hpp"
+
+#include <set>
+
+#include "dataset/builders.hpp"
+#include "miri/mirilite.hpp"
+
+namespace rustbrain::dataset {
+
+const char* fix_strategy_name(FixStrategy strategy) {
+    switch (strategy) {
+        case FixStrategy::SafeAlternative: return "safe-alternative";
+        case FixStrategy::AssertionGuard: return "assertion-guard";
+        case FixStrategy::SemanticModification: return "semantic-modification";
+    }
+    return "?";
+}
+
+Corpus Corpus::standard() {
+    Corpus corpus;
+    auto append = [&](std::vector<UbCase> cases) {
+        for (auto& c : cases) {
+            corpus.cases_.push_back(std::move(c));
+        }
+    };
+    append(make_alloc_cases());
+    append(make_dangling_cases());
+    append(make_panic_cases());
+    append(make_provenance_cases());
+    append(make_uninit_cases());
+    append(make_bothborrow_cases());
+    append(make_datarace_cases());
+    append(make_funccall_cases());
+    append(make_funcpointer_cases());
+    append(make_stackborrow_cases());
+    append(make_validity_cases());
+    append(make_unaligned_cases());
+    append(make_concurrency_cases());
+    append(make_tailcall_cases());
+    return corpus;
+}
+
+std::vector<const UbCase*> Corpus::by_category(miri::UbCategory category) const {
+    std::vector<const UbCase*> out;
+    for (const auto& c : cases_) {
+        if (c.category == category) out.push_back(&c);
+    }
+    return out;
+}
+
+const UbCase* Corpus::find(const std::string& id) const {
+    for (const auto& c : cases_) {
+        if (c.id == id) return &c;
+    }
+    return nullptr;
+}
+
+std::vector<miri::UbCategory> Corpus::categories() const {
+    std::vector<miri::UbCategory> out;
+    std::set<miri::UbCategory> seen;
+    for (miri::UbCategory category : miri::all_ub_categories()) {
+        for (const auto& c : cases_) {
+            if (c.category == category && seen.insert(category).second) {
+                out.push_back(category);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<CaseValidation> validate_corpus(const Corpus& corpus) {
+    std::vector<CaseValidation> results;
+    miri::MiriLite miri;
+    for (const UbCase& c : corpus.cases()) {
+        CaseValidation validation;
+        validation.id = c.id;
+
+        const miri::MiriReport buggy = miri.test_source(c.buggy_source, c.inputs);
+        validation.buggy_fails = !buggy.passed();
+        validation.category_matches = buggy.has_category(c.category);
+        if (!validation.buggy_fails) {
+            validation.detail = "buggy program passed MiriLite";
+        } else if (!validation.category_matches) {
+            validation.detail = "expected category " +
+                                std::string(miri::ub_category_label(c.category)) +
+                                " but findings were:\n" + buggy.summary();
+        }
+
+        const miri::MiriReport fixed = miri.test_source(c.reference_fix, c.inputs);
+        validation.reference_passes = fixed.passed();
+        if (!validation.reference_passes) {
+            validation.detail += "\nreference fix failed:\n" + fixed.summary();
+        }
+        results.push_back(std::move(validation));
+    }
+    return results;
+}
+
+}  // namespace rustbrain::dataset

@@ -1,0 +1,49 @@
+// The full UB corpus: every category builder assembled, with lookup helpers
+// and a validation routine used by the integration tests (every buggy case
+// must fail MiriLite with its declared category; every reference fix must
+// pass and defines the expected output traces).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/case.hpp"
+
+namespace rustbrain::dataset {
+
+class Corpus {
+  public:
+    /// The standard corpus (deterministic — no RNG involved).
+    static Corpus standard();
+
+    [[nodiscard]] const std::vector<UbCase>& cases() const { return cases_; }
+    [[nodiscard]] std::vector<const UbCase*> by_category(
+        miri::UbCategory category) const;
+    [[nodiscard]] const UbCase* find(const std::string& id) const;
+    [[nodiscard]] std::size_t size() const { return cases_.size(); }
+
+    /// Categories that actually appear in the corpus, in figure order.
+    [[nodiscard]] std::vector<miri::UbCategory> categories() const;
+
+  private:
+    std::vector<UbCase> cases_;
+};
+
+/// Validation outcome for one case.
+struct CaseValidation {
+    std::string id;
+    bool buggy_fails = false;
+    bool category_matches = false;
+    bool reference_passes = false;
+    std::string detail;
+
+    [[nodiscard]] bool ok() const {
+        return buggy_fails && category_matches && reference_passes;
+    }
+};
+
+/// Run MiriLite over every case; the integration tests assert all ok().
+std::vector<CaseValidation> validate_corpus(const Corpus& corpus);
+
+}  // namespace rustbrain::dataset

@@ -1,0 +1,48 @@
+#include "dataset/semantic.hpp"
+
+#include "lang/printer.hpp"
+#include "miri/mirilite.hpp"
+
+namespace rustbrain::dataset {
+
+SemanticVerdict judge_semantics(const std::string& candidate_source,
+                                const UbCase& ub_case) {
+    SemanticVerdict verdict;
+    miri::MiriLite miri;
+
+    const miri::MiriReport candidate_report =
+        miri.test_source(candidate_source, ub_case.inputs);
+    verdict.miri_pass = candidate_report.passed();
+    if (!verdict.miri_pass) {
+        verdict.detail = "candidate fails MiriLite:\n" + candidate_report.summary();
+        return verdict;
+    }
+
+    const miri::MiriReport reference_report =
+        miri.test_source(ub_case.reference_fix, ub_case.inputs);
+    if (!reference_report.passed()) {
+        verdict.detail = "reference fix itself fails MiriLite (corpus bug)";
+        return verdict;
+    }
+
+    if (candidate_report.outputs.size() != reference_report.outputs.size()) {
+        verdict.detail = "run count mismatch";
+        return verdict;
+    }
+    for (std::size_t i = 0; i < candidate_report.outputs.size(); ++i) {
+        if (candidate_report.outputs[i] != reference_report.outputs[i]) {
+            verdict.detail = "output trace diverges from the reference on input #" +
+                             std::to_string(i);
+            return verdict;
+        }
+    }
+    verdict.trace_match = true;
+    return verdict;
+}
+
+SemanticVerdict judge_semantics(const lang::Program& candidate,
+                                const UbCase& ub_case) {
+    return judge_semantics(lang::print_program(candidate), ub_case);
+}
+
+}  // namespace rustbrain::dataset

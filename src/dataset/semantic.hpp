@@ -1,0 +1,32 @@
+// Semantic acceptability — the paper's "exec" metric.
+//
+// A repaired program is semantically acceptable when it passes MiriLite AND
+// its observable output matches the developer reference fix on every input
+// vector of the case's benchmark (Scope, §II-A: "this paper validates
+// semantics using test benchmarks composed of developer-repaired code").
+#pragma once
+
+#include <string>
+
+#include "dataset/case.hpp"
+#include "lang/ast.hpp"
+
+namespace rustbrain::dataset {
+
+struct SemanticVerdict {
+    bool miri_pass = false;     // accuracy: passes MiriLite
+    bool trace_match = false;   // outputs equal the reference on all inputs
+    std::string detail;
+
+    [[nodiscard]] bool acceptable() const { return miri_pass && trace_match; }
+};
+
+/// Judge a candidate repair (as source text) against the case's reference.
+SemanticVerdict judge_semantics(const std::string& candidate_source,
+                                const UbCase& ub_case);
+
+/// Same, for an already-parsed program.
+SemanticVerdict judge_semantics(const lang::Program& candidate,
+                                const UbCase& ub_case);
+
+}  // namespace rustbrain::dataset

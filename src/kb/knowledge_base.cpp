@@ -1,0 +1,35 @@
+#include "kb/knowledge_base.hpp"
+
+#include <algorithm>
+
+namespace rustbrain::kb {
+
+void KnowledgeBase::add(KbEntry entry) { entries_.push_back(std::move(entry)); }
+
+std::vector<KbHit> KnowledgeBase::query(const analysis::AstVector& probe,
+                                        std::size_t k, double min_similarity,
+                                        const std::string& exclude_hint,
+                                        std::optional<miri::UbCategory> category)
+    const {
+    ++queries_;
+    std::vector<KbHit> hits;
+    for (const KbEntry& entry : entries_) {
+        if (!exclude_hint.empty() && entry.source_hint == exclude_hint) continue;
+        if (category.has_value() && entry.category != *category) continue;
+        const double similarity = analysis::cosine_similarity(probe, entry.vector);
+        if (similarity >= min_similarity) {
+            hits.push_back({&entry, similarity});
+        }
+    }
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const KbHit& a, const KbHit& b) {
+                         return a.similarity > b.similarity;
+                     });
+    if (hits.size() > k) {
+        hits.resize(k);
+    }
+    hits_ += hits.size();
+    return hits;
+}
+
+}  // namespace rustbrain::kb

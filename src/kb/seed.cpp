@@ -1,0 +1,58 @@
+#include "kb/seed.hpp"
+
+#include "analysis/prune.hpp"
+#include "dataset/semantic.hpp"
+#include "lang/parser.hpp"
+#include "llm/rules.hpp"
+#include "miri/mirilite.hpp"
+
+namespace rustbrain::kb {
+
+lang::Program prune_or_whole(const lang::Program& program) {
+    analysis::PruneStats stats;
+    lang::Program pruned = analysis::prune_ast(program, &stats);
+    // Programs with little or no unsafe code (panics, thread bugs) prune to
+    // near-empty skeletons that all look alike; fall back to the full AST so
+    // the vector still carries the program's structure.
+    if (stats.pruned_nodes < 10 || stats.retained_fraction() < 0.15) {
+        return program.clone();
+    }
+    return pruned;
+}
+
+SeedStats seed_from_corpus(const dataset::Corpus& corpus, KnowledgeBase& kb) {
+    SeedStats stats;
+    miri::MiriLite miri;
+    for (const dataset::UbCase& ub_case : corpus.cases()) {
+        ++stats.cases_processed;
+        auto program = lang::try_parse(ub_case.buggy_source);
+        if (!program) continue;
+        const miri::MiriReport report =
+            miri.test(*program, ub_case.inputs);
+        if (report.findings.empty()) continue;
+        const miri::Finding& finding = report.findings.front();
+
+        KbEntry entry;
+        entry.source_hint = ub_case.id;
+        entry.category = ub_case.category;
+        entry.vector = analysis::vectorize(prune_or_whole(*program));
+
+        for (const llm::RepairRule* rule :
+             llm::rules_for_category(ub_case.category)) {
+            const auto patched = rule->apply(*program, finding);
+            if (!patched) continue;
+            const auto verdict = dataset::judge_semantics(*patched, ub_case);
+            if (verdict.acceptable()) {
+                entry.rule_ids.push_back(rule->id);
+                ++stats.rules_verified;
+            }
+        }
+        if (!entry.rule_ids.empty()) {
+            kb.add(std::move(entry));
+            ++stats.entries_added;
+        }
+    }
+    return stats;
+}
+
+}  // namespace rustbrain::kb

@@ -1,0 +1,29 @@
+// Knowledge-base construction from previously-solved problems.
+//
+// For each corpus case, every affinity rule is replayed: rules whose patch
+// passes MiriLite *and* matches the developer reference semantics become the
+// entry's verified fixes. The entry's vector is the Algorithm-1-pruned AST
+// of the buggy program — matching how queries are formed at repair time.
+#pragma once
+
+#include "dataset/corpus.hpp"
+#include "kb/knowledge_base.hpp"
+
+namespace rustbrain::kb {
+
+struct SeedStats {
+    std::size_t cases_processed = 0;
+    std::size_t entries_added = 0;
+    std::size_t rules_verified = 0;
+};
+
+/// Build a KB from the corpus. Cases with no verified rule contribute no
+/// entry (the KB only stores knowledge that actually worked).
+SeedStats seed_from_corpus(const dataset::Corpus& corpus, KnowledgeBase& kb);
+
+/// Algorithm-1 pruning with a degenerate-case fallback: when pruning keeps
+/// almost nothing (programs whose bug involves no unsafe code), vectorize
+/// the whole program instead. Shared by KB seeding and query formation.
+lang::Program prune_or_whole(const lang::Program& program);
+
+}  // namespace rustbrain::kb

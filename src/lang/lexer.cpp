@@ -1,0 +1,294 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace rustbrain::lang {
+
+const char* token_kind_name(TokenKind kind) {
+    switch (kind) {
+        case TokenKind::Identifier: return "identifier";
+        case TokenKind::IntLiteral: return "integer literal";
+        case TokenKind::KwFn: return "'fn'";
+        case TokenKind::KwLet: return "'let'";
+        case TokenKind::KwMut: return "'mut'";
+        case TokenKind::KwIf: return "'if'";
+        case TokenKind::KwElse: return "'else'";
+        case TokenKind::KwWhile: return "'while'";
+        case TokenKind::KwReturn: return "'return'";
+        case TokenKind::KwUnsafe: return "'unsafe'";
+        case TokenKind::KwStatic: return "'static'";
+        case TokenKind::KwAs: return "'as'";
+        case TokenKind::KwTrue: return "'true'";
+        case TokenKind::KwFalse: return "'false'";
+        case TokenKind::KwConst: return "'const'";
+        case TokenKind::KwBecome: return "'become'";
+        case TokenKind::LParen: return "'('";
+        case TokenKind::RParen: return "')'";
+        case TokenKind::LBrace: return "'{'";
+        case TokenKind::RBrace: return "'}'";
+        case TokenKind::LBracket: return "'['";
+        case TokenKind::RBracket: return "']'";
+        case TokenKind::Comma: return "','";
+        case TokenKind::Semicolon: return "';'";
+        case TokenKind::Colon: return "':'";
+        case TokenKind::Arrow: return "'->'";
+        case TokenKind::Eq: return "'='";
+        case TokenKind::EqEq: return "'=='";
+        case TokenKind::NotEq: return "'!='";
+        case TokenKind::Lt: return "'<'";
+        case TokenKind::Gt: return "'>'";
+        case TokenKind::Le: return "'<='";
+        case TokenKind::Ge: return "'>='";
+        case TokenKind::Plus: return "'+'";
+        case TokenKind::Minus: return "'-'";
+        case TokenKind::Star: return "'*'";
+        case TokenKind::Slash: return "'/'";
+        case TokenKind::Percent: return "'%'";
+        case TokenKind::Amp: return "'&'";
+        case TokenKind::AmpAmp: return "'&&'";
+        case TokenKind::Pipe: return "'|'";
+        case TokenKind::PipePipe: return "'||'";
+        case TokenKind::Caret: return "'^'";
+        case TokenKind::Shl: return "'<<'";
+        case TokenKind::Shr: return "'>>'";
+        case TokenKind::Bang: return "'!'";
+        case TokenKind::EndOfFile: return "end of file";
+        case TokenKind::Invalid: return "invalid token";
+    }
+    return "unknown";
+}
+
+namespace {
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+    static const std::unordered_map<std::string_view, TokenKind> table = {
+        {"fn", TokenKind::KwFn},         {"let", TokenKind::KwLet},
+        {"mut", TokenKind::KwMut},       {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+        {"return", TokenKind::KwReturn}, {"unsafe", TokenKind::KwUnsafe},
+        {"static", TokenKind::KwStatic}, {"as", TokenKind::KwAs},
+        {"true", TokenKind::KwTrue},     {"false", TokenKind::KwFalse},
+        {"const", TokenKind::KwConst},   {"become", TokenKind::KwBecome},
+    };
+    return table;
+}
+}  // namespace
+
+Lexer::Lexer(std::string_view source, support::DiagnosticEngine& diagnostics)
+    : source_(source), diagnostics_(diagnostics) {}
+
+char Lexer::peek(std::size_t lookahead) const {
+    const std::size_t index = position_ + lookahead;
+    return index < source_.size() ? source_[index] : '\0';
+}
+
+char Lexer::advance() {
+    const char c = source_[position_++];
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+void Lexer::skip_trivia() {
+    for (;;) {
+        if (at_end()) return;
+        const char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!at_end() && peek() != '\n') advance();
+        } else if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+            if (!at_end()) {
+                advance();
+                advance();
+            }
+        } else {
+            return;
+        }
+    }
+}
+
+support::SourceSpan Lexer::span_from(std::size_t start) const {
+    support::SourceSpan span;
+    span.begin = static_cast<std::uint32_t>(start);
+    span.end = static_cast<std::uint32_t>(position_);
+    span.line = token_line_;
+    span.column = token_column_;
+    return span;
+}
+
+Token Lexer::make_token(TokenKind kind, std::size_t start) {
+    Token token;
+    token.kind = kind;
+    token.text = std::string(source_.substr(start, position_ - start));
+    token.span = span_from(start);
+    return token;
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+    const std::size_t start = position_;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        advance();
+    }
+    Token token = make_token(TokenKind::Identifier, start);
+    const auto& table = keyword_table();
+    if (auto it = table.find(token.text); it != table.end()) {
+        token.kind = it->second;
+    }
+    return token;
+}
+
+Token Lexer::lex_number() {
+    const std::size_t start = position_;
+    std::uint64_t value = 0;
+    bool overflow = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        bool any_digit = false;
+        while (!at_end() && (std::isxdigit(static_cast<unsigned char>(peek())) ||
+                             peek() == '_')) {
+            const char c = advance();
+            if (c == '_') continue;
+            any_digit = true;
+            const std::uint64_t digit =
+                std::isdigit(static_cast<unsigned char>(c))
+                    ? static_cast<std::uint64_t>(c - '0')
+                    : static_cast<std::uint64_t>(std::tolower(c) - 'a' + 10);
+            if (value > (~0ULL - digit) / 16) overflow = true;
+            value = value * 16 + digit;
+        }
+        if (!any_digit) {
+            diagnostics_.error("hex literal needs at least one digit", span_from(start));
+        }
+    } else {
+        while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                             peek() == '_')) {
+            const char c = advance();
+            if (c == '_') continue;
+            const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+            if (value > (~0ULL - digit) / 10) overflow = true;
+            value = value * 10 + digit;
+        }
+    }
+    Token token = make_token(TokenKind::IntLiteral, start);
+    token.int_value = value;
+    if (overflow) {
+        diagnostics_.error("integer literal overflows u64", token.span);
+    }
+    return token;
+}
+
+Token Lexer::next_token() {
+    skip_trivia();
+    token_line_ = line_;
+    token_column_ = column_;
+    if (at_end()) {
+        Token token;
+        token.kind = TokenKind::EndOfFile;
+        token.span = span_from(position_);
+        return token;
+    }
+    const std::size_t start = position_;
+    const char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        return lex_identifier_or_keyword();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        return lex_number();
+    }
+    advance();
+    switch (c) {
+        case '(': return make_token(TokenKind::LParen, start);
+        case ')': return make_token(TokenKind::RParen, start);
+        case '{': return make_token(TokenKind::LBrace, start);
+        case '}': return make_token(TokenKind::RBrace, start);
+        case '[': return make_token(TokenKind::LBracket, start);
+        case ']': return make_token(TokenKind::RBracket, start);
+        case ',': return make_token(TokenKind::Comma, start);
+        case ';': return make_token(TokenKind::Semicolon, start);
+        case ':': return make_token(TokenKind::Colon, start);
+        case '+': return make_token(TokenKind::Plus, start);
+        case '%': return make_token(TokenKind::Percent, start);
+        case '^': return make_token(TokenKind::Caret, start);
+        case '/': return make_token(TokenKind::Slash, start);
+        case '*': return make_token(TokenKind::Star, start);
+        case '-':
+            if (peek() == '>') {
+                advance();
+                return make_token(TokenKind::Arrow, start);
+            }
+            return make_token(TokenKind::Minus, start);
+        case '=':
+            if (peek() == '=') {
+                advance();
+                return make_token(TokenKind::EqEq, start);
+            }
+            return make_token(TokenKind::Eq, start);
+        case '!':
+            if (peek() == '=') {
+                advance();
+                return make_token(TokenKind::NotEq, start);
+            }
+            return make_token(TokenKind::Bang, start);
+        case '<':
+            if (peek() == '=') {
+                advance();
+                return make_token(TokenKind::Le, start);
+            }
+            if (peek() == '<') {
+                advance();
+                return make_token(TokenKind::Shl, start);
+            }
+            return make_token(TokenKind::Lt, start);
+        case '>':
+            if (peek() == '=') {
+                advance();
+                return make_token(TokenKind::Ge, start);
+            }
+            if (peek() == '>') {
+                advance();
+                return make_token(TokenKind::Shr, start);
+            }
+            return make_token(TokenKind::Gt, start);
+        case '&':
+            if (peek() == '&') {
+                advance();
+                return make_token(TokenKind::AmpAmp, start);
+            }
+            return make_token(TokenKind::Amp, start);
+        case '|':
+            if (peek() == '|') {
+                advance();
+                return make_token(TokenKind::PipePipe, start);
+            }
+            return make_token(TokenKind::Pipe, start);
+        default: {
+            Token token = make_token(TokenKind::Invalid, start);
+            diagnostics_.error("unexpected character '" + std::string(1, c) + "'",
+                               token.span);
+            return token;
+        }
+    }
+}
+
+std::vector<Token> Lexer::tokenize() {
+    std::vector<Token> tokens;
+    for (;;) {
+        Token token = next_token();
+        const bool done = token.kind == TokenKind::EndOfFile;
+        tokens.push_back(std::move(token));
+        if (done) break;
+    }
+    return tokens;
+}
+
+}  // namespace rustbrain::lang

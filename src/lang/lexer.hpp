@@ -1,0 +1,41 @@
+// Lexer for mini-Rust. Produces the full token stream in one pass; lexical
+// errors are reported through the DiagnosticEngine and yield Invalid tokens
+// so the parser can continue and report more.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rustbrain::lang {
+
+class Lexer {
+  public:
+    Lexer(std::string_view source, support::DiagnosticEngine& diagnostics);
+
+    /// Tokenize the whole buffer. The last token is always EndOfFile.
+    std::vector<Token> tokenize();
+
+  private:
+    [[nodiscard]] bool at_end() const { return position_ >= source_.size(); }
+    [[nodiscard]] char peek(std::size_t lookahead = 0) const;
+    char advance();
+    void skip_trivia();
+    Token next_token();
+    Token lex_identifier_or_keyword();
+    Token lex_number();
+    Token make_token(TokenKind kind, std::size_t start);
+    [[nodiscard]] support::SourceSpan span_from(std::size_t start) const;
+
+    std::string_view source_;
+    support::DiagnosticEngine& diagnostics_;
+    std::size_t position_ = 0;
+    std::uint32_t line_ = 1;
+    std::uint32_t column_ = 1;
+    std::uint32_t token_line_ = 1;
+    std::uint32_t token_column_ = 1;
+};
+
+}  // namespace rustbrain::lang

@@ -1,0 +1,212 @@
+#include "lang/printer.hpp"
+
+namespace rustbrain::lang {
+
+namespace {
+
+std::string pad(int level) { return std::string(static_cast<std::size_t>(level) * 4, ' '); }
+
+/// Parenthesize children conservatively: we print parentheses around any
+/// binary/cast child of a binary/unary/cast/index node. The printed form is
+/// therefore not minimal but always re-parses with identical structure.
+bool needs_parens(const Expr& child) {
+    return child.kind == ExprKind::Binary || child.kind == ExprKind::Cast;
+}
+
+std::string print_child(const Expr& child) {
+    if (needs_parens(child)) {
+        return "(" + print_expression(child) + ")";
+    }
+    return print_expression(child);
+}
+
+}  // namespace
+
+std::string print_expression(const Expr& expr) {
+    switch (expr.kind) {
+        case ExprKind::IntLit: {
+            const auto& node = static_cast<const IntLitExpr&>(expr);
+            std::string out = std::to_string(node.value);
+            if (node.suffix) {
+                out += scalar_kind_name(*node.suffix);
+            }
+            return out;
+        }
+        case ExprKind::BoolLit:
+            return static_cast<const BoolLitExpr&>(expr).value ? "true" : "false";
+        case ExprKind::VarRef:
+            return static_cast<const VarRefExpr&>(expr).name;
+        case ExprKind::Unary: {
+            const auto& node = static_cast<const UnaryExpr&>(expr);
+            return std::string(unary_op_name(node.op)) + print_child(*node.operand);
+        }
+        case ExprKind::Binary: {
+            const auto& node = static_cast<const BinaryExpr&>(expr);
+            return print_child(*node.lhs) + " " + binary_op_name(node.op) + " " +
+                   print_child(*node.rhs);
+        }
+        case ExprKind::Cast: {
+            const auto& node = static_cast<const CastExpr&>(expr);
+            return print_child(*node.operand) + " as " + node.target.to_string();
+        }
+        case ExprKind::Index: {
+            const auto& node = static_cast<const IndexExpr&>(expr);
+            return print_child(*node.base) + "[" + print_expression(*node.index) + "]";
+        }
+        case ExprKind::Call: {
+            const auto& node = static_cast<const CallExpr&>(expr);
+            std::string out = node.callee + "(";
+            for (std::size_t i = 0; i < node.args.size(); ++i) {
+                if (i != 0) out += ", ";
+                out += print_expression(*node.args[i]);
+            }
+            return out + ")";
+        }
+        case ExprKind::CallPtr: {
+            const auto& node = static_cast<const CallPtrExpr&>(expr);
+            std::string out = "(" + print_expression(*node.callee) + ")(";
+            for (std::size_t i = 0; i < node.args.size(); ++i) {
+                if (i != 0) out += ", ";
+                out += print_expression(*node.args[i]);
+            }
+            return out + ")";
+        }
+        case ExprKind::ArrayLit: {
+            const auto& node = static_cast<const ArrayLitExpr&>(expr);
+            std::string out = "[";
+            for (std::size_t i = 0; i < node.elements.size(); ++i) {
+                if (i != 0) out += ", ";
+                out += print_expression(*node.elements[i]);
+            }
+            return out + "]";
+        }
+        case ExprKind::ArrayRepeat: {
+            const auto& node = static_cast<const ArrayRepeatExpr&>(expr);
+            return "[" + print_expression(*node.element) + "; " +
+                   std::to_string(node.count) + "]";
+        }
+    }
+    return "<?>";
+}
+
+std::string print_statement(const Stmt& stmt, int indent_level) {
+    const std::string indent = pad(indent_level);
+    switch (stmt.kind) {
+        case StmtKind::Let: {
+            const auto& node = static_cast<const LetStmt&>(stmt);
+            std::string out = indent + "let ";
+            if (node.is_mut) out += "mut ";
+            out += node.name;
+            if (node.declared_type) {
+                out += ": " + node.declared_type->to_string();
+            }
+            out += " = " + print_expression(*node.init) + ";\n";
+            return out;
+        }
+        case StmtKind::Assign: {
+            const auto& node = static_cast<const AssignStmt&>(stmt);
+            return indent + print_expression(*node.place) + " = " +
+                   print_expression(*node.value) + ";\n";
+        }
+        case StmtKind::Expr:
+            return indent + print_expression(*static_cast<const ExprStmt&>(stmt).expr) +
+                   ";\n";
+        case StmtKind::If: {
+            const auto& node = static_cast<const IfStmt&>(stmt);
+            std::string out = indent + "if " + print_expression(*node.condition) + " {\n";
+            out += print_block(node.then_block, indent_level + 1);
+            out += indent + "}";
+            if (node.else_block) {
+                out += " else {\n";
+                out += print_block(*node.else_block, indent_level + 1);
+                out += indent + "}";
+            }
+            out += "\n";
+            return out;
+        }
+        case StmtKind::While: {
+            const auto& node = static_cast<const WhileStmt&>(stmt);
+            std::string out =
+                indent + "while " + print_expression(*node.condition) + " {\n";
+            out += print_block(node.body, indent_level + 1);
+            out += indent + "}\n";
+            return out;
+        }
+        case StmtKind::Return: {
+            const auto& node = static_cast<const ReturnStmt&>(stmt);
+            if (node.value) {
+                return indent + "return " + print_expression(*node.value) + ";\n";
+            }
+            return indent + "return;\n";
+        }
+        case StmtKind::Block: {
+            const auto& node = static_cast<const BlockStmt&>(stmt);
+            std::string out = indent + "{\n";
+            out += print_block(node.block, indent_level + 1);
+            out += indent + "}\n";
+            return out;
+        }
+        case StmtKind::Unsafe: {
+            const auto& node = static_cast<const UnsafeStmt&>(stmt);
+            std::string out = indent + "unsafe {\n";
+            out += print_block(node.block, indent_level + 1);
+            out += indent + "}\n";
+            return out;
+        }
+        case StmtKind::Become: {
+            const auto& node = static_cast<const BecomeStmt&>(stmt);
+            std::string out = indent + "become " + print_expression(*node.callee) + "(";
+            for (std::size_t i = 0; i < node.args.size(); ++i) {
+                if (i != 0) out += ", ";
+                out += print_expression(*node.args[i]);
+            }
+            out += ");\n";
+            return out;
+        }
+    }
+    return indent + "<?>;\n";
+}
+
+std::string print_block(const Block& block, int indent_level) {
+    std::string out;
+    for (const auto& stmt : block.statements) {
+        out += print_statement(*stmt, indent_level);
+    }
+    return out;
+}
+
+std::string print_function(const FnItem& fn) {
+    std::string out;
+    if (fn.is_unsafe) out += "unsafe ";
+    out += "fn " + fn.name + "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += fn.params[i].name + ": " + fn.params[i].type.to_string();
+    }
+    out += ")";
+    if (!fn.return_type.is_unit()) {
+        out += " -> " + fn.return_type.to_string();
+    }
+    out += " {\n";
+    out += print_block(fn.body, 1);
+    out += "}\n";
+    return out;
+}
+
+std::string print_program(const Program& program) {
+    std::string out;
+    for (const auto& item : program.statics) {
+        out += "static ";
+        if (item.is_mut) out += "mut ";
+        out += item.name + ": " + item.type.to_string() + " = " +
+               print_expression(*item.init) + ";\n";
+    }
+    if (!program.statics.empty()) out += "\n";
+    for (std::size_t i = 0; i < program.functions.size(); ++i) {
+        if (i != 0) out += "\n";
+        out += print_function(program.functions[i]);
+    }
+    return out;
+}
+
+}  // namespace rustbrain::lang

@@ -1,0 +1,18 @@
+// AST -> mini-Rust source. print_program(parse(print_program(p))) round-trips
+// structurally (property-tested); the repair pipeline uses it to render
+// patched programs back into the "code" section of LLM prompts and reports.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace rustbrain::lang {
+
+std::string print_program(const Program& program);
+std::string print_function(const FnItem& fn);
+std::string print_block(const Block& block, int indent_level);
+std::string print_statement(const Stmt& stmt, int indent_level);
+std::string print_expression(const Expr& expr);
+
+}  // namespace rustbrain::lang

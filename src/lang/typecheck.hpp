@@ -1,0 +1,93 @@
+// Static semantic checker for mini-Rust.
+//
+// Mirrors rustc's split of responsibilities: the checker rejects ill-typed
+// programs and enforces the *static* unsafety rules (raw-pointer deref,
+// unsafe-fn calls, `static mut` access and int->fn-pointer casts are only
+// legal inside `unsafe`), while MiriLite finds the *dynamic* UB. It also
+// annotates every expression with its type, which the interpreter relies on
+// for typed loads/stores and cast semantics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rustbrain::lang {
+
+struct IntrinsicInfo {
+    std::string name;
+    std::size_t arity;
+    bool requires_unsafe;
+};
+
+/// True if `name` is one of the built-in intrinsics (alloc, dealloc, offset,
+/// print_int, ...).
+bool is_intrinsic(const std::string& name);
+const std::vector<IntrinsicInfo>& intrinsic_table();
+
+class TypeChecker {
+  public:
+    explicit TypeChecker(support::DiagnosticEngine& diagnostics);
+
+    /// Check the whole program (annotating expression types in place).
+    /// Returns true when no errors were emitted.
+    bool check(Program& program);
+
+  private:
+    struct LocalVar {
+        std::string name;
+        Type type;
+        bool is_mut = false;
+    };
+
+    struct Scope {
+        std::vector<LocalVar> locals;
+    };
+
+    // Environment ----------------------------------------------------------
+    void push_scope() { scopes_.emplace_back(); }
+    void pop_scope() { scopes_.pop_back(); }
+    void declare_local(const std::string& name, Type type, bool is_mut);
+    [[nodiscard]] const LocalVar* lookup_local(const std::string& name) const;
+
+    // Items ------------------------------------------------------------
+    void check_function(FnItem& fn);
+    void check_static(StaticItem& item);
+
+    // Statements ------------------------------------------------------------
+    void check_block(Block& block, bool enters_scope = true);
+    void check_statement(Stmt& stmt);
+
+    // Expressions ------------------------------------------------------
+    /// Infer/check an expression. `expected` guides integer-literal typing.
+    Type check_expr(Expr& expr, const std::optional<Type>& expected = std::nullopt);
+    Type check_unary(UnaryExpr& expr, const std::optional<Type>& expected);
+    Type check_binary(BinaryExpr& expr, const std::optional<Type>& expected);
+    Type check_cast(CastExpr& expr);
+    Type check_index(IndexExpr& expr);
+    Type check_call(CallExpr& expr);
+    Type check_call_ptr(CallPtrExpr& expr);
+    Type check_intrinsic(CallExpr& expr);
+
+    // Places -----------------------------------------------------------
+    /// True if expr denotes a memory place; fills `is_mut_place`.
+    bool is_place(const Expr& expr, bool& is_mut_place) const;
+    void require_place(const Expr& expr, bool need_mut, const char* what);
+
+    void require_unsafe(const char* operation, support::SourceSpan span);
+    void error(std::string message, support::SourceSpan span);
+
+    support::DiagnosticEngine& diagnostics_;
+    Program* program_ = nullptr;
+    const FnItem* current_fn_ = nullptr;
+    std::vector<Scope> scopes_;
+    int unsafe_depth_ = 0;
+};
+
+/// Convenience: run the checker; returns false and fills `error` on failure.
+bool type_check(Program& program, std::string* error = nullptr);
+
+}  // namespace rustbrain::lang

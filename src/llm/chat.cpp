@@ -1,0 +1,66 @@
+#include "llm/chat.hpp"
+
+#include "support/strings.hpp"
+
+namespace rustbrain::llm {
+
+std::uint32_t estimate_tokens(const std::string& text) {
+    const std::uint32_t tokens = static_cast<std::uint32_t>(text.size() / 4);
+    return tokens == 0 ? 1 : tokens;
+}
+
+std::string PromptSpec::render() const {
+    std::string out = "[task:" + task + "]\n";
+    for (const auto& [key, value] : fields) {
+        out += key + ": " + value + "\n";
+    }
+    for (const auto& rule : exemplar_rules) {
+        out += "exemplar_rule: " + rule + "\n";
+    }
+    for (const auto& rule : preferred_rules) {
+        out += "preferred_rule: " + rule + "\n";
+    }
+    out += "code:\n";
+    out += code;
+    return out;
+}
+
+PromptSpec PromptSpec::parse(const std::string& prompt_text) {
+    PromptSpec spec;
+    // The code block is everything after the first "code:" line, taken
+    // verbatim from the raw text so newlines survive exactly.
+    std::size_t header_end = prompt_text.size();
+    const std::string marker = "code:\n";
+    if (support::starts_with(prompt_text, marker)) {
+        header_end = 0;
+        spec.code = prompt_text.substr(marker.size());
+    } else if (const std::size_t pos = prompt_text.find("\n" + marker);
+               pos != std::string::npos) {
+        header_end = pos + 1;
+        spec.code = prompt_text.substr(pos + 1 + marker.size());
+    }
+
+    const auto lines = support::split(prompt_text.substr(0, header_end), '\n');
+    for (const std::string& line : lines) {
+        if (support::starts_with(line, "[task:")) {
+            const std::size_t end = line.find(']');
+            spec.task = line.substr(6, end == std::string::npos ? std::string::npos
+                                                                : end - 6);
+            continue;
+        }
+        const std::size_t colon = line.find(": ");
+        if (colon == std::string::npos) continue;
+        const std::string key = line.substr(0, colon);
+        const std::string value = line.substr(colon + 2);
+        if (key == "exemplar_rule") {
+            spec.exemplar_rules.push_back(value);
+        } else if (key == "preferred_rule") {
+            spec.preferred_rules.push_back(value);
+        } else {
+            spec.fields[key] = value;
+        }
+    }
+    return spec;
+}
+
+}  // namespace rustbrain::llm

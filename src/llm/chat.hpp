@@ -1,0 +1,52 @@
+// Chat-completion plumbing: message/request/response types, prompt
+// rendering and parsing helpers, token accounting.
+//
+// The pipeline talks to SimLLM exclusively through rendered prompt text —
+// the same boundary a real deployment would have with the OpenAI/Anthropic
+// APIs — so the "model" can only act on what is actually in the prompt.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rustbrain::llm {
+
+enum class Role { System, User, Assistant };
+
+struct ChatMessage {
+    Role role = Role::User;
+    std::string content;
+};
+
+struct ChatRequest {
+    std::vector<ChatMessage> messages;
+    double temperature = 0.5;
+};
+
+struct ChatResponse {
+    std::string content;
+    std::uint32_t prompt_tokens = 0;
+    std::uint32_t completion_tokens = 0;
+    double latency_ms = 0.0;
+};
+
+/// Crude but deterministic token estimate (chars / 4, floor 1).
+std::uint32_t estimate_tokens(const std::string& text);
+
+/// Structured prompt sections used by the RustBrain agents. Rendering
+/// produces a plain-text prompt; parsing recovers the sections on the
+/// model side. Unknown keys pass through untouched.
+struct PromptSpec {
+    std::string task;  // extract_features | generate_solutions | apply_rule | extract_ast
+    std::map<std::string, std::string> fields;  // rule, error_category, ...
+    std::vector<std::string> exemplar_rules;    // few-shot hints from the KB
+    std::vector<std::string> preferred_rules;   // feedback-store hints
+    std::string code;
+
+    [[nodiscard]] std::string render() const;
+    static PromptSpec parse(const std::string& prompt_text);
+};
+
+}  // namespace rustbrain::llm

@@ -1,0 +1,33 @@
+// Hallucination injection — the mechanism behind the paper's §III-B2
+// observation that "the number of errors [can] increase after repair".
+//
+// A hallucinated patch is a structurally-plausible but wrong edit: a deleted
+// or duplicated statement, a perturbed constant, a flipped comparison, a
+// dropped else-branch. These are applied by SimLLM (probability set by the
+// model profile and temperature) instead of — or on top of — the correct
+// rule application, producing the growing error sequences (N1 = {1,3,4,6,9})
+// that the adaptive rollback agent exists to contain.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "support/rng.hpp"
+
+namespace rustbrain::llm {
+
+enum class MutationKind {
+    DeleteStatement,
+    DuplicateStatement,
+    PerturbConstant,
+    FlipComparison,
+    DropElseBranch,
+    SwapStatements,
+};
+
+/// Apply one random mutation. Returns the kind applied; the program is
+/// always changed unless it is too small to mutate (then returns nullopt).
+std::optional<MutationKind> mutate_program(lang::Program& program,
+                                           support::Rng& rng);
+
+const char* mutation_kind_name(MutationKind kind);
+
+}  // namespace rustbrain::llm

@@ -1,0 +1,61 @@
+// Model profiles — the only place where "which LLM is this" lives.
+//
+// Calibration targets the paper's *relative* orderings (GPT-3.5 <
+// Claude-3.5 < GPT-4 on Rust repair; GPT-O1 strong reasoning but weak on
+// uncommon categories like panic; all models lifted substantially by
+// RustBrain): competence drives correct-rule selection, hallucination
+// drives corrupted patches, uptake factors determine how much the model
+// benefits from features / few-shot exemplars / feedback hints.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "miri/finding.hpp"
+
+namespace rustbrain::llm {
+
+struct ModelProfile {
+    std::string name;
+
+    /// Probability mass placed on the correct rule family when generating
+    /// or applying fixes, before modifiers.
+    double base_competence = 0.5;
+    /// Per-category skill multiplier (default 1.0).
+    std::map<miri::UbCategory, double> category_skill;
+    /// Base probability of a corrupted (hallucinated) patch at temperature
+    /// 0.5; scaled up with temperature.
+    double hallucination_base = 0.2;
+    /// How much of a few-shot exemplar's signal the model absorbs (0..1).
+    double fewshot_uptake = 0.5;
+    /// Boost from having structured error features in the prompt (the fast
+    /// thinking stage's contribution).
+    double feature_uptake = 0.5;
+    /// How many distinct candidate rules the model can enumerate.
+    int max_candidates = 4;
+
+    // Latency model (virtual milliseconds).
+    double latency_base_ms = 300.0;
+    double latency_per_1k_tokens_ms = 900.0;
+
+    [[nodiscard]] double skill_for(miri::UbCategory category) const;
+    /// Effective probability of choosing correctly given prompt context.
+    [[nodiscard]] double effective_competence(miri::UbCategory category,
+                                              bool has_features,
+                                              bool has_exemplar,
+                                              bool has_feedback_hint,
+                                              int difficulty) const;
+    [[nodiscard]] double hallucination_rate(double temperature) const;
+    [[nodiscard]] double latency_for_tokens(std::uint32_t tokens) const;
+};
+
+/// The four models evaluated in the paper.
+const ModelProfile& gpt35_profile();
+const ModelProfile& gpt4_profile();
+const ModelProfile& gpt_o1_profile();
+const ModelProfile& claude35_profile();
+
+const ModelProfile* find_profile(const std::string& name);
+const std::vector<const ModelProfile*>& all_profiles();
+
+}  // namespace rustbrain::llm

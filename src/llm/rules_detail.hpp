@@ -1,0 +1,24 @@
+// Shared pattern-matching helpers for the rule library (internal header).
+#pragma once
+
+#include "lang/ast.hpp"
+
+namespace rustbrain::llm::detail {
+
+/// The CallExpr if `stmt` is `callee(...);`, else nullptr.
+const lang::CallExpr* stmt_as_call(const lang::Stmt& stmt,
+                                   const std::string& callee);
+
+/// The variable name if `expr` is a plain VarRef, else "".
+std::string var_name(const lang::Expr& expr);
+
+/// Unwrap nested casts: the innermost non-cast expression.
+const lang::Expr& strip_casts(const lang::Expr& expr);
+
+/// If `expr` is `&x` / `&mut x` (on a plain variable), the variable name.
+std::string addr_of_target(const lang::Expr& expr);
+
+/// If stmt is `let <n> = ...`, the LetStmt, else nullptr.
+const lang::LetStmt* stmt_as_let(const lang::Stmt& stmt);
+
+}  // namespace rustbrain::llm::detail

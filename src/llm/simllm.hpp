@@ -1,0 +1,58 @@
+// SimLLM — deterministic simulated chat-completion engine.
+//
+// Serves four prompt tasks (see PromptSpec): extract_features,
+// generate_solutions, apply_rule, extract_ast. The engine sees ONLY the
+// rendered prompt text (it re-parses the code from the prompt) plus its
+// model profile, mirroring a real API boundary; it never touches the
+// dataset's reference fixes.
+//
+// Model quality is expressed mechanistically:
+//  * competence (profile x category x prompt context) decides whether the
+//    model's candidate rules are relevant or distractors;
+//  * temperature shapes sampling: low temperature collapses onto the top
+//    candidate (diversity loss, Fig 11's left flank), high temperature
+//    raises both diversity and hallucination (right flank);
+//  * hallucination corrupts applied patches via mutate_program, sometimes
+//    *increasing* the error count — the rollback agent's reason to exist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "llm/chat.hpp"
+#include "llm/profile.hpp"
+#include "support/rng.hpp"
+
+namespace rustbrain::llm {
+
+class SimLLM {
+  public:
+    SimLLM(const ModelProfile& profile, std::uint64_t seed);
+
+    /// Serve one chat request. Never throws for malformed prompts — it
+    /// answers like a confused model instead.
+    ChatResponse complete(const ChatRequest& request);
+
+    [[nodiscard]] const ModelProfile& profile() const { return profile_; }
+    [[nodiscard]] std::uint64_t calls_served() const { return calls_; }
+
+  private:
+    std::string handle_extract_features(const PromptSpec& spec);
+    std::string handle_generate_solutions(const PromptSpec& spec,
+                                          double temperature);
+    std::string handle_apply_rule(const PromptSpec& spec, double temperature);
+    std::string handle_extract_ast(const PromptSpec& spec, double temperature);
+
+    ModelProfile profile_;
+    support::Rng rng_;
+    std::uint64_t calls_ = 0;
+};
+
+/// Parse helpers for the pipeline side (the "prompt engineering" that turns
+/// model text back into data).
+std::vector<std::string> parse_solution_lines(const std::string& response);
+/// The code block from an apply_rule / extract_ast response (everything
+/// after the "code:" line, or the whole text when no marker is present).
+std::string parse_code_block(const std::string& response);
+
+}  // namespace rustbrain::llm

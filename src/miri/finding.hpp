@@ -1,0 +1,56 @@
+// UB findings — the currency of the whole reproduction.
+//
+// Categories follow the paper's evaluation axes (Figs 8/9/10/12, Table I),
+// which themselves mirror the Miri test-suite directory names: alloc,
+// dangling pointer, panic, provenance, uninit, both-borrow, data race,
+// func.call, func.pointer, stack borrow, validity, unaligned, concurrency,
+// tail call. CompileError is an extra bucket for repair iterations that
+// produce code rejected by the type checker (RustAssistant's original
+// problem domain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/source_span.hpp"
+
+namespace rustbrain::miri {
+
+enum class UbCategory {
+    Alloc,
+    DanglingPointer,
+    Panic,
+    Provenance,
+    Uninit,
+    BothBorrow,
+    DataRace,
+    FuncCall,
+    FuncPointer,
+    StackBorrow,
+    Validity,
+    Unaligned,
+    Concurrency,
+    TailCall,
+    CompileError,
+};
+
+constexpr std::size_t kUbCategoryCount = 15;
+
+const char* ub_category_name(UbCategory category);
+/// Paper-style label, e.g. "danglingpointer", "func.call".
+const char* ub_category_label(UbCategory category);
+/// All categories in a stable order (paper figure order).
+const std::vector<UbCategory>& all_ub_categories();
+
+struct Finding {
+    UbCategory category = UbCategory::Panic;
+    std::string message;
+    support::SourceSpan span;
+
+    [[nodiscard]] std::string to_string() const;
+    /// Dedup key: category + message (spans differ across inputs).
+    [[nodiscard]] std::string key() const;
+};
+
+}  // namespace rustbrain::miri

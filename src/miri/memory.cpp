@@ -1,0 +1,515 @@
+#include "miri/memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rustbrain::miri {
+
+// ---------------------------------------------------------------------------
+// VectorClock
+// ---------------------------------------------------------------------------
+
+std::uint64_t VectorClock::get(ThreadId tid) const {
+    return tid < clocks_.size() ? clocks_[tid] : 0;
+}
+
+void VectorClock::set(ThreadId tid, std::uint64_t value) {
+    if (tid >= clocks_.size()) {
+        clocks_.resize(tid + 1, 0);
+    }
+    clocks_[tid] = value;
+}
+
+void VectorClock::increment(ThreadId tid) { set(tid, get(tid) + 1); }
+
+void VectorClock::merge(const VectorClock& other) {
+    if (other.clocks_.size() > clocks_.size()) {
+        clocks_.resize(other.clocks_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i) {
+        clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemoryModel
+// ---------------------------------------------------------------------------
+
+MemoryModel::MemoryModel() = default;
+
+void MemoryModel::ub(UbCategory category, std::string message,
+                     support::SourceSpan span) const {
+    throw UbException{Finding{category, std::move(message), span}};
+}
+
+BorrowTag MemoryModel::fresh_tag(TagOrigin origin) {
+    const BorrowTag tag = next_tag_++;
+    tag_origins_[tag] = origin;
+    return tag;
+}
+
+TagOrigin MemoryModel::origin_of(BorrowTag tag) const {
+    auto it = tag_origins_.find(tag);
+    return it == tag_origins_.end() ? TagOrigin::Raw : it->second;
+}
+
+AllocId MemoryModel::allocate(std::uint64_t size, std::uint64_t align,
+                              AllocKind kind, std::string label,
+                              support::SourceSpan span) {
+    if (align == 0 || (align & (align - 1)) != 0) {
+        ub(UbCategory::Alloc,
+           "invalid allocation alignment " + std::to_string(align) +
+               " (must be a power of two)",
+           span);
+    }
+    // Unit-sized locals still get a 1-byte allocation so they have identity.
+    const std::uint64_t alloc_size = std::max<std::uint64_t>(size, 1);
+
+    // Bump allocation with a 16-byte guard gap so out-of-bounds addresses
+    // never alias a neighbouring allocation.
+    std::uint64_t base = next_addr_;
+    base = (base + align - 1) & ~(align - 1);
+    next_addr_ = base + alloc_size + 16;
+    if (next_addr_ >= kFnAddrBase) {
+        ub(UbCategory::Alloc, "address space exhausted", span);
+    }
+
+    Allocation alloc;
+    alloc.id = static_cast<AllocId>(allocs_.size() + 1);
+    alloc.kind = kind;
+    alloc.base = base;
+    alloc.size = alloc_size;
+    alloc.align = align;
+    alloc.label = std::move(label);
+    alloc.base_tag = fresh_tag(TagOrigin::Base);
+    alloc.bytes.resize(alloc_size);
+    for (auto& byte : alloc.bytes) {
+        byte.borrows.push_back({alloc.base_tag, Permission::Unique});
+    }
+    bytes_allocated_ += alloc_size;
+    allocs_.push_back(std::move(alloc));
+    return allocs_.back().id;
+}
+
+Allocation& MemoryModel::get(AllocId id) {
+    if (id == kNoAlloc || id > allocs_.size()) {
+        throw std::logic_error("MemoryModel::get: bad allocation id");
+    }
+    return allocs_[id - 1];
+}
+
+const Allocation& MemoryModel::get(AllocId id) const {
+    if (id == kNoAlloc || id > allocs_.size()) {
+        throw std::logic_error("MemoryModel::get: bad allocation id");
+    }
+    return allocs_[id - 1];
+}
+
+Pointer MemoryModel::base_pointer(AllocId id) const {
+    const Allocation& alloc = get(id);
+    return Pointer{alloc.base, alloc.id, alloc.base_tag};
+}
+
+void MemoryModel::deallocate(const Pointer& p, std::uint64_t size,
+                             std::uint64_t align, support::SourceSpan span) {
+    if (p.is_null()) {
+        ub(UbCategory::Alloc, "deallocating the null pointer", span);
+    }
+    if (!p.has_provenance()) {
+        ub(UbCategory::Provenance,
+           "deallocating a pointer without provenance (int-to-pointer cast)", span);
+    }
+    Allocation& alloc = get(p.alloc);
+    if (!alloc.live) {
+        ub(UbCategory::Alloc,
+           "double free: allocation '" + alloc.label + "' was already deallocated",
+           span);
+    }
+    if (alloc.kind != AllocKind::Heap) {
+        ub(UbCategory::Alloc,
+           "deallocating non-heap memory ('" + alloc.label + "')", span);
+    }
+    if (p.addr != alloc.base) {
+        ub(UbCategory::Alloc,
+           "dealloc pointer does not point to the start of the allocation", span);
+    }
+    if (size != alloc.size || align != alloc.align) {
+        ub(UbCategory::Alloc,
+           "dealloc layout mismatch: allocated (size " + std::to_string(alloc.size) +
+               ", align " + std::to_string(alloc.align) + "), freed with (size " +
+               std::to_string(size) + ", align " + std::to_string(align) + ")",
+           span);
+    }
+    alloc.live = false;
+}
+
+void MemoryModel::kill(AllocId id) { get(id).live = false; }
+
+void MemoryModel::kill_for_tail_call(AllocId id) {
+    Allocation& alloc = get(id);
+    alloc.live = false;
+    alloc.tail_call_killed = true;
+}
+
+// ---------------------------------------------------------------------------
+// Access validation
+// ---------------------------------------------------------------------------
+
+Allocation& MemoryModel::check_access(const Pointer& p, std::uint64_t size,
+                                      bool write, const AccessCtx& ctx,
+                                      std::uint64_t& offset_out,
+                                      std::uint64_t align) {
+    if (p.is_null()) {
+        ub(UbCategory::DanglingPointer, "null pointer dereference", ctx.span);
+    }
+    if (!p.has_provenance()) {
+        ub(UbCategory::Provenance,
+           "dereferencing a pointer without provenance (created from an integer)",
+           ctx.span);
+    }
+    Allocation& alloc = get(p.alloc);
+    if (!alloc.live) {
+        if (alloc.tail_call_killed) {
+            ub(UbCategory::TailCall,
+               "use after free: local '" + alloc.label +
+                   "' died when its frame was popped by a become tail call",
+               ctx.span);
+        }
+        ub(UbCategory::DanglingPointer,
+           "use after free: allocation '" + alloc.label + "' is dead", ctx.span);
+    }
+    if (p.addr < alloc.base || p.addr + size > alloc.base + alloc.size) {
+        ub(UbCategory::Provenance,
+           "out-of-bounds access: " + std::to_string(size) + " bytes at offset " +
+               std::to_string(p.addr - alloc.base) + " of " +
+               std::to_string(alloc.size) + "-byte allocation '" + alloc.label + "'",
+           ctx.span);
+    }
+    if (align > 1 && p.addr % align != 0) {
+        ub(UbCategory::Unaligned,
+           "accessing memory with alignment " + std::to_string(align) +
+               " at misaligned address (addr % " + std::to_string(align) + " == " +
+               std::to_string(p.addr % align) + ")",
+           ctx.span);
+    }
+    const std::uint64_t offset = p.addr - alloc.base;
+    borrow_use(alloc, offset, size, p.tag, write, ctx.span);
+    race_check(alloc, offset, size, write, ctx);
+    offset_out = offset;
+    return alloc;
+}
+
+void MemoryModel::borrow_use(Allocation& alloc, std::uint64_t offset,
+                             std::uint64_t size, BorrowTag tag, bool write,
+                             support::SourceSpan span) {
+    auto category_for = [&](BorrowTag failing) {
+        return origin_of(failing) == TagOrigin::Ref ? UbCategory::BothBorrow
+                                                    : UbCategory::StackBorrow;
+    };
+    for (std::uint64_t i = offset; i < offset + size; ++i) {
+        auto& stack = alloc.bytes[i].borrows;
+        // Find the topmost occurrence of the tag.
+        std::ptrdiff_t found = -1;
+        for (std::ptrdiff_t j = static_cast<std::ptrdiff_t>(stack.size()) - 1; j >= 0;
+             --j) {
+            if (stack[static_cast<std::size_t>(j)].tag == tag) {
+                found = j;
+                break;
+            }
+        }
+        if (found < 0) {
+            ub(category_for(tag),
+               write ? "write through an invalidated borrow of '" + alloc.label +
+                           "' (tag no longer on the borrow stack)"
+                     : "read through an invalidated borrow of '" + alloc.label +
+                           "' (tag no longer on the borrow stack)",
+               span);
+        }
+        const BorrowEntry entry = stack[static_cast<std::size_t>(found)];
+        if (write && entry.perm == Permission::SharedRO) {
+            ub(category_for(tag),
+               "write through a read-only borrow of '" + alloc.label + "'", span);
+        }
+        if (write) {
+            // A write invalidates everything above the used tag.
+            stack.resize(static_cast<std::size_t>(found) + 1);
+        } else {
+            // A read invalidates Unique tags above but shared tags survive.
+            std::vector<BorrowEntry> kept(stack.begin(),
+                                          stack.begin() + found + 1);
+            for (std::size_t j = static_cast<std::size_t>(found) + 1;
+                 j < stack.size(); ++j) {
+                if (stack[j].perm != Permission::Unique) {
+                    kept.push_back(stack[j]);
+                }
+            }
+            stack = std::move(kept);
+        }
+    }
+}
+
+void MemoryModel::race_check(Allocation& alloc, std::uint64_t offset,
+                             std::uint64_t size, bool write, const AccessCtx& ctx) {
+    if (ctx.vc == nullptr) return;  // single-threaded fast path
+    auto unordered = [&](const AccessEpoch& epoch) {
+        return epoch.valid && epoch.clock > ctx.vc->get(epoch.tid);
+    };
+    for (std::uint64_t i = offset; i < offset + size; ++i) {
+        ByteState& byte = alloc.bytes[i];
+        // A racing pair needs at least one non-atomic access.
+        if (unordered(byte.last_write) && !(byte.last_write.atomic && ctx.atomic) &&
+            byte.last_write.tid != ctx.tid) {
+            ub(UbCategory::DataRace,
+               std::string(write ? "write" : "read") + "-after-write data race on '" +
+                   alloc.label + "' between threads " +
+                   std::to_string(byte.last_write.tid) + " and " +
+                   std::to_string(ctx.tid),
+               ctx.span);
+        }
+        if (write) {
+            for (const AccessEpoch& read : byte.reads) {
+                if (unordered(read) && !(read.atomic && ctx.atomic) &&
+                    read.tid != ctx.tid) {
+                    ub(UbCategory::DataRace,
+                       "write-after-read data race on '" + alloc.label +
+                           "' between threads " + std::to_string(read.tid) + " and " +
+                           std::to_string(ctx.tid),
+                       ctx.span);
+                }
+            }
+        }
+        // Record this access.
+        if (write) {
+            byte.last_write = {ctx.tid, ctx.vc->get(ctx.tid), ctx.atomic, true};
+            byte.reads.clear();
+        } else {
+            bool updated = false;
+            for (AccessEpoch& read : byte.reads) {
+                if (read.tid == ctx.tid) {
+                    read = {ctx.tid, ctx.vc->get(ctx.tid), ctx.atomic, true};
+                    updated = true;
+                    break;
+                }
+            }
+            if (!updated) {
+                byte.reads.push_back({ctx.tid, ctx.vc->get(ctx.tid), ctx.atomic, true});
+            }
+        }
+    }
+}
+
+void MemoryModel::clear_provenance_overlapping(Allocation& alloc,
+                                               std::uint64_t offset,
+                                               std::uint64_t size) {
+    auto overlaps = [&](std::uint64_t entry_offset) {
+        return entry_offset < offset + size && entry_offset + 8 > offset;
+    };
+    for (auto it = alloc.ptr_prov.begin(); it != alloc.ptr_prov.end();) {
+        it = overlaps(it->first) ? alloc.ptr_prov.erase(it) : std::next(it);
+    }
+    for (auto it = alloc.fn_prov.begin(); it != alloc.fn_prov.end();) {
+        it = overlaps(it->first) ? alloc.fn_prov.erase(it) : std::next(it);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed loads/stores
+// ---------------------------------------------------------------------------
+
+Value MemoryModel::load(const Pointer& p, const lang::Type& type,
+                        const AccessCtx& ctx) {
+    using lang::Type;
+    const std::uint64_t size = type.size_bytes();
+    if (size == 0) {
+        return Value::unit();
+    }
+    if (type.is_array()) {
+        // Element-wise load.
+        std::vector<Value> elements;
+        const std::uint64_t element_size = type.element().size_bytes();
+        Pointer cursor = p;
+        for (std::uint64_t i = 0; i < type.array_length(); ++i) {
+            elements.push_back(load(cursor, type.element(), ctx));
+            cursor.addr += element_size;
+        }
+        return Value::array(std::move(elements));
+    }
+
+    std::uint64_t offset = 0;
+    Allocation& alloc = check_access(p, size, /*write=*/false, ctx, offset,
+                                     type.align_bytes());
+    for (std::uint64_t i = offset; i < offset + size; ++i) {
+        if (!alloc.bytes[i].init) {
+            ub(UbCategory::Uninit,
+               "reading uninitialized memory in '" + alloc.label + "' at offset " +
+                   std::to_string(i),
+               ctx.span);
+        }
+    }
+    std::uint64_t bits = 0;
+    for (std::uint64_t i = 0; i < size; ++i) {
+        bits |= static_cast<std::uint64_t>(alloc.bytes[offset + i].value) << (8 * i);
+    }
+
+    if (type.is_bool()) {
+        if (bits > 1) {
+            ub(UbCategory::Validity,
+               "invalid bool value " + std::to_string(bits) +
+                   " (must be 0 or 1) loaded from '" + alloc.label + "'",
+               ctx.span);
+        }
+        return Value::boolean(bits != 0);
+    }
+    if (type.is_raw_ptr() || type.is_ref()) {
+        Pointer loaded;
+        if (auto it = alloc.ptr_prov.find(offset); it != alloc.ptr_prov.end()) {
+            loaded = it->second;
+        } else {
+            loaded = Pointer{bits, kNoAlloc, kNoTag};  // provenance was erased
+        }
+        if (type.is_ref() && loaded.is_null()) {
+            ub(UbCategory::Validity,
+               "loaded a null reference from '" + alloc.label + "'", ctx.span);
+        }
+        return Value::pointer(loaded);
+    }
+    if (type.is_fn_ptr()) {
+        if (auto it = alloc.fn_prov.find(offset); it != alloc.fn_prov.end()) {
+            return Value::function(it->second);
+        }
+        return Value::function(
+            FnPtrVal{fn_addr_to_index(bits, static_cast<std::size_t>(-1))});
+    }
+    return Value::scalar(bits);
+}
+
+void MemoryModel::store(const Pointer& p, const lang::Type& type,
+                        const Value& value, const AccessCtx& ctx) {
+    const std::uint64_t size = type.size_bytes();
+    if (size == 0) {
+        return;
+    }
+    if (type.is_array()) {
+        const auto& elements = value.as_array();
+        const std::uint64_t element_size = type.element().size_bytes();
+        Pointer cursor = p;
+        for (std::uint64_t i = 0; i < type.array_length() && i < elements.size();
+             ++i) {
+            store(cursor, type.element(), elements[i], ctx);
+            cursor.addr += element_size;
+        }
+        return;
+    }
+
+    std::uint64_t offset = 0;
+    Allocation& alloc =
+        check_access(p, size, /*write=*/true, ctx, offset, type.align_bytes());
+    clear_provenance_overlapping(alloc, offset, size);
+
+    const std::uint64_t bits = truncate_to_type(value.bits(), type);
+    for (std::uint64_t i = 0; i < size; ++i) {
+        alloc.bytes[offset + i].value = static_cast<std::uint8_t>(bits >> (8 * i));
+        alloc.bytes[offset + i].init = true;
+    }
+    if ((type.is_raw_ptr() || type.is_ref()) && value.kind() == Value::Kind::Ptr) {
+        alloc.ptr_prov[offset] = value.as_ptr();
+    }
+    if (type.is_fn_ptr() && value.kind() == Value::Kind::Fn) {
+        alloc.fn_prov[offset] = value.as_fn();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retagging & pointer arithmetic
+// ---------------------------------------------------------------------------
+
+Pointer MemoryModel::retag_ref(const Pointer& p, std::uint64_t size, bool is_mut,
+                               support::SourceSpan span) {
+    if (p.is_null()) {
+        ub(UbCategory::DanglingPointer, "creating a reference from a null pointer",
+           span);
+    }
+    if (!p.has_provenance()) {
+        ub(UbCategory::Provenance,
+           "creating a reference from a pointer without provenance", span);
+    }
+    Allocation& alloc = get(p.alloc);
+    if (!alloc.live) {
+        ub(UbCategory::DanglingPointer,
+           "creating a reference into dead allocation '" + alloc.label + "'", span);
+    }
+    if (p.addr < alloc.base || p.addr + size > alloc.base + alloc.size) {
+        ub(UbCategory::Provenance, "reference would be out of bounds", span);
+    }
+    const std::uint64_t offset = p.addr - alloc.base;
+    // Creating the reference is itself a use of the parent pointer.
+    borrow_use(alloc, offset, std::max<std::uint64_t>(size, 1), p.tag, is_mut, span);
+    const BorrowTag tag = fresh_tag(TagOrigin::Ref);
+    const Permission perm = is_mut ? Permission::Unique : Permission::SharedRO;
+    for (std::uint64_t i = offset; i < offset + std::max<std::uint64_t>(size, 1);
+         ++i) {
+        alloc.bytes[i].borrows.push_back({tag, perm});
+    }
+    return Pointer{p.addr, p.alloc, tag};
+}
+
+Pointer MemoryModel::retag_raw(const Pointer& p, std::uint64_t size, bool writable,
+                               support::SourceSpan span) {
+    if (!p.has_provenance()) {
+        // Raw-from-int keeps its (non-)provenance; cast is fine, use is UB.
+        return p;
+    }
+    Allocation& alloc = get(p.alloc);
+    if (!alloc.live) {
+        ub(UbCategory::DanglingPointer,
+           "casting a reference into dead allocation '" + alloc.label + "'", span);
+    }
+    const std::uint64_t offset = p.addr - alloc.base;
+    borrow_use(alloc, offset, std::max<std::uint64_t>(size, 1), p.tag, writable,
+               span);
+    const BorrowTag tag = fresh_tag(TagOrigin::Raw);
+    const Permission perm = writable ? Permission::SharedRW : Permission::SharedRO;
+    for (std::uint64_t i = offset; i < offset + std::max<std::uint64_t>(size, 1);
+         ++i) {
+        alloc.bytes[i].borrows.push_back({tag, perm});
+    }
+    return Pointer{p.addr, p.alloc, tag};
+}
+
+Pointer MemoryModel::offset_pointer(const Pointer& p, std::int64_t byte_delta,
+                                    support::SourceSpan span) {
+    if (!p.has_provenance()) {
+        ub(UbCategory::Provenance,
+           "pointer arithmetic on a pointer without provenance", span);
+    }
+    const Allocation& alloc = get(p.alloc);
+    if (!alloc.live) {
+        ub(UbCategory::DanglingPointer,
+           "pointer arithmetic on dead allocation '" + alloc.label + "'", span);
+    }
+    const std::int64_t new_addr = static_cast<std::int64_t>(p.addr) + byte_delta;
+    // Rust's offset contract: must stay within [base, base + size] inclusive.
+    if (new_addr < static_cast<std::int64_t>(alloc.base) ||
+        new_addr > static_cast<std::int64_t>(alloc.base + alloc.size)) {
+        ub(UbCategory::Provenance,
+           "pointer arithmetic out of bounds: offset " + std::to_string(byte_delta) +
+               " from offset " + std::to_string(p.addr - alloc.base) + " of " +
+               std::to_string(alloc.size) + "-byte allocation '" + alloc.label + "'",
+           span);
+    }
+    return Pointer{static_cast<std::uint64_t>(new_addr), p.alloc, p.tag};
+}
+
+std::optional<Finding> MemoryModel::check_leaks() const {
+    for (const auto& alloc : allocs_) {
+        if (alloc.live && alloc.kind == AllocKind::Heap) {
+            return Finding{UbCategory::Alloc,
+                           "memory leaked: " + std::to_string(alloc.size) +
+                               "-byte heap allocation was never deallocated",
+                           {}};
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace rustbrain::miri

@@ -1,0 +1,182 @@
+// MiriLite memory model.
+//
+// Implements the dynamic checks that make UB detection real rather than
+// pattern-matched:
+//   * allocation tracking (liveness, layout-checked dealloc, leak check)
+//   * strict pointer provenance (int-derived pointers cannot be dereferenced)
+//   * per-byte borrow stacks — a Stacked-Borrows-lite with Unique/SharedRO/
+//     SharedRW permissions and retag-on-reference-creation
+//   * per-byte initialization tracking
+//   * alignment and typed-value validity checks
+//   * per-byte access epochs + vector clocks for data-race detection
+//
+// UB unwinds via UbException; the interpreter catches it at thread top level
+// and converts it into a Finding. (UB genuinely terminates the abstract
+// machine, so exceptional control flow is the honest model.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/type.hpp"
+#include "miri/finding.hpp"
+#include "miri/value.hpp"
+
+namespace rustbrain::miri {
+
+using ThreadId = std::uint32_t;
+
+struct UbException {
+    Finding finding;
+};
+
+/// Vector clock for happens-before tracking.
+class VectorClock {
+  public:
+    [[nodiscard]] std::uint64_t get(ThreadId tid) const;
+    void set(ThreadId tid, std::uint64_t value);
+    void increment(ThreadId tid);
+    /// Pointwise maximum (join).
+    void merge(const VectorClock& other);
+
+    [[nodiscard]] std::size_t size() const { return clocks_.size(); }
+
+  private:
+    std::vector<std::uint64_t> clocks_;
+};
+
+enum class AllocKind { Heap, Stack, Static };
+
+enum class Permission {
+    Unique,    // &mut or allocation base: full access, invalidated by others
+    SharedRO,  // &: read-only, survives reads, killed by writes
+    SharedRW,  // raw pointer derived from &mut: read/write until parent dies
+};
+
+/// What kind of pointer a borrow tag was created for — used to pick the UB
+/// category when an invalidated tag is used (reference tags -> BothBorrow,
+/// raw/base tags -> StackBorrow).
+enum class TagOrigin { Base, Ref, Raw };
+
+struct BorrowEntry {
+    BorrowTag tag = kNoTag;
+    Permission perm = Permission::Unique;
+};
+
+struct AccessEpoch {
+    ThreadId tid = 0;
+    std::uint64_t clock = 0;
+    bool atomic = false;
+    bool valid = false;
+};
+
+struct ByteState {
+    std::uint8_t value = 0;
+    bool init = false;
+    std::vector<BorrowEntry> borrows;
+    AccessEpoch last_write;
+    std::vector<AccessEpoch> reads;  // most recent read per thread
+};
+
+struct Allocation {
+    AllocId id = kNoAlloc;
+    AllocKind kind = AllocKind::Stack;
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+    std::uint64_t align = 1;
+    bool live = true;
+    /// Died because its frame was popped by a `become` tail call — accesses
+    /// are reported under the TailCall category instead of DanglingPointer.
+    bool tail_call_killed = false;
+    BorrowTag base_tag = kNoTag;
+    std::string label;  // variable/static name or "heap" — for diagnostics
+    std::vector<ByteState> bytes;
+    /// Pointer values stored in memory keep their provenance here, keyed by
+    /// byte offset of the 8-byte pointer.
+    std::map<std::uint64_t, Pointer> ptr_prov;
+    std::map<std::uint64_t, FnPtrVal> fn_prov;
+};
+
+/// Context for a memory access: which thread, its vector clock, atomicity.
+struct AccessCtx {
+    ThreadId tid = 0;
+    const VectorClock* vc = nullptr;
+    bool atomic = false;
+    support::SourceSpan span;
+};
+
+class MemoryModel {
+  public:
+    MemoryModel();
+
+    // Allocation lifecycle ---------------------------------------------
+    /// Create a new allocation; throws UbException (Alloc) on invalid layout.
+    AllocId allocate(std::uint64_t size, std::uint64_t align, AllocKind kind,
+                     std::string label, support::SourceSpan span);
+    /// Heap deallocation with full layout validation.
+    void deallocate(const Pointer& p, std::uint64_t size, std::uint64_t align,
+                    support::SourceSpan span);
+    /// Stack scope exit / program teardown: mark dead, keep for diagnostics.
+    void kill(AllocId id);
+    /// Frame popped by a `become` tail call: dead, and later accesses are
+    /// classified as TailCall UB.
+    void kill_for_tail_call(AllocId id);
+
+    [[nodiscard]] Allocation& get(AllocId id);
+    [[nodiscard]] const Allocation& get(AllocId id) const;
+    [[nodiscard]] std::size_t allocation_count() const { return allocs_.size(); }
+
+    /// Pointer to an allocation's base carrying its base (Unique) tag.
+    [[nodiscard]] Pointer base_pointer(AllocId id) const;
+
+    // Typed access -------------------------------------------------------
+    Value load(const Pointer& p, const lang::Type& type, const AccessCtx& ctx);
+    void store(const Pointer& p, const lang::Type& type, const Value& value,
+               const AccessCtx& ctx);
+
+    // Retagging (reference / raw-pointer creation) ----------------------
+    /// `&place` / `&mut place`: use the parent tag, push a fresh Ref tag.
+    Pointer retag_ref(const Pointer& p, std::uint64_t size, bool is_mut,
+                      support::SourceSpan span);
+    /// `ref as *const/mut T`: push a fresh Raw tag below-the-surface.
+    Pointer retag_raw(const Pointer& p, std::uint64_t size, bool writable,
+                      support::SourceSpan span);
+
+    /// `offset(p, n)` — inbounds pointer arithmetic; one-past-end allowed.
+    Pointer offset_pointer(const Pointer& p, std::int64_t byte_delta,
+                           support::SourceSpan span);
+
+    /// Leak check: any live heap allocation is an Alloc finding.
+    [[nodiscard]] std::optional<Finding> check_leaks() const;
+
+    [[nodiscard]] std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+
+  private:
+    /// Shared validation pipeline; returns the allocation and base offset.
+    Allocation& check_access(const Pointer& p, std::uint64_t size, bool write,
+                             const AccessCtx& ctx, std::uint64_t& offset_out,
+                             std::uint64_t align = 1);
+    void borrow_use(Allocation& alloc, std::uint64_t offset, std::uint64_t size,
+                    BorrowTag tag, bool write, support::SourceSpan span);
+    void race_check(Allocation& alloc, std::uint64_t offset, std::uint64_t size,
+                    bool write, const AccessCtx& ctx);
+    void clear_provenance_overlapping(Allocation& alloc, std::uint64_t offset,
+                                      std::uint64_t size);
+
+    [[noreturn]] void ub(UbCategory category, std::string message,
+                         support::SourceSpan span) const;
+
+    BorrowTag fresh_tag(TagOrigin origin);
+    [[nodiscard]] TagOrigin origin_of(BorrowTag tag) const;
+
+    std::vector<Allocation> allocs_;
+    std::map<BorrowTag, TagOrigin> tag_origins_;
+    std::uint64_t next_addr_ = 0x10000;
+    BorrowTag next_tag_ = 1;
+    std::uint64_t bytes_allocated_ = 0;
+};
+
+}  // namespace rustbrain::miri

@@ -1,0 +1,109 @@
+// Runtime values for the MiriLite interpreter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lang/type.hpp"
+
+namespace rustbrain::miri {
+
+using AllocId = std::uint32_t;
+using BorrowTag = std::uint64_t;
+
+constexpr AllocId kNoAlloc = 0;
+constexpr BorrowTag kNoTag = 0;
+
+/// A pointer value: absolute address plus (optional) provenance. Pointers
+/// cast from integers have no provenance (strict-provenance semantics, like
+/// `miri -Zmiri-strict-provenance`); dereferencing them is UB.
+struct Pointer {
+    std::uint64_t addr = 0;
+    AllocId alloc = kNoAlloc;   // kNoAlloc => no provenance
+    BorrowTag tag = kNoTag;     // borrow-stack tag; kNoTag on provenance-free ptrs
+
+    [[nodiscard]] bool is_null() const { return addr == 0; }
+    [[nodiscard]] bool has_provenance() const { return alloc != kNoAlloc; }
+};
+
+/// A function-pointer value. `fn_index` is an index into Program::functions,
+/// or kInvalidFn for pointers fabricated from non-function addresses.
+struct FnPtrVal {
+    static constexpr std::int32_t kInvalidFn = -1;
+    std::int32_t fn_index = kInvalidFn;
+
+    [[nodiscard]] bool valid() const { return fn_index >= 0; }
+};
+
+/// Tagged value union. Arrays appear transiently (literal evaluation) as a
+/// vector of element values; they are stored element-wise into memory.
+class Value {
+  public:
+    enum class Kind { Unit, Scalar, Ptr, Fn, Array };
+
+    Value() : kind_(Kind::Unit) {}
+
+    static Value unit() { return Value(); }
+    static Value scalar(std::uint64_t bits) {
+        Value v;
+        v.kind_ = Kind::Scalar;
+        v.scalar_ = bits;
+        return v;
+    }
+    static Value boolean(bool b) { return scalar(b ? 1 : 0); }
+    static Value pointer(Pointer p) {
+        Value v;
+        v.kind_ = Kind::Ptr;
+        v.ptr_ = p;
+        return v;
+    }
+    static Value function(FnPtrVal f) {
+        Value v;
+        v.kind_ = Kind::Fn;
+        v.fn_ = f;
+        return v;
+    }
+    static Value array(std::vector<Value> elements) {
+        Value v;
+        v.kind_ = Kind::Array;
+        v.elements_ = std::make_shared<std::vector<Value>>(std::move(elements));
+        return v;
+    }
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool is_unit() const { return kind_ == Kind::Unit; }
+
+    /// Raw bits (zero-extended). For Ptr returns the address; for Fn the
+    /// encoded code address.
+    [[nodiscard]] std::uint64_t bits() const;
+    [[nodiscard]] bool as_bool() const { return bits() != 0; }
+    [[nodiscard]] const Pointer& as_ptr() const;
+    [[nodiscard]] const FnPtrVal& as_fn() const;
+    [[nodiscard]] const std::vector<Value>& as_array() const;
+
+    /// Sign-extend the low `bytes` of the scalar to 64-bit signed.
+    [[nodiscard]] std::int64_t as_signed(std::uint64_t bytes) const;
+
+  private:
+    Kind kind_;
+    std::uint64_t scalar_ = 0;
+    Pointer ptr_;
+    FnPtrVal fn_;
+    std::shared_ptr<std::vector<Value>> elements_;
+};
+
+/// Virtual code addresses for function pointers: fn i lives at
+/// kFnAddrBase + i * kFnAddrStride. Data allocations never overlap this.
+constexpr std::uint64_t kFnAddrBase = 0x7000'0000'0000ULL;
+constexpr std::uint64_t kFnAddrStride = 16;
+
+std::uint64_t fn_index_to_addr(std::int32_t index);
+/// kInvalidFn when the address is not a valid function address.
+std::int32_t fn_addr_to_index(std::uint64_t addr, std::size_t fn_count);
+
+/// Truncate `bits` to the width of `type` (scalars; pointers unchanged).
+std::uint64_t truncate_to_type(std::uint64_t bits, const lang::Type& type);
+
+}  // namespace rustbrain::miri

@@ -1,0 +1,54 @@
+#include "support/diagnostics.hpp"
+
+namespace rustbrain::support {
+
+namespace {
+const char* severity_name(Severity severity) {
+    switch (severity) {
+        case Severity::Note: return "note";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+    std::string out = severity_name(severity);
+    if (span.valid()) {
+        out += " at ";
+        out += span.to_string();
+    }
+    out += ": ";
+    out += message;
+    return out;
+}
+
+void DiagnosticEngine::error(std::string message, SourceSpan span) {
+    diagnostics_.push_back({Severity::Error, std::move(message), span});
+    ++error_count_;
+}
+
+void DiagnosticEngine::warning(std::string message, SourceSpan span) {
+    diagnostics_.push_back({Severity::Warning, std::move(message), span});
+}
+
+void DiagnosticEngine::note(std::string message, SourceSpan span) {
+    diagnostics_.push_back({Severity::Note, std::move(message), span});
+}
+
+std::string DiagnosticEngine::summary() const {
+    std::string out;
+    for (const auto& diagnostic : diagnostics_) {
+        out += diagnostic.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+void DiagnosticEngine::clear() {
+    diagnostics_.clear();
+    error_count_ = 0;
+}
+
+}  // namespace rustbrain::support

@@ -1,0 +1,41 @@
+// Diagnostic accumulation shared by the lexer, parser, type checker and
+// MiriLite. Diagnostics are values, not exceptions: UB findings are the
+// *output* of the toolchain, not failures of it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_span.hpp"
+
+namespace rustbrain::support {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    std::string message;
+    SourceSpan span;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Ordered collection of diagnostics with convenience emitters.
+class DiagnosticEngine {
+  public:
+    void error(std::string message, SourceSpan span = {});
+    void warning(std::string message, SourceSpan span = {});
+    void note(std::string message, SourceSpan span = {});
+
+    [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+    [[nodiscard]] std::size_t error_count() const { return error_count_; }
+    [[nodiscard]] const std::vector<Diagnostic>& all() const { return diagnostics_; }
+    [[nodiscard]] std::string summary() const;
+    void clear();
+
+  private:
+    std::vector<Diagnostic> diagnostics_;
+    std::size_t error_count_ = 0;
+};
+
+}  // namespace rustbrain::support

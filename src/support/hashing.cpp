@@ -1,0 +1,14 @@
+#include "support/hashing.hpp"
+
+namespace rustbrain::support {
+
+std::uint64_t fnv1a64_u64(std::uint64_t value, std::uint64_t seed) {
+    std::uint64_t h = seed;
+    for (int i = 0; i < 8; ++i) {
+        h ^= (value >> (8 * i)) & 0xFFU;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+}  // namespace rustbrain::support

@@ -1,0 +1,31 @@
+// Stable hashing utilities (FNV-1a) used for seed derivation and AST feature
+// hashing. std::hash is not stable across implementations, so everything
+// that influences experiment results goes through these.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rustbrain::support {
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+constexpr std::uint64_t fnv1a64(std::string_view text,
+                                std::uint64_t seed = kFnvOffsetBasis) {
+    std::uint64_t h = seed;
+    for (char c : text) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+    // 64-bit variant of boost::hash_combine's mixing constant.
+    return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+std::uint64_t fnv1a64_u64(std::uint64_t value, std::uint64_t seed = kFnvOffsetBasis);
+
+}  // namespace rustbrain::support

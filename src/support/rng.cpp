@@ -1,0 +1,129 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/hashing.hpp"
+
+namespace rustbrain::support {
+
+std::uint64_t SplitMix64::next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+    SplitMix64 seeder(seed);
+    for (auto& word : state_) {
+        word = seeder.next();
+    }
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+    if (bound == 0) {
+        throw std::invalid_argument("Rng::next_below: bound must be > 0");
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t sample = next_u64();
+        if (sample >= threshold) {
+            return sample % bound;
+        }
+    }
+}
+
+double Rng::next_double() {
+    // 53 high bits -> [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double probability) {
+    if (probability <= 0.0) return false;
+    if (probability >= 1.0) return true;
+    return next_double() < probability;
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) {
+        throw std::invalid_argument("Rng::next_range: lo > hi");
+    }
+    const std::uint64_t width = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(width == 0 ? next_u64() : next_below(width));
+}
+
+double Rng::next_gaussian() {
+    if (has_spare_gaussian_) {
+        has_spare_gaussian_ = false;
+        return spare_gaussian_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = 2.0 * next_double() - 1.0;
+        v = 2.0 * next_double() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_gaussian_ = v * factor;
+    has_spare_gaussian_ = true;
+    return u * factor;
+}
+
+std::size_t Rng::sample_weighted(const std::vector<double>& weights) {
+    if (weights.empty()) {
+        throw std::invalid_argument("Rng::sample_weighted: empty weights");
+    }
+    double total = 0.0;
+    for (double weight : weights) {
+        if (weight > 0.0) total += weight;
+    }
+    if (total <= 0.0) {
+        return weights.size() - 1;
+    }
+    double pick = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] <= 0.0) continue;
+        pick -= weights[i];
+        if (pick <= 0.0) {
+            return i;
+        }
+    }
+    return weights.size() - 1;
+}
+
+Rng Rng::fork(std::string_view name) const {
+    return Rng(derive_seed(seed_, name));
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::string_view name) {
+    std::uint64_t h = fnv1a64(name);
+    SplitMix64 mixer(base ^ h);
+    // A couple of rounds decorrelates adjacent bases with identical names.
+    mixer.next();
+    return mixer.next();
+}
+
+}  // namespace rustbrain::support

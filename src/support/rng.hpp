@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the reproduction (SimLLM sampling,
+// hallucination injection, scheduler interleaving, dataset generation)
+// derives its own stream from a global seed via named sub-seeding, so whole
+// experiment runs are bit-identical across machines and reruns.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rustbrain::support {
+
+/// SplitMix64: used for seed derivation and as a cheap standalone generator.
+class SplitMix64 {
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+    std::uint64_t next();
+
+  private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** — the main generator. Small, fast, high quality, and fully
+/// deterministic given a seed (unlike std::mt19937 whose distributions are
+/// implementation-defined; we implement our own distributions below).
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed);
+
+    std::uint64_t next_u64();
+    /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound);
+    /// Uniform double in [0, 1).
+    double next_double();
+    /// Bernoulli trial.
+    bool chance(double probability);
+    /// Uniform int in [lo, hi] inclusive.
+    std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+    /// Standard normal via Box–Muller (deterministic across platforms).
+    double next_gaussian();
+
+    /// Sample an index from unnormalized non-negative weights. Returns
+    /// weights.size() - 1 on degenerate all-zero input with non-empty list.
+    std::size_t sample_weighted(const std::vector<double>& weights);
+
+    /// Derive a child generator from this one's seed and a name. Children
+    /// with distinct names have independent streams.
+    [[nodiscard]] Rng fork(std::string_view name) const;
+
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  private:
+    std::uint64_t seed_;
+    std::uint64_t state_[4];
+    bool has_spare_gaussian_ = false;
+    double spare_gaussian_ = 0.0;
+};
+
+/// Stable 64-bit seed derivation: combine a base seed with a name.
+std::uint64_t derive_seed(std::uint64_t base, std::string_view name);
+
+}  // namespace rustbrain::support

@@ -1,0 +1,34 @@
+#include "support/sim_clock.hpp"
+
+#include <stdexcept>
+
+namespace rustbrain::support {
+
+void SimClock::charge(const std::string& category, double milliseconds) {
+    if (milliseconds < 0.0) {
+        throw std::invalid_argument("SimClock::charge: negative time");
+    }
+    now_ms_ += milliseconds;
+    by_category_[category] += milliseconds;
+}
+
+double SimClock::total_for(const std::string& category) const {
+    auto it = by_category_.find(category);
+    return it == by_category_.end() ? 0.0 : it->second;
+}
+
+void SimClock::reset() {
+    now_ms_ = 0.0;
+    by_category_.clear();
+}
+
+ClockPhase::ClockPhase(SimClock& clock, std::string phase)
+    : clock_(clock), phase_(std::move(phase)), start_ms_(clock.now_ms()) {}
+
+ClockPhase::~ClockPhase() {
+    clock_.charge("phase:" + phase_, 0.0);  // ensure the key exists
+}
+
+double ClockPhase::elapsed_ms() const { return clock_.now_ms() - start_ms_; }
+
+}  // namespace rustbrain::support

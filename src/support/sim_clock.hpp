@@ -1,0 +1,53 @@
+// Deterministic virtual time.
+//
+// Table I compares repair latency (RustBrain with/without knowledge base vs
+// human experts). Real wall-clock of a simulator says nothing about that, so
+// every modelled operation — LLM calls (token-proportional), MiriLite runs,
+// KB queries, agent bookkeeping, rollbacks — charges virtual milliseconds to
+// a SimClock. All reported "times" in the benches are virtual.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rustbrain::support {
+
+class SimClock {
+  public:
+    /// Advance time, attributing the charge to a named category
+    /// (e.g. "llm", "miri", "kb", "rollback").
+    void charge(const std::string& category, double milliseconds);
+
+    [[nodiscard]] double now_ms() const { return now_ms_; }
+    [[nodiscard]] double total_for(const std::string& category) const;
+    [[nodiscard]] const std::map<std::string, double>& breakdown() const {
+        return by_category_;
+    }
+
+    void reset();
+
+  private:
+    double now_ms_ = 0.0;
+    std::map<std::string, double> by_category_;
+};
+
+/// RAII scope that measures nothing itself but marks a named phase; on
+/// destruction it adds the phase's accumulated charge to a parent counter.
+/// Used by the report generator to split fast- vs slow-thinking time.
+class ClockPhase {
+  public:
+    ClockPhase(SimClock& clock, std::string phase);
+    ~ClockPhase();
+    ClockPhase(const ClockPhase&) = delete;
+    ClockPhase& operator=(const ClockPhase&) = delete;
+
+    [[nodiscard]] double elapsed_ms() const;
+
+  private:
+    SimClock& clock_;
+    std::string phase_;
+    double start_ms_;
+};
+
+}  // namespace rustbrain::support

@@ -1,0 +1,33 @@
+// Source locations and spans for mini-Rust diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rustbrain::support {
+
+/// A half-open byte range [begin, end) into a source buffer, with 1-based
+/// line/column of the start for human-readable diagnostics.
+struct SourceSpan {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint32_t line = 0;
+    std::uint32_t column = 0;
+
+    [[nodiscard]] bool valid() const { return line != 0; }
+    [[nodiscard]] std::uint32_t length() const { return end > begin ? end - begin : 0; }
+
+    /// Smallest span covering both operands (line/column taken from the
+    /// earlier one).
+    [[nodiscard]] SourceSpan merge(const SourceSpan& other) const {
+        SourceSpan out = begin <= other.begin ? *this : other;
+        out.end = end > other.end ? end : other.end;
+        return out;
+    }
+
+    [[nodiscard]] std::string to_string() const {
+        return std::to_string(line) + ":" + std::to_string(column);
+    }
+};
+
+}  // namespace rustbrain::support

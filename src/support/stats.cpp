@@ -1,0 +1,101 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rustbrain::support {
+
+void RunningStats::add(double sample) {
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        if (sample < min_) min_ = sample;
+        if (sample > max_) max_ = sample;
+    }
+    ++count_;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double normal_cdf(double x) {
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double z_critical(double confidence) {
+    if (confidence <= 0.0 || confidence >= 1.0) {
+        throw std::invalid_argument("z_critical: confidence must be in (0,1)");
+    }
+    // Common levels, exact table values.
+    if (std::abs(confidence - 0.90) < 1e-12) return 1.6448536269514722;
+    if (std::abs(confidence - 0.95) < 1e-12) return 1.959963984540054;
+    if (std::abs(confidence - 0.99) < 1e-12) return 2.5758293035489004;
+    // Bisection on the CDF for anything else.
+    const double target = 1.0 - (1.0 - confidence) / 2.0;
+    double lo = 0.0;
+    double hi = 10.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (normal_cdf(mid) < target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+ConfidenceInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double confidence) {
+    if (trials == 0) {
+        return {0.0, 1.0};
+    }
+    if (successes > trials) {
+        throw std::invalid_argument("wilson_interval: successes > trials");
+    }
+    const double z = z_critical(confidence);
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double margin =
+        (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+    double lower = center - margin;
+    double upper = center + margin;
+    // At the boundaries the Wilson bound is exactly p; pin it so callers can
+    // rely on contains(p) despite floating-point rounding.
+    if (successes == 0) lower = 0.0;
+    if (successes == trials) upper = 1.0;
+    if (lower < 0.0) lower = 0.0;
+    if (upper > 1.0) upper = 1.0;
+    return {lower, upper};
+}
+
+ConfidenceInterval mean_interval(const RunningStats& stats, double confidence) {
+    if (stats.count() == 0) {
+        return {0.0, 0.0};
+    }
+    const double z = z_critical(confidence);
+    const double margin =
+        z * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+    return {stats.mean() - margin, stats.mean() + margin};
+}
+
+double mean_of(const std::vector<double>& samples) {
+    if (samples.empty()) return 0.0;
+    double total = 0.0;
+    for (double sample : samples) total += sample;
+    return total / static_cast<double>(samples.size());
+}
+
+}  // namespace rustbrain::support

@@ -1,0 +1,56 @@
+// Statistics used by the evaluation harness: running moments and the
+// confidence intervals reported in RQ3 (Fig 11, 95% CIs on pass/exec rates).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rustbrain::support {
+
+/// Welford running mean/variance.
+class RunningStats {
+  public:
+    void add(double sample);
+    [[nodiscard]] std::size_t count() const { return count_; }
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double variance() const;  // sample variance (n-1)
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+struct ConfidenceInterval {
+    double lower = 0.0;
+    double upper = 0.0;
+    [[nodiscard]] double width() const { return upper - lower; }
+    [[nodiscard]] bool contains(double value) const {
+        return value >= lower && value <= upper;
+    }
+};
+
+/// Wilson score interval for a binomial proportion — the right tool for
+/// pass/exec rates with modest n (plain normal intervals can escape [0,1]).
+ConfidenceInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double confidence = 0.95);
+
+/// Normal-approximation interval for a mean given per-trial samples.
+ConfidenceInterval mean_interval(const RunningStats& stats, double confidence = 0.95);
+
+/// Two-sided critical z for a confidence level (0.90 / 0.95 / 0.99 are exact
+/// table entries; other inputs are resolved by bisection on the normal CDF).
+double z_critical(double confidence);
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+
+/// Arithmetic mean of a vector (0.0 for empty input).
+double mean_of(const std::vector<double>& samples);
+
+}  // namespace rustbrain::support

@@ -1,0 +1,57 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rustbrain::support {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) {
+        throw std::invalid_argument("TextTable: need at least one column");
+    }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+        widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+
+    auto render_row = [&](const std::vector<std::string>& cells) {
+        std::string line = "|";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            line += ' ';
+            line += cells[i];
+            line.append(widths[i] - cells[i].size(), ' ');
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string separator = "|";
+    for (std::size_t width : widths) {
+        separator.append(width + 2, '-');
+        separator += '|';
+    }
+    separator += '\n';
+
+    std::string out = render_row(headers_);
+    out += separator;
+    for (const auto& row : rows_) {
+        out += render_row(row);
+    }
+    return out;
+}
+
+}  // namespace rustbrain::support

@@ -1,0 +1,23 @@
+// Plain-text table rendering for the benchmark harness. Every figure/table
+// bench prints its series through this so output is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rustbrain::support {
+
+class TextTable {
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    [[nodiscard]] std::string render() const;
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rustbrain::support

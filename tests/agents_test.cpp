@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "agents/abstract_reasoning_agent.hpp"
+#include "agents/fix_agents.hpp"
+#include "agents/rollback_agent.hpp"
+#include "dataset/corpus.hpp"
+#include "kb/seed.hpp"
+#include "miri/mirilite.hpp"
+
+namespace rustbrain::agents {
+namespace {
+
+const dataset::Corpus& corpus() {
+    static const dataset::Corpus c = dataset::Corpus::standard();
+    return c;
+}
+
+const kb::KnowledgeBase& seeded_kb() {
+    static const kb::KnowledgeBase kbase = [] {
+        kb::KnowledgeBase k;
+        kb::seed_from_corpus(corpus(), k);
+        return k;
+    }();
+    return kbase;
+}
+
+TEST(RollbackAgentTest, TracksBestState) {
+    RollbackAgent agent;
+    agent.observe("v0", 3);
+    agent.observe("v1", 1);
+    agent.observe("v2", 4);
+    EXPECT_EQ(agent.best_code(), "v1");
+    EXPECT_EQ(agent.best_errors(), 1u);
+    EXPECT_TRUE(agent.should_rollback(4));
+    EXPECT_FALSE(agent.should_rollback(1));
+    EXPECT_FALSE(agent.should_rollback(0));
+}
+
+TEST(RollbackAgentTest, RollbackChargesClockAndCounts) {
+    RollbackAgent agent;
+    agent.observe("good", 1);
+    agent.observe("bad", 5);
+    support::SimClock clock;
+    EXPECT_EQ(agent.rollback(clock), "good");
+    EXPECT_GT(clock.now_ms(), 0.0);
+    EXPECT_EQ(agent.rollbacks_performed(), 1);
+}
+
+TEST(RollbackAgentTest, TrajectoryRecordsEveryObservation) {
+    RollbackAgent agent;
+    agent.observe("a", 1);
+    agent.observe("b", 3);
+    agent.observe("c", 0);
+    EXPECT_EQ(agent.trajectory(), (std::vector<std::size_t>{1, 3, 0}));
+}
+
+TEST(RollbackAgentTest, TiesDoNotAdvanceBest) {
+    // A same-error-count (sideways) state must not replace the best state —
+    // the guarantee the repeated-retry loop relies on.
+    RollbackAgent agent;
+    agent.observe("original", 1);
+    agent.observe("corrupted-sideways", 1);
+    EXPECT_EQ(agent.best_code(), "original");
+}
+
+TEST(FixAgentTest, AgentRouting) {
+    EXPECT_EQ(agent_for_rule("move-dealloc-to-end").family(),
+              llm::RuleFamily::Modification);
+    EXPECT_EQ(agent_for_rule("guard-divisor").family(), llm::RuleFamily::Assertion);
+    EXPECT_EQ(agent_for_rule("valid-bool-compare").family(),
+              llm::RuleFamily::SafeReplacement);
+    // Unknown rules route to the modification agent.
+    EXPECT_EQ(agent_for_rule("nonexistent").family(),
+              llm::RuleFamily::Modification);
+}
+
+TEST(FixAgentTest, RunProducesVerifiableCode) {
+    const auto* ub_case = corpus().find("danglingpointer/use_after_free_0");
+    llm::SimLLM sim(llm::gpt4_profile(), 5);
+    support::SimClock clock;
+    AgentContext context{sim, clock};
+    context.temperature = 0.1;
+    context.inputs = &ub_case->inputs;
+
+    miri::MiriLite miri;
+    const auto report = miri.test_source(ub_case->buggy_source, ub_case->inputs);
+    const FixOutcome outcome =
+        agent_for_rule("move-dealloc-to-end")
+            .run(ub_case->buggy_source, report.findings.front(),
+                 "move-dealloc-to-end", context);
+    EXPECT_TRUE(outcome.model_changed_code);
+    EXPECT_GT(clock.total_for("llm"), 0.0);
+    EXPECT_EQ(context.llm_calls, 1u);
+}
+
+TEST(ReasoningAgentTest, RetrievesCategoryScopedExemplars) {
+    const auto* ub_case = corpus().find("datarace/counter_0");
+    llm::SimLLM sim(llm::gpt4_profile(), 7);
+    support::SimClock clock;
+    AgentContext context{sim, clock};
+    context.temperature = 0.2;
+    context.knowledge_base = &seeded_kb();
+    context.case_hint = ub_case->id;
+
+    AbstractReasoningAgent agent;
+    const ReasoningResult result = agent.consult(
+        ub_case->buggy_source, miri::UbCategory::DataRace, context);
+    ASSERT_GT(result.hits, 0u);
+    ASSERT_FALSE(result.exemplar_rules.empty());
+    // The sibling variants' verified fix must be among the exemplars.
+    EXPECT_NE(std::find(result.exemplar_rules.begin(), result.exemplar_rules.end(),
+                        "atomicize-shared-access"),
+              result.exemplar_rules.end());
+    EXPECT_GT(clock.total_for("kb"), 0.0);
+}
+
+TEST(ReasoningAgentTest, NoKbMeansNoExemplars) {
+    llm::SimLLM sim(llm::gpt4_profile(), 9);
+    support::SimClock clock;
+    AgentContext context{sim, clock};
+    AbstractReasoningAgent agent;
+    const ReasoningResult result =
+        agent.consult("fn main() { }", miri::UbCategory::Alloc, context);
+    EXPECT_TRUE(result.exemplar_rules.empty());
+    EXPECT_EQ(result.hits, 0u);
+}
+
+TEST(AgentContextTest, VerifyChargesMiriTime) {
+    llm::SimLLM sim(llm::gpt4_profile(), 11);
+    support::SimClock clock;
+    AgentContext context{sim, clock};
+    const miri::MiriReport report = context.verify("fn main() { print_int(1); }");
+    EXPECT_TRUE(report.passed());
+    EXPECT_GT(clock.total_for("miri"), 0.0);
+}
+
+}  // namespace
+}  // namespace rustbrain::agents

@@ -1,0 +1,120 @@
+// Algorithm 1 invariants: unsafe statements always survive, pruned node
+// count never exceeds the original, irrelevant context disappears.
+#include <gtest/gtest.h>
+
+#include "analysis/prune.hpp"
+#include "analysis/walk.hpp"
+#include "dataset/corpus.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+
+namespace rustbrain::analysis {
+namespace {
+
+lang::Program parse(const std::string& source) {
+    auto program = lang::try_parse(source);
+    EXPECT_TRUE(program.has_value());
+    return program ? std::move(*program) : lang::Program{};
+}
+
+const dataset::Corpus& corpus() {
+    static const dataset::Corpus c = dataset::Corpus::standard();
+    return c;
+}
+
+int count_unsafe_stmts(const lang::Program& program) {
+    int count = 0;
+    WalkCallbacks callbacks;
+    callbacks.on_stmt = [&](const lang::Stmt& stmt, bool) {
+        if (stmt.kind == lang::StmtKind::Unsafe) ++count;
+    };
+    walk_program(program, callbacks);
+    return count;
+}
+
+TEST(PruneTest, DropsIrrelevantStatements) {
+    const auto program = parse(R"(
+fn main() {
+    let noise1 = 1;
+    let noise2 = noise1 + 2;
+    print_int(noise2 as i64);
+    let x = 5;
+    let p = &x as *const i32;
+    unsafe {
+        print_int(*p as i64);
+    }
+})");
+    PruneStats stats;
+    const lang::Program pruned = prune_ast(program, &stats);
+    const std::string printed = lang::print_program(pruned);
+    EXPECT_EQ(printed.find("noise1"), std::string::npos);
+    EXPECT_EQ(printed.find("noise2"), std::string::npos);
+    EXPECT_NE(printed.find("unsafe"), std::string::npos);
+    EXPECT_NE(printed.find("let x"), std::string::npos);  // dependency kept
+    EXPECT_LT(stats.pruned_nodes, stats.original_nodes);
+}
+
+TEST(PruneTest, KeepsUnsafeFunctionsWhole) {
+    const auto program = parse(R"(
+unsafe fn danger(p: *const i32) -> i32 {
+    let tmp = 1;
+    return *p + tmp;
+}
+fn main() {
+    let x = 5;
+    unsafe {
+        let v = danger(&x as *const i32);
+    }
+})");
+    const lang::Program pruned = prune_ast(program);
+    const lang::FnItem* danger = pruned.find_function("danger");
+    ASSERT_NE(danger, nullptr);
+    EXPECT_EQ(danger->body.statements.size(), 2u);
+}
+
+TEST(PruneTest, ProgramWithoutUnsafeShrinksToSkeleton) {
+    const auto program = parse(R"(
+fn main() {
+    let a = 1;
+    print_int(a as i64);
+})");
+    const lang::Program pruned = prune_ast(program);
+    // main is kept (entry point) but its body has no unsafe-relevant code.
+    ASSERT_NE(pruned.find_function("main"), nullptr);
+    EXPECT_TRUE(pruned.find_function("main")->body.statements.empty());
+}
+
+TEST(PruneTest, KeepsMutableStatics) {
+    const auto program = parse(R"(
+static mut G: i64 = 0;
+static UNUSED: i64 = 5;
+fn main() {
+    unsafe { G = 1; }
+})");
+    const lang::Program pruned = prune_ast(program);
+    EXPECT_NE(pruned.find_static("G"), nullptr);
+    EXPECT_EQ(pruned.find_static("UNUSED"), nullptr);
+}
+
+// Property sweep over the full corpus.
+class PruneCorpusSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PruneCorpusSweep, Invariants) {
+    const auto& ub_case = corpus().cases()[GetParam()];
+    const auto program = parse(ub_case.buggy_source);
+    PruneStats stats;
+    const lang::Program pruned = prune_ast(program, &stats);
+    // 1. Never grows.
+    EXPECT_LE(stats.pruned_nodes, stats.original_nodes);
+    // 2. Unsafe statements survive.
+    EXPECT_EQ(count_unsafe_stmts(pruned), count_unsafe_stmts(program));
+    // 3. Result still prints and re-parses.
+    EXPECT_TRUE(lang::try_parse(lang::print_program(pruned)).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PruneCorpusSweep,
+    ::testing::Range<std::size_t>(0, dataset::Corpus::standard().size(), 7));
+
+}  // namespace
+}  // namespace rustbrain::analysis

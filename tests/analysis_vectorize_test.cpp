@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/vectorize.hpp"
+#include "dataset/corpus.hpp"
+#include "lang/parser.hpp"
+
+namespace rustbrain::analysis {
+namespace {
+
+lang::Program parse(const std::string& source) {
+    auto program = lang::try_parse(source);
+    EXPECT_TRUE(program.has_value());
+    return program ? std::move(*program) : lang::Program{};
+}
+
+const dataset::Corpus& corpus() {
+    static const dataset::Corpus c = dataset::Corpus::standard();
+    return c;
+}
+
+TEST(VectorizeTest, NormalizedOutput) {
+    const auto program = parse("fn main() { let x = 1; print_int(x as i64); }");
+    const AstVector vec = vectorize(program);
+    double norm = 0.0;
+    for (float v : vec) norm += static_cast<double>(v) * v;
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST(VectorizeTest, SelfSimilarityIsOne) {
+    const auto program = parse("fn main() { let x = 1; }");
+    const AstVector vec = vectorize(program);
+    EXPECT_NEAR(cosine_similarity(vec, vec), 1.0, 1e-6);  // float storage
+}
+
+TEST(VectorizeTest, NameInsensitive) {
+    // Variants differing only in identifiers/constant buckets map to
+    // identical vectors — the property KB retrieval relies on.
+    const auto a = parse("fn main() { let alpha = 3; print_int(alpha as i64); }");
+    const auto b = parse("fn main() { let beta = 7; print_int(beta as i64); }");
+    EXPECT_NEAR(cosine_similarity(vectorize(a), vectorize(b)), 1.0, 1e-6);
+}
+
+TEST(VectorizeTest, StructureSensitive) {
+    const auto a = parse(
+        "fn main() { unsafe { let p = alloc(8, 8); dealloc(p, 8, 8); } }");
+    const auto b = parse("fn f() { } fn main() { let h = spawn(f); join(h); }");
+    EXPECT_LT(cosine_similarity(vectorize(a), vectorize(b)), 0.8);
+}
+
+TEST(VectorizeTest, CorpusVariantsCloserThanCrossCategory) {
+    const auto v0 =
+        vectorize(parse(corpus().find("alloc/double_free_0")->buggy_source));
+    const auto v1 =
+        vectorize(parse(corpus().find("alloc/double_free_1")->buggy_source));
+    const auto other =
+        vectorize(parse(corpus().find("datarace/counter_0")->buggy_source));
+    const double within = cosine_similarity(v0, v1);
+    const double across = cosine_similarity(v0, other);
+    EXPECT_GT(within, across);
+    EXPECT_GT(within, 0.9);
+}
+
+TEST(VectorizeTest, AllCorpusVectorsFinite) {
+    for (const auto& ub_case : corpus().cases()) {
+        const AstVector vec = vectorize(parse(ub_case.buggy_source));
+        for (float v : vec) {
+            EXPECT_TRUE(std::isfinite(v)) << ub_case.id;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace rustbrain::analysis

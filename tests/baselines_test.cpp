@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "baselines/expert_model.hpp"
+#include "baselines/fixed_pipeline.hpp"
+#include "baselines/standalone_llm.hpp"
+#include "core/rustbrain.hpp"
+#include "dataset/corpus.hpp"
+#include "kb/seed.hpp"
+
+namespace rustbrain::baselines {
+namespace {
+
+const dataset::Corpus& corpus() {
+    static const dataset::Corpus c = dataset::Corpus::standard();
+    return c;
+}
+
+TEST(ExpertModelTest, AlwaysSucceedsWithCategoryTimes) {
+    ExpertModel expert(42);
+    for (const auto& ub_case : corpus().cases()) {
+        const core::CaseResult result = expert.repair(ub_case);
+        EXPECT_TRUE(result.pass);
+        EXPECT_TRUE(result.exec);
+        const double mean_ms =
+            ExpertModel::category_mean_seconds(ub_case.category) * 1000.0;
+        EXPECT_GT(result.time_ms, mean_ms * 0.5);
+        EXPECT_LT(result.time_ms, mean_ms * 2.0);
+    }
+}
+
+TEST(ExpertModelTest, DeterministicPerSeed) {
+    ExpertModel a(7);
+    ExpertModel b(7);
+    const auto& ub_case = corpus().cases().front();
+    EXPECT_DOUBLE_EQ(a.repair(ub_case).time_ms, b.repair(ub_case).time_ms);
+}
+
+TEST(ExpertModelTest, TableOneCalibration) {
+    EXPECT_DOUBLE_EQ(ExpertModel::category_mean_seconds(miri::UbCategory::FuncCall),
+                     1176.0);
+    EXPECT_DOUBLE_EQ(
+        ExpertModel::category_mean_seconds(miri::UbCategory::DanglingPointer),
+        114.0);
+}
+
+TEST(StandaloneTest, WeakerThanRustBrain) {
+    StandaloneLlmRepair solo({"gpt-4", 0.5, 2, 42});
+    core::FeedbackStore feedback;
+    kb::KnowledgeBase kbase;
+    kb::seed_from_corpus(corpus(), kbase);
+    core::RustBrainConfig config;
+    core::RustBrain rb(config, &kbase, &feedback);
+
+    int solo_pass = 0;
+    int rb_pass = 0;
+    for (const auto& ub_case : corpus().cases()) {
+        solo_pass += solo.repair(ub_case).pass;
+        rb_pass += rb.repair(ub_case).pass;
+    }
+    EXPECT_LT(solo_pass, rb_pass);
+    // The paper's 25-35 point lift.
+    EXPECT_GE(rb_pass - solo_pass, static_cast<int>(corpus().size() / 5));
+}
+
+TEST(StandaloneTest, ModelOrderingHolds) {
+    StandaloneLlmRepair weak({"gpt-3.5", 0.5, 2, 42});
+    StandaloneLlmRepair strong({"gpt-4", 0.5, 2, 42});
+    int weak_pass = 0;
+    int strong_pass = 0;
+    for (const auto& ub_case : corpus().cases()) {
+        weak_pass += weak.repair(ub_case).pass;
+        strong_pass += strong.repair(ub_case).pass;
+    }
+    EXPECT_LT(weak_pass, strong_pass);
+}
+
+TEST(StandaloneTest, RejectsUnknownModel) {
+    EXPECT_THROW(StandaloneLlmRepair({"nope", 0.5, 2, 42}), std::invalid_argument);
+}
+
+TEST(FixedPipelineTest, RepairsSomeButTrailsRustBrain) {
+    FixedPipeline assistant({"gpt-4", 0.5, 2, 42});
+    core::FeedbackStore feedback;
+    kb::KnowledgeBase kbase;
+    kb::seed_from_corpus(corpus(), kbase);
+    core::RustBrainConfig config;
+    core::RustBrain rb(config, &kbase, &feedback);
+
+    int assistant_pass = 0;
+    int assistant_exec = 0;
+    int rb_pass = 0;
+    int rb_exec = 0;
+    for (const auto& ub_case : corpus().cases()) {
+        const core::CaseResult a = assistant.repair(ub_case);
+        const core::CaseResult b = rb.repair(ub_case);
+        assistant_pass += a.pass;
+        assistant_exec += a.exec;
+        rb_pass += b.pass;
+        rb_exec += b.exec;
+    }
+    EXPECT_GT(assistant_pass, 0);
+    EXPECT_LT(assistant_pass, rb_pass);
+    EXPECT_LT(assistant_exec, rb_exec);
+    // Fig 12's structure: the exec gap is wider than the pass gap.
+    EXPECT_GT((rb_exec - assistant_exec), (rb_pass - assistant_pass) / 2);
+}
+
+TEST(FixedPipelineTest, FullRollbackOnRegression) {
+    // At high temperature with extra iterations the weak model regresses
+    // (error count grows past the initial one) somewhere in the corpus and
+    // the pipeline pays its restart-from-T0 rollback.
+    FixedPipeline assistant({"gpt-3.5", 0.9, 6, 7});
+    int rollbacks = 0;
+    int steps = 0;
+    for (const auto& ub_case : corpus().cases()) {
+        const core::CaseResult result = assistant.repair(ub_case);
+        rollbacks += result.rollbacks;
+        steps += result.steps_executed;
+    }
+    EXPECT_GT(steps, 0);
+    EXPECT_GT(rollbacks, 0);
+}
+
+TEST(FixedPipelineTest, Deterministic) {
+    FixedPipeline a({"gpt-4", 0.5, 2, 42});
+    FixedPipeline b({"gpt-4", 0.5, 2, 42});
+    const auto& ub_case = corpus().cases().front();
+    EXPECT_EQ(a.repair(ub_case).pass, b.repair(ub_case).pass);
+    EXPECT_DOUBLE_EQ(a.repair(ub_case).time_ms, b.repair(ub_case).time_ms);
+}
+
+TEST(TimingTest, ExpertSlowerThanAllAutomated) {
+    ExpertModel expert(42);
+    StandaloneLlmRepair solo({"gpt-4", 0.5, 2, 42});
+    double expert_time = 0.0;
+    double solo_time = 0.0;
+    for (const auto& ub_case : corpus().cases()) {
+        expert_time += expert.repair(ub_case).time_ms;
+        solo_time += solo.repair(ub_case).time_ms;
+    }
+    // The paper's Table I: several-fold speedup for automated repair.
+    EXPECT_GT(expert_time, solo_time * 3);
+}
+
+}  // namespace
+}  // namespace rustbrain::baselines

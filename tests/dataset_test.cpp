@@ -1,0 +1,165 @@
+// Corpus integrity: every buggy case fails MiriLite with its declared
+// category, every reference fix passes and trace-matches itself.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "dataset/corpus.hpp"
+#include "dataset/semantic.hpp"
+#include "miri/mirilite.hpp"
+
+namespace rustbrain::dataset {
+namespace {
+
+const Corpus& corpus() {
+    static const Corpus c = Corpus::standard();
+    return c;
+}
+
+TEST(CorpusTest, HasAllFourteenCategories) {
+    EXPECT_EQ(corpus().categories().size(), miri::all_ub_categories().size());
+}
+
+TEST(CorpusTest, SizeAndShape) {
+    EXPECT_GE(corpus().size(), 100u);
+    for (miri::UbCategory category : miri::all_ub_categories()) {
+        EXPECT_GE(corpus().by_category(category).size(), 6u)
+            << "too few cases for " << miri::ub_category_label(category);
+    }
+}
+
+TEST(CorpusTest, IdsAreUnique) {
+    std::set<std::string> seen;
+    for (const auto& c : corpus().cases()) {
+        EXPECT_TRUE(seen.insert(c.id).second) << "duplicate id " << c.id;
+    }
+}
+
+TEST(CorpusTest, FindById) {
+    const UbCase* c = corpus().find("alloc/double_free_0");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->category, miri::UbCategory::Alloc);
+    EXPECT_EQ(corpus().find("nope/nope"), nullptr);
+}
+
+TEST(CorpusTest, EveryCaseHasInputs) {
+    for (const auto& c : corpus().cases()) {
+        EXPECT_FALSE(c.inputs.empty()) << c.id;
+    }
+}
+
+// The heavyweight validation: parameterized over every case so failures
+// name the exact offender.
+class CorpusValidation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorpusValidation, BuggyFailsReferencePasses) {
+    const UbCase& c = corpus().cases()[GetParam()];
+    const auto validations = [&] {
+        // Validating one case via the public API would re-run the whole
+        // corpus; call MiriLite directly instead.
+        miri::MiriLite miri;
+        CaseValidation v;
+        v.id = c.id;
+        const miri::MiriReport buggy = miri.test_source(c.buggy_source, c.inputs);
+        v.buggy_fails = !buggy.passed();
+        v.category_matches = buggy.has_category(c.category);
+        const miri::MiriReport fixed = miri.test_source(c.reference_fix, c.inputs);
+        v.reference_passes = fixed.passed();
+        if (!v.buggy_fails) v.detail = "buggy program passed";
+        if (!v.category_matches) v.detail += " wrong category: " + buggy.summary();
+        if (!v.reference_passes) v.detail += " reference failed: " + fixed.summary();
+        return v;
+    }();
+    EXPECT_TRUE(validations.ok())
+        << validations.id << ": " << validations.detail << "\n--- buggy\n"
+        << c.buggy_source << "\n--- reference\n"
+        << c.reference_fix;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, CorpusValidation,
+                         ::testing::Range<std::size_t>(0, Corpus::standard().size()),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                             std::string name =
+                                 Corpus::standard().cases()[info.param].id;
+                             for (char& c : name) {
+                                 if (!std::isalnum(static_cast<unsigned char>(c))) {
+                                     c = '_';
+                                 }
+                             }
+                             return name;
+                         });
+
+TEST(SemanticTest, ReferenceFixIsAcceptable) {
+    const UbCase* c = corpus().find("panic/oob_index_0");
+    ASSERT_NE(c, nullptr);
+    const SemanticVerdict verdict = judge_semantics(c->reference_fix, *c);
+    EXPECT_TRUE(verdict.acceptable()) << verdict.detail;
+}
+
+TEST(SemanticTest, BuggySourceIsNotAcceptable) {
+    const UbCase* c = corpus().find("panic/oob_index_0");
+    ASSERT_NE(c, nullptr);
+    const SemanticVerdict verdict = judge_semantics(c->buggy_source, *c);
+    EXPECT_FALSE(verdict.acceptable());
+    EXPECT_FALSE(verdict.miri_pass);
+}
+
+TEST(SemanticTest, PassButWrongSemanticsRejected) {
+    // A "fix" that silences the panic by printing a constant passes MiriLite
+    // but diverges from the reference trace -> not acceptable.
+    const UbCase* c = corpus().find("panic/div_zero_0");
+    ASSERT_NE(c, nullptr);
+    const std::string lobotomized = R"(fn main() {
+    print_int(25);
+}
+)";
+    const SemanticVerdict verdict = judge_semantics(lobotomized, *c);
+    EXPECT_TRUE(verdict.miri_pass);
+    EXPECT_FALSE(verdict.trace_match);
+    EXPECT_FALSE(verdict.acceptable());
+}
+
+TEST(SemanticTest, EquivalentRewriteAccepted) {
+    // Different shape, same observable behaviour as the reference -> accepted.
+    const UbCase* c = corpus().find("panic/div_zero_0");
+    ASSERT_NE(c, nullptr);
+    const std::string alternative = R"(fn safe_div(total: i64, parts: i64) -> i64 {
+    if parts == 0 {
+        return 0 - 1;
+    }
+    return total / parts;
+}
+fn main() {
+    print_int(safe_div(100, input(0)));
+}
+)";
+    const SemanticVerdict verdict = judge_semantics(alternative, *c);
+    EXPECT_TRUE(verdict.acceptable()) << verdict.detail;
+}
+
+TEST(SemanticTest, UnparseableCandidateRejected) {
+    const UbCase* c = corpus().find("alloc/leak_0");
+    ASSERT_NE(c, nullptr);
+    const SemanticVerdict verdict = judge_semantics("fn main( {", *c);
+    EXPECT_FALSE(verdict.acceptable());
+}
+
+TEST(CorpusTest, StrategiesCoverAllThreeFamilies) {
+    bool safe = false;
+    bool guard = false;
+    bool modify = false;
+    for (const auto& c : corpus().cases()) {
+        switch (c.intended_strategy) {
+            case FixStrategy::SafeAlternative: safe = true; break;
+            case FixStrategy::AssertionGuard: guard = true; break;
+            case FixStrategy::SemanticModification: modify = true; break;
+        }
+    }
+    EXPECT_TRUE(safe);
+    EXPECT_TRUE(guard);
+    EXPECT_TRUE(modify);
+}
+
+}  // namespace
+}  // namespace rustbrain::dataset

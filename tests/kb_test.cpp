@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "analysis/vectorize.hpp"
+#include "dataset/corpus.hpp"
+#include "kb/seed.hpp"
+#include "lang/parser.hpp"
+
+namespace rustbrain::kb {
+namespace {
+
+const dataset::Corpus& corpus() {
+    static const dataset::Corpus c = dataset::Corpus::standard();
+    return c;
+}
+
+const KnowledgeBase& seeded_kb() {
+    static const KnowledgeBase kbase = [] {
+        KnowledgeBase k;
+        seed_from_corpus(corpus(), k);
+        return k;
+    }();
+    return kbase;
+}
+
+analysis::AstVector probe_for(const std::string& case_id) {
+    const auto* ub_case = corpus().find(case_id);
+    auto program = lang::try_parse(ub_case->buggy_source);
+    return analysis::vectorize(prune_or_whole(*program));
+}
+
+TEST(KbTest, SeedingCoversMostCases) {
+    EXPECT_GE(seeded_kb().size(), corpus().size() * 9 / 10);
+}
+
+TEST(KbTest, SeedStatsConsistent) {
+    KnowledgeBase kbase;
+    const SeedStats stats = seed_from_corpus(corpus(), kbase);
+    EXPECT_EQ(stats.cases_processed, corpus().size());
+    EXPECT_EQ(stats.entries_added, kbase.size());
+    EXPECT_GE(stats.rules_verified, stats.entries_added);
+}
+
+TEST(KbTest, SiblingVariantRetrievedFirst) {
+    const auto hits = seeded_kb().query(probe_for("alloc/double_free_0"), 3, 0.6,
+                                        "alloc/double_free_0",
+                                        miri::UbCategory::Alloc);
+    ASSERT_FALSE(hits.empty());
+    // The most similar entries are the parametric siblings.
+    EXPECT_TRUE(hits[0].entry->source_hint == "alloc/double_free_1" ||
+                hits[0].entry->source_hint == "alloc/double_free_2")
+        << hits[0].entry->source_hint;
+    EXPECT_GT(hits[0].similarity, 0.95);
+}
+
+TEST(KbTest, ExcludeHintPreventsSelfRetrieval) {
+    const auto hits = seeded_kb().query(probe_for("alloc/double_free_0"), 10, 0.0,
+                                        "alloc/double_free_0");
+    for (const auto& hit : hits) {
+        EXPECT_NE(hit.entry->source_hint, "alloc/double_free_0");
+    }
+}
+
+TEST(KbTest, CategoryFilterRespected) {
+    const auto hits = seeded_kb().query(probe_for("panic/div_zero_0"), 5, 0.0,
+                                        "panic/div_zero_0",
+                                        miri::UbCategory::Panic);
+    ASSERT_FALSE(hits.empty());
+    for (const auto& hit : hits) {
+        EXPECT_EQ(hit.entry->category, miri::UbCategory::Panic);
+    }
+}
+
+TEST(KbTest, RetrievedRulesAreVerifiedFixes) {
+    const auto hits = seeded_kb().query(probe_for("danglingpointer/use_after_free_0"),
+                                        1, 0.6, "danglingpointer/use_after_free_0",
+                                        miri::UbCategory::DanglingPointer);
+    ASSERT_FALSE(hits.empty());
+    ASSERT_FALSE(hits[0].entry->rule_ids.empty());
+    EXPECT_EQ(hits[0].entry->rule_ids.front(), "move-dealloc-to-end");
+}
+
+TEST(KbTest, MinSimilarityFilters) {
+    const auto none = seeded_kb().query(probe_for("alloc/double_free_0"), 5,
+                                        1.01, "");
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(KbTest, TopKLimitsResults) {
+    const auto hits = seeded_kb().query(probe_for("alloc/double_free_0"), 2, 0.0);
+    EXPECT_LE(hits.size(), 2u);
+}
+
+TEST(KbTest, StatisticsAccumulate) {
+    KnowledgeBase kbase;
+    KbEntry entry;
+    entry.source_hint = "x";
+    entry.category = miri::UbCategory::Alloc;
+    entry.vector[0] = 1.0F;
+    kbase.add(entry);
+    analysis::AstVector probe{};
+    probe[0] = 1.0F;
+    kbase.query(probe, 3, 0.5);
+    kbase.query(probe, 3, 0.5);
+    EXPECT_EQ(kbase.queries_served(), 2u);
+    EXPECT_EQ(kbase.hits_returned(), 2u);
+}
+
+TEST(KbTest, PruneOrWholeFallsBackOnUnsafeFreeCode) {
+    auto program = lang::try_parse(
+        "fn main() { let a = [1, 2, 3]; print_int(a[0] as i64); }");
+    const lang::Program result = prune_or_whole(*program);
+    // No unsafe code: pruning would leave a skeleton, so the whole program
+    // must be used.
+    EXPECT_GT(result.node_count(), 5u);
+}
+
+}  // namespace
+}  // namespace rustbrain::kb

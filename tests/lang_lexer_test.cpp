@@ -1,0 +1,119 @@
+#include "lang/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rustbrain::lang {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view source) {
+    support::DiagnosticEngine diagnostics;
+    Lexer lexer(source, diagnostics);
+    auto tokens = lexer.tokenize();
+    EXPECT_FALSE(diagnostics.has_errors()) << diagnostics.summary();
+    return tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+    const auto tokens = lex_ok("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+    const auto tokens = lex_ok("fn main unsafe letx become");
+    ASSERT_EQ(tokens.size(), 6u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::KwFn);
+    EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[1].text, "main");
+    EXPECT_EQ(tokens[2].kind, TokenKind::KwUnsafe);
+    EXPECT_EQ(tokens[3].kind, TokenKind::Identifier);  // letx is not 'let'
+    EXPECT_EQ(tokens[4].kind, TokenKind::KwBecome);
+}
+
+TEST(LexerTest, DecimalAndHexLiterals) {
+    const auto tokens = lex_ok("42 0x2A 1_000");
+    EXPECT_EQ(tokens[0].int_value, 42u);
+    EXPECT_EQ(tokens[1].int_value, 42u);
+    EXPECT_EQ(tokens[2].int_value, 1000u);
+}
+
+TEST(LexerTest, HexLiteralNeedsDigits) {
+    support::DiagnosticEngine diagnostics;
+    Lexer lexer("0x", diagnostics);
+    lexer.tokenize();
+    EXPECT_TRUE(diagnostics.has_errors());
+}
+
+TEST(LexerTest, LiteralOverflowDiagnosed) {
+    support::DiagnosticEngine diagnostics;
+    Lexer lexer("99999999999999999999999999", diagnostics);
+    lexer.tokenize();
+    EXPECT_TRUE(diagnostics.has_errors());
+}
+
+TEST(LexerTest, MultiCharOperators) {
+    const auto tokens = lex_ok("-> == != <= >= << >> && ||");
+    EXPECT_EQ(tokens[0].kind, TokenKind::Arrow);
+    EXPECT_EQ(tokens[1].kind, TokenKind::EqEq);
+    EXPECT_EQ(tokens[2].kind, TokenKind::NotEq);
+    EXPECT_EQ(tokens[3].kind, TokenKind::Le);
+    EXPECT_EQ(tokens[4].kind, TokenKind::Ge);
+    EXPECT_EQ(tokens[5].kind, TokenKind::Shl);
+    EXPECT_EQ(tokens[6].kind, TokenKind::Shr);
+    EXPECT_EQ(tokens[7].kind, TokenKind::AmpAmp);
+    EXPECT_EQ(tokens[8].kind, TokenKind::PipePipe);
+}
+
+TEST(LexerTest, SingleVsDoubleAmp) {
+    const auto tokens = lex_ok("a & b && c");
+    EXPECT_EQ(tokens[1].kind, TokenKind::Amp);
+    EXPECT_EQ(tokens[3].kind, TokenKind::AmpAmp);
+}
+
+TEST(LexerTest, LineAndBlockComments) {
+    const auto tokens = lex_ok("a // comment\nb /* multi\nline */ c");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+    EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+    const auto tokens = lex_ok("a\n  b");
+    EXPECT_EQ(tokens[0].span.line, 1u);
+    EXPECT_EQ(tokens[0].span.column, 1u);
+    EXPECT_EQ(tokens[1].span.line, 2u);
+    EXPECT_EQ(tokens[1].span.column, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacterDiagnosed) {
+    support::DiagnosticEngine diagnostics;
+    Lexer lexer("let $ = 1;", diagnostics);
+    const auto tokens = lexer.tokenize();
+    EXPECT_TRUE(diagnostics.has_errors());
+    bool saw_invalid = false;
+    for (const auto& token : tokens) {
+        if (token.kind == TokenKind::Invalid) saw_invalid = true;
+    }
+    EXPECT_TRUE(saw_invalid);
+}
+
+TEST(LexerTest, PunctuationInventory) {
+    const auto tokens = lex_ok("( ) { } [ ] , ; : = + - * / % ^ ! < >");
+    const TokenKind expected[] = {
+        TokenKind::LParen, TokenKind::RParen,  TokenKind::LBrace,
+        TokenKind::RBrace, TokenKind::LBracket, TokenKind::RBracket,
+        TokenKind::Comma,  TokenKind::Semicolon, TokenKind::Colon,
+        TokenKind::Eq,     TokenKind::Plus,    TokenKind::Minus,
+        TokenKind::Star,   TokenKind::Slash,   TokenKind::Percent,
+        TokenKind::Caret,  TokenKind::Bang,    TokenKind::Lt,
+        TokenKind::Gt,
+    };
+    ASSERT_GE(tokens.size(), std::size(expected));
+    for (std::size_t i = 0; i < std::size(expected); ++i) {
+        EXPECT_EQ(tokens[i].kind, expected[i]) << "at index " << i;
+    }
+}
+
+}  // namespace
+}  // namespace rustbrain::lang

@@ -1,0 +1,117 @@
+#include "lang/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+
+namespace rustbrain::lang {
+namespace {
+
+Program parse_ok(std::string_view source) {
+    std::string error;
+    auto program = try_parse(source, &error);
+    EXPECT_TRUE(program.has_value()) << error;
+    return program ? std::move(*program) : Program{};
+}
+
+void expect_round_trip(std::string_view source) {
+    const Program original = parse_ok(source);
+    const std::string printed = print_program(original);
+    std::string error;
+    auto reparsed = try_parse(printed, &error);
+    ASSERT_TRUE(reparsed.has_value()) << "printed program failed to parse:\n"
+                                      << printed << "\n"
+                                      << error;
+    EXPECT_TRUE(equals(original, *reparsed))
+        << "round-trip changed structure:\n--- original source\n"
+        << source << "\n--- printed\n"
+        << printed;
+}
+
+TEST(PrinterTest, SimpleFunction) {
+    const auto program = parse_ok("fn main() { let x = 1; }");
+    const std::string printed = print_program(program);
+    EXPECT_NE(printed.find("fn main() {"), std::string::npos);
+    EXPECT_NE(printed.find("let x = 1;"), std::string::npos);
+}
+
+TEST(PrinterTest, PreservesUnsafeMarkers) {
+    const auto program = parse_ok(
+        "unsafe fn f() { } fn main() { unsafe { f(); } }");
+    const std::string printed = print_program(program);
+    EXPECT_NE(printed.find("unsafe fn f()"), std::string::npos);
+    EXPECT_NE(printed.find("unsafe {"), std::string::npos);
+}
+
+// Round-trip property over representative programs, one per language area.
+class PrinterRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterRoundTrip, ParsePrintParseIsIdentity) { expect_round_trip(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, PrinterRoundTrip,
+    ::testing::Values(
+        "fn main() { }",
+        "fn main() { let x = 1 + 2 * 3 - 4 / 5 % 6; }",
+        "fn main() { let b = (1 + 2) * 3; }",
+        "fn main() { let b = true && false || 1 < 2; }",
+        "fn main() { let x = 1 & 2 | 3 ^ 4; let y = 1 << 2 >> 1; }",
+        "fn main() { let mut x = 5; x = x + 1; }",
+        "static mut G: i64 = 7; fn main() { unsafe { G = 1; } }",
+        "static T: [i32; 4] = [1, 2, 3, 4]; fn main() { }",
+        "fn main() { let a: [u8; 2] = [23, 7]; let n = a[0]; }",
+        "fn main() { let a = [0; 16]; }",
+        "fn main() { let x = 5; let p = &x as *const i32; unsafe { let y = *p; } }",
+        "fn main() { let mut x = 5; let p = &mut x as *mut i32; unsafe { *p = 6; } }",
+        "fn main() { let p = 4096 as *const i32; }",
+        "fn main() { let x = 1 as i64 as i32 as u8; }",
+        "fn f(a: i32, b: i32) -> i32 { return a + b; } fn main() { let s = f(1, 2); }",
+        "fn f() { } fn main() { let g = f; (g)(); }",
+        "fn f() { } fn main() { let h = spawn(f); join(h); }",
+        "unsafe fn danger() -> i32 { return 1; } fn main() { unsafe { let x = danger(); } }",
+        "fn main() { if true { print_int(1); } else { print_int(2); } }",
+        "fn main() { let x = 2; if x == 1 { } else if x == 2 { print_int(2); } }",
+        "fn main() { let mut i = 0; while i < 10 { i = i + 1; } }",
+        "fn main() { { let inner = 1; } }",
+        "fn loop_fn(n: i32) -> i32 { if n <= 0 { return 0; } become loop_fn(n - 1); } "
+        "fn main() { let r = loop_fn(3); }",
+        "fn main() { unsafe { let p = alloc(8, 8); dealloc(p, 8, 8); } }",
+        "fn main() { unsafe { let p = alloc(16, 8); let q = offset(p, 8); "
+        "dealloc(p, 16, 8); } }",
+        "fn main() { let neg = -5; let not_b = !true; let not_i = !0; }",
+        "fn main() { print_int(input(0)); print_bool(true); assert(1 == 1); }"));
+
+TEST(PrinterTest, DeepNestingRoundTrip) {
+    expect_round_trip(R"(
+fn main() {
+    let mut total = 0;
+    let mut i = 0;
+    while i < 4 {
+        if i % 2 == 0 {
+            let mut j = 0;
+            while j < i {
+                total = total + (i * 10 + j);
+                j = j + 1;
+            }
+        } else {
+            unsafe {
+                let p = &total as *const i32;
+                total = *p + 1;
+            }
+        }
+        i = i + 1;
+    }
+    print_int(total as i64);
+})");
+}
+
+TEST(PrinterTest, PrintedCastsKeepStructure) {
+    // Regression guard for parenthesization: (a + b) as i64 vs a + (b as i64).
+    const auto sum_cast = parse_ok("fn main() { let x = (1 + 2) as i64; }");
+    const auto cast_sum = parse_ok("fn main() { let x = 1 + (2 as i64 as i32); }");
+    EXPECT_FALSE(equals(sum_cast, cast_sum));
+    expect_round_trip("fn main() { let x = (1 + 2) as i64; }");
+}
+
+}  // namespace
+}  // namespace rustbrain::lang

@@ -1,0 +1,256 @@
+#include "lang/typecheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+
+namespace rustbrain::lang {
+namespace {
+
+Program parse_ok(std::string_view source) {
+    std::string error;
+    auto program = try_parse(source, &error);
+    EXPECT_TRUE(program.has_value()) << error;
+    return program ? std::move(*program) : Program{};
+}
+
+void expect_checks(std::string_view source) {
+    Program program = parse_ok(source);
+    std::string error;
+    EXPECT_TRUE(type_check(program, &error)) << error << "\nsource:\n" << source;
+}
+
+void expect_rejects(std::string_view source, std::string_view needle = "") {
+    Program program = parse_ok(source);
+    std::string error;
+    const bool ok = type_check(program, &error);
+    EXPECT_FALSE(ok) << "expected type error for:\n" << source;
+    if (!ok && !needle.empty()) {
+        EXPECT_NE(error.find(needle), std::string::npos)
+            << "diagnostic was:\n" << error;
+    }
+}
+
+TEST(TypecheckTest, AcceptsMinimalMain) { expect_checks("fn main() { }"); }
+
+TEST(TypecheckTest, RequiresMain) {
+    expect_rejects("fn helper() { }", "no 'main'");
+}
+
+TEST(TypecheckTest, MainSignatureConstraints) {
+    expect_rejects("fn main(x: i32) { }", "'main' must take no parameters");
+    expect_rejects("fn main() -> i32 { return 1; }", "'main' must return ()");
+}
+
+TEST(TypecheckTest, DuplicateFunctionNames) {
+    expect_rejects("fn f() { } fn f() { } fn main() { }", "duplicate function");
+}
+
+TEST(TypecheckTest, LiteralAdoptsDeclaredType) {
+    Program program = parse_ok("fn main() { let x: i64 = 5; }");
+    ASSERT_TRUE(type_check(program));
+    const auto& let = static_cast<const LetStmt&>(*program.functions[0].body.statements[0]);
+    EXPECT_EQ(let.init->type, Type::i64());
+}
+
+TEST(TypecheckTest, LiteralDefaultsToI32) {
+    Program program = parse_ok("fn main() { let x = 5; }");
+    ASSERT_TRUE(type_check(program));
+    const auto& let = static_cast<const LetStmt&>(*program.functions[0].body.statements[0]);
+    EXPECT_EQ(let.init->type, Type::i32());
+}
+
+TEST(TypecheckTest, BinaryTypeMismatchRejected) {
+    expect_rejects("fn main() { let a: i32 = 1; let b: i64 = 2; let c = a + b; }",
+                   "type mismatch");
+}
+
+TEST(TypecheckTest, LiteralInfersFromOtherSide) {
+    expect_checks("fn main() { let a: i64 = 5; let b = a + 1; let c = 1 + a; }");
+}
+
+TEST(TypecheckTest, ConditionsMustBeBool) {
+    expect_rejects("fn main() { if 1 { } }", "must be bool");
+    expect_rejects("fn main() { while 0 { } }", "must be bool");
+}
+
+TEST(TypecheckTest, AssignmentRules) {
+    expect_checks("fn main() { let mut x = 1; x = 2; }");
+    expect_rejects("fn main() { let x = 1; x = 2; }", "not mutable");
+    expect_rejects("fn main() { let mut x = 1; x = true; }", "mismatch");
+    expect_rejects("fn main() { 1 = 2; }", "not a place");
+}
+
+TEST(TypecheckTest, ReturnTypeChecked) {
+    expect_checks("fn f() -> i32 { return 1; } fn main() { }");
+    expect_rejects("fn f() -> i32 { return true; } fn main() { }", "return type");
+    expect_rejects("fn f() -> i32 { return; } fn main() { }", "bare 'return'");
+}
+
+TEST(TypecheckTest, UnsafeRequiredForRawDeref) {
+    expect_rejects(
+        "fn main() { let x = 5; let p = &x as *const i32; let y = *p; }",
+        "unsafe");
+    expect_checks(
+        "fn main() { let x = 5; let p = &x as *const i32; unsafe { let y = *p; } }");
+}
+
+TEST(TypecheckTest, RefDerefIsSafe) {
+    expect_checks("fn main() { let x = 5; let r = &x; let y = *r; }");
+}
+
+TEST(TypecheckTest, UnsafeRequiredForUnsafeFnCall) {
+    expect_rejects("unsafe fn danger() { } fn main() { danger(); }", "unsafe");
+    expect_checks("unsafe fn danger() { } fn main() { unsafe { danger(); } }");
+}
+
+TEST(TypecheckTest, UnsafeFnBodyIsUnsafeContext) {
+    expect_checks(
+        "unsafe fn danger(p: *const i32) -> i32 { return *p; } fn main() { }");
+}
+
+TEST(TypecheckTest, StaticMutNeedsUnsafe) {
+    expect_rejects("static mut G: i64 = 0; fn main() { G = 1; }", "unsafe");
+    expect_rejects("static mut G: i64 = 0; fn main() { let x = G; }", "unsafe");
+    expect_checks("static mut G: i64 = 0; fn main() { unsafe { G = 1; } }");
+}
+
+TEST(TypecheckTest, PlainStaticReadIsSafe) {
+    expect_checks("static LIMIT: i64 = 10; fn main() { let x = LIMIT; }");
+}
+
+TEST(TypecheckTest, StaticInitMustBeConstant) {
+    expect_rejects("static G: i64 = input(0); fn main() { }", "literal");
+}
+
+TEST(TypecheckTest, StaticInitTypeMismatch) {
+    expect_rejects("static G: i64 = true; fn main() { }", "initialized with");
+}
+
+TEST(TypecheckTest, SharedRefToMutPtrRejected) {
+    expect_rejects("fn main() { let x = 1; let p = &x as *mut i32; }",
+                   "read-only");
+    expect_checks("fn main() { let mut x = 1; let p = &mut x as *mut i32; }");
+}
+
+TEST(TypecheckTest, AddrOfMutNeedsMutPlace) {
+    expect_rejects("fn main() { let x = 1; let r = &mut x; }", "not mutable");
+}
+
+TEST(TypecheckTest, ArrayDecayCast) {
+    expect_checks("fn main() { let a = [1, 2, 3]; let p = &a as *const i32; }");
+}
+
+TEST(TypecheckTest, IntToFnPtrNeedsUnsafe) {
+    expect_rejects(
+        "fn f() { } fn main() { let a = f as usize; let g = a as fn(); }",
+        "unsafe");
+    expect_checks(
+        "fn f() { } fn main() { let a = f as usize; unsafe { let g = a as fn(); } }");
+}
+
+TEST(TypecheckTest, FnPtrSignatureTransmuteNeedsUnsafe) {
+    expect_rejects(
+        "fn f(x: i32) -> i32 { return x; } "
+        "fn main() { let g = (f as fn(i32) -> i32) as fn(i64) -> i64; }",
+        "unsafe");
+}
+
+TEST(TypecheckTest, IndexingRules) {
+    expect_checks("fn main() { let a = [1, 2, 3]; let x = a[0]; }");
+    expect_checks("fn main() { let a = [1, 2]; let r = &a; let x = r[1]; }");
+    expect_rejects("fn main() { let x = 5; let y = x[0]; }", "cannot index");
+    expect_rejects(
+        "fn main() { let a = [1, 2]; unsafe { let p = &a as *const i32; let x = p[0]; } }",
+        "cannot index");
+}
+
+TEST(TypecheckTest, CallArityAndTypes) {
+    expect_rejects("fn f(a: i32) { } fn main() { f(); }", "expects 1 arguments");
+    expect_rejects("fn f(a: i32) { } fn main() { f(true); }", "argument 1");
+    expect_rejects("fn main() { nosuch(); }", "unknown function");
+}
+
+TEST(TypecheckTest, FnPointerFlow) {
+    expect_checks(R"(
+fn double(x: i32) -> i32 { return x * 2; }
+fn main() {
+    let f: fn(i32) -> i32 = double;
+    let y = f(21);
+    print_int(y as i64);
+})");
+}
+
+TEST(TypecheckTest, BecomeChecksSignatures) {
+    expect_checks(
+        "fn f(n: i32) -> i32 { if n <= 0 { return 0; } become f(n - 1); } fn main() { }");
+    expect_rejects(
+        "fn g() -> i64 { return 1; } fn f() -> i32 { become g(); } fn main() { }",
+        "become target returns");
+    expect_rejects(
+        "fn g(x: i32) -> i32 { return x; } fn f() -> i32 { become g(); } fn main() { }",
+        "argument count");
+}
+
+TEST(TypecheckTest, IntrinsicSignatures) {
+    expect_checks("fn main() { unsafe { let p = alloc(8, 8); dealloc(p, 8, 8); } }");
+    expect_rejects("fn main() { let p = alloc(8); }", "expects 2 arguments");
+    expect_rejects("fn main() { unsafe { dealloc(1, 8, 8); } }", "raw pointer");
+    expect_rejects("fn main() { assert(1); }", "bool");
+    expect_checks("fn f() { } fn main() { let h = spawn(f); join(h); }");
+    expect_rejects("fn f(x: i32) { } fn main() { let h = spawn(f); }",
+                   "no parameters");
+    expect_checks(
+        "static mut V: i64 = 0; fn main() { unsafe { "
+        "let p = &mut V as *mut i64; atomic_store(p, 5); "
+        "let x = atomic_load(p as *const i64); let y = atomic_fetch_add(p, 1); } }");
+    expect_rejects("fn main() { unsafe { atomic_load(5 as *const i32); } }",
+                   "atomic_load");
+}
+
+TEST(TypecheckTest, DeallocRequiresUnsafe) {
+    expect_rejects("fn main() { let p = alloc(8, 8); dealloc(p, 8, 8); }", "unsafe");
+}
+
+TEST(TypecheckTest, OffsetRequiresUnsafe) {
+    expect_rejects(
+        "fn main() { let p = alloc(8, 8); let q = offset(p, 1); }", "unsafe");
+}
+
+TEST(TypecheckTest, ShadowingAllowed) {
+    expect_checks("fn main() { let x = 1; let x = true; let y = x && false; }");
+}
+
+TEST(TypecheckTest, ScopesEnd) {
+    expect_rejects("fn main() { { let inner = 1; } let y = inner; }", "unknown name");
+}
+
+TEST(TypecheckTest, NegOnUnsignedRejected) {
+    expect_rejects("fn main() { let x: u32 = 5; let y = -x; }", "signed");
+}
+
+TEST(TypecheckTest, ComparisonsYieldBool) {
+    Program program = parse_ok("fn main() { let b = 1 < 2; }");
+    ASSERT_TRUE(type_check(program));
+    const auto& let = static_cast<const LetStmt&>(*program.functions[0].body.statements[0]);
+    EXPECT_EQ(let.init->type, Type::boolean());
+}
+
+TEST(TypecheckTest, PointerComparisonAllowed) {
+    expect_checks(
+        "fn main() { let x = 1; let p = &x as *const i32; let q = p; "
+        "let same = p == q; }");
+}
+
+TEST(TypecheckTest, AnnotatesExpressionTypes) {
+    Program program = parse_ok(
+        "fn main() { let x = 5; let p = &x as *const i32; unsafe { let y = *p; } }");
+    ASSERT_TRUE(type_check(program));
+    const auto& unsafe_stmt =
+        static_cast<const UnsafeStmt&>(*program.functions[0].body.statements[2]);
+    const auto& let = static_cast<const LetStmt&>(*unsafe_stmt.block.statements[0]);
+    EXPECT_EQ(let.init->type, Type::i32());
+}
+
+}  // namespace
+}  // namespace rustbrain::lang

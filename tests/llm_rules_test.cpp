@@ -1,0 +1,170 @@
+// The rule library's core guarantee: for every corpus case, at least one
+// repair rule produces a patch that passes MiriLite AND matches the
+// developer reference semantics. (SimLLM quality then only determines how
+// reliably that rule gets selected and applied un-corrupted.)
+#include <gtest/gtest.h>
+
+#include "dataset/corpus.hpp"
+#include "dataset/semantic.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "llm/rules.hpp"
+#include "miri/mirilite.hpp"
+
+namespace rustbrain::llm {
+namespace {
+
+const dataset::Corpus& corpus() {
+    static const dataset::Corpus c = dataset::Corpus::standard();
+    return c;
+}
+
+miri::Finding first_finding(const dataset::UbCase& ub_case) {
+    miri::MiriLite miri;
+    const auto report = miri.test_source(ub_case.buggy_source, ub_case.inputs);
+    EXPECT_FALSE(report.passed());
+    return report.findings.empty() ? miri::Finding{} : report.findings[0];
+}
+
+TEST(RuleLibraryTest, LibraryIsPopulated) {
+    EXPECT_GE(rule_library().size(), 25u);
+    EXPECT_NE(find_rule("move-dealloc-to-end"), nullptr);
+    EXPECT_EQ(find_rule("no-such-rule"), nullptr);
+}
+
+TEST(RuleLibraryTest, EveryCategoryHasRules) {
+    for (miri::UbCategory category : miri::all_ub_categories()) {
+        EXPECT_FALSE(rules_for_category(category).empty())
+            << miri::ub_category_label(category);
+    }
+}
+
+TEST(RuleLibraryTest, RuleIdsUnique) {
+    std::set<std::string> seen;
+    for (const RepairRule& rule : rule_library()) {
+        EXPECT_TRUE(seen.insert(rule.id).second) << rule.id;
+    }
+}
+
+TEST(RuleLibraryTest, AllThreeFamiliesPresent) {
+    bool safe = false;
+    bool assertion = false;
+    bool modification = false;
+    for (const RepairRule& rule : rule_library()) {
+        if (rule.family == RuleFamily::SafeReplacement) safe = true;
+        if (rule.family == RuleFamily::Assertion) assertion = true;
+        if (rule.family == RuleFamily::Modification) modification = true;
+    }
+    EXPECT_TRUE(safe && assertion && modification);
+}
+
+// Per-case: some rule (searched among the category's affinity rules) fully
+// repairs the case.
+class RuleCoverage : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RuleCoverage, SomeRuleRepairsCase) {
+    const dataset::UbCase& ub_case = corpus().cases()[GetParam()];
+    const miri::Finding finding = first_finding(ub_case);
+    auto program = lang::try_parse(ub_case.buggy_source);
+    ASSERT_TRUE(program.has_value());
+
+    std::string attempts;
+    for (const RepairRule* rule : rules_for_category(ub_case.category)) {
+        const auto patched = rule->apply(*program, finding);
+        if (!patched) {
+            attempts += rule->id + ": not applicable\n";
+            continue;
+        }
+        const auto verdict = dataset::judge_semantics(*patched, ub_case);
+        if (verdict.acceptable()) {
+            SUCCEED();
+            return;
+        }
+        attempts += rule->id + ": " +
+                    (verdict.miri_pass ? "passes but trace diverges"
+                                       : "still fails MiriLite") +
+                    " (" + verdict.detail + ")\n";
+    }
+    FAIL() << "no rule repairs " << ub_case.id << "\n"
+           << attempts << "--- buggy\n"
+           << ub_case.buggy_source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, RuleCoverage,
+    ::testing::Range<std::size_t>(0, dataset::Corpus::standard().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+        std::string name = dataset::Corpus::standard().cases()[info.param].id;
+        for (char& c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+        }
+        return name;
+    });
+
+TEST(RuleBehaviorTest, RulesDeclineOnIrrelevantPrograms) {
+    auto program = lang::try_parse("fn main() { print_int(1); }");
+    ASSERT_TRUE(program.has_value());
+    miri::Finding finding;
+    finding.category = miri::UbCategory::Alloc;
+    int applicable = 0;
+    for (const RepairRule& rule : rule_library()) {
+        if (rule.apply(*program, finding).has_value()) ++applicable;
+    }
+    EXPECT_EQ(applicable, 0);
+}
+
+TEST(RuleBehaviorTest, ApplyDoesNotMutateInput) {
+    const dataset::UbCase* ub_case = corpus().find("alloc/double_free_0");
+    ASSERT_NE(ub_case, nullptr);
+    auto program = lang::try_parse(ub_case->buggy_source);
+    ASSERT_TRUE(program.has_value());
+    const std::string before = lang::print_program(*program);
+    const miri::Finding finding = first_finding(*ub_case);
+    for (const RepairRule& rule : rule_library()) {
+        rule.apply(*program, finding);
+    }
+    EXPECT_EQ(lang::print_program(*program), before);
+}
+
+TEST(RuleBehaviorTest, WrongStrategyCanPassButDivergeSemantics) {
+    // guard-null-check applied to a use-after-free does not repair it; the
+    // pipeline must notice via verification, not trust the model.
+    const dataset::UbCase* ub_case =
+        corpus().find("danglingpointer/use_after_free_0");
+    ASSERT_NE(ub_case, nullptr);
+    auto program = lang::try_parse(ub_case->buggy_source);
+    ASSERT_TRUE(program.has_value());
+    const RepairRule* rule = find_rule("guard-null-check");
+    ASSERT_NE(rule, nullptr);
+    const auto patched = rule->apply(*program, first_finding(*ub_case));
+    if (patched) {
+        const auto verdict = dataset::judge_semantics(*patched, *ub_case);
+        EXPECT_FALSE(verdict.acceptable());
+    }
+}
+
+TEST(RuleBehaviorTest, PatchedProgramsStillTypeCheck) {
+    // Rules must emit well-formed programs (otherwise the repair loop counts
+    // a compile error, which real tools try hard to avoid).
+    int patches = 0;
+    for (const auto& ub_case : corpus().cases()) {
+        auto program = lang::try_parse(ub_case.buggy_source);
+        ASSERT_TRUE(program.has_value());
+        const miri::Finding finding = first_finding(ub_case);
+        for (const RepairRule* rule : rules_for_category(ub_case.category)) {
+            const auto patched = rule->apply(*program, finding);
+            if (!patched) continue;
+            ++patches;
+            const std::string source = lang::print_program(*patched);
+            std::string error;
+            EXPECT_TRUE(lang::try_parse(source, &error).has_value())
+                << rule->id << " on " << ub_case.id << ":\n"
+                << error << "\n"
+                << source;
+        }
+    }
+    EXPECT_GT(patches, 100);
+}
+
+}  // namespace
+}  // namespace rustbrain::llm

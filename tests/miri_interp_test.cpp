@@ -1,0 +1,350 @@
+// Semantics tests for the interpreter on well-behaved programs: values,
+// control flow, functions, arrays, casts, observable output.
+#include <gtest/gtest.h>
+
+#include "miri/mirilite.hpp"
+
+namespace rustbrain::miri {
+namespace {
+
+std::vector<std::string> output_of(const std::string& source,
+                                   std::vector<std::int64_t> inputs = {}) {
+    MiriLite miri;
+    const MiriReport report = miri.test_source(source, {inputs});
+    EXPECT_TRUE(report.passed()) << report.summary() << "\nsource:\n" << source;
+    return report.outputs.empty() ? std::vector<std::string>{} : report.outputs[0];
+}
+
+TEST(InterpTest, Arithmetic) {
+    EXPECT_EQ(output_of("fn main() { print_int(((2 + 3) * 4 - 6) / 2 % 5); }"),
+              std::vector<std::string>{"2"});
+}
+
+TEST(InterpTest, SignedPrinting) {
+    EXPECT_EQ(output_of("fn main() { let x: i32 = 0 - 7; print_int(x as i64); }"),
+              std::vector<std::string>{"-7"});
+}
+
+TEST(InterpTest, UnsignedPrinting) {
+    EXPECT_EQ(output_of("fn main() { let x: u8 = 200; print_int(x as i64); }"),
+              std::vector<std::string>{"200"});
+}
+
+TEST(InterpTest, BitOperations) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let a: u32 = 12;
+    let b: u32 = 10;
+    print_int((a & b) as i64);
+    print_int((a | b) as i64);
+    print_int((a ^ b) as i64);
+    print_int((a << 2) as i64);
+    print_int((a >> 1) as i64);
+})"),
+              (std::vector<std::string>{"8", "14", "6", "48", "6"}));
+}
+
+TEST(InterpTest, SignedShiftRight) {
+    EXPECT_EQ(output_of(
+                  "fn main() { let a: i32 = 0 - 8; print_int((a >> 1) as i64); }"),
+              std::vector<std::string>{"-4"});
+}
+
+TEST(InterpTest, ShortCircuitAvoidsSideEffects) {
+    EXPECT_EQ(output_of(R"(
+fn boom() -> bool {
+    panic();
+    return true;
+}
+fn main() {
+    let a = false && boom();
+    let b = true || boom();
+    print_bool(a);
+    print_bool(b);
+})"),
+              (std::vector<std::string>{"false", "true"}));
+}
+
+TEST(InterpTest, WhileLoopSum) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let mut total: i64 = 0;
+    let mut i: i64 = 1;
+    while i <= 10 {
+        total = total + i;
+        i = i + 1;
+    }
+    print_int(total);
+})"),
+              std::vector<std::string>{"55"});
+}
+
+TEST(InterpTest, NestedIfElse) {
+    EXPECT_EQ(output_of(R"(
+fn classify(x: i64) -> i64 {
+    if x < 0 {
+        return 0 - 1;
+    } else if x == 0 {
+        return 0;
+    } else {
+        return 1;
+    }
+}
+fn main() {
+    print_int(classify(0 - 5));
+    print_int(classify(0));
+    print_int(classify(9));
+})"),
+              (std::vector<std::string>{"-1", "0", "1"}));
+}
+
+TEST(InterpTest, RecursionFactorial) {
+    EXPECT_EQ(output_of(R"(
+fn fact(n: i64) -> i64 {
+    if n <= 1 { return 1; }
+    return n * fact(n - 1);
+}
+fn main() { print_int(fact(10)); })"),
+              std::vector<std::string>{"3628800"});
+}
+
+TEST(InterpTest, ArraysAndIndexing) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let mut a: [i64; 4] = [1, 2, 3, 4];
+    a[2] = 30;
+    let mut i: usize = 0;
+    let mut total: i64 = 0;
+    while i < 4 {
+        total = total + a[i];
+        i = i + 1;
+    }
+    print_int(total);
+})"),
+              std::vector<std::string>{"37"});
+}
+
+TEST(InterpTest, ArrayRepeatInit) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let a: [i32; 8] = [7; 8];
+    print_int((a[0] + a[7]) as i64);
+})"),
+              std::vector<std::string>{"14"});
+}
+
+TEST(InterpTest, ArrayThroughReference) {
+    EXPECT_EQ(output_of(R"(
+fn sum(r: &[i64; 3]) -> i64 {
+    return r[0] + r[1] + r[2];
+}
+fn main() {
+    let a: [i64; 3] = [10, 20, 30];
+    print_int(sum(&a));
+})"),
+              std::vector<std::string>{"60"});
+}
+
+TEST(InterpTest, ReferencesReadWrite) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let mut x = 5;
+    let r = &mut x;
+    *r = *r + 1;
+    print_int(x as i64);
+})"),
+              std::vector<std::string>{"6"});
+}
+
+TEST(InterpTest, RawPointerRoundTrip) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let mut x: i64 = 11;
+    let p = &mut x as *mut i64;
+    unsafe {
+        *p = *p * 2;
+        print_int(*p);
+    }
+})"),
+              std::vector<std::string>{"22"});
+}
+
+TEST(InterpTest, HeapBufferSum) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    unsafe {
+        let base = alloc(32, 8);
+        let p = base as *mut i64;
+        let mut i: i64 = 0;
+        while i < 4 {
+            let slot = offset(p, i as isize);
+            *slot = i * i;
+            i = i + 1;
+        }
+        let mut total: i64 = 0;
+        i = 0;
+        while i < 4 {
+            total = total + *offset(p, i as isize);
+            i = i + 1;
+        }
+        print_int(total);
+        dealloc(base, 32, 8);
+    }
+})"),
+              std::vector<std::string>{"14"});
+}
+
+TEST(InterpTest, IntegerCastChain) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let a: i64 = 300;
+    let b = a as u8;
+    print_int(b as i64);
+    let c: i8 = 0 - 1;
+    print_int(c as i64);
+    print_int((c as u8) as i64);
+})"),
+              (std::vector<std::string>{"44", "-1", "255"}));
+}
+
+TEST(InterpTest, BoolCasts) {
+    EXPECT_EQ(output_of("fn main() { print_int(true as i64 + false as i64); }"),
+              std::vector<std::string>{"1"});
+}
+
+TEST(InterpTest, PointerEqualityViaInt) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let x = 5;
+    let p = &x as *const i32;
+    let q = p;
+    print_bool(p == q);
+})"),
+              std::vector<std::string>{"true"});
+}
+
+TEST(InterpTest, FnPointersAsValues) {
+    EXPECT_EQ(output_of(R"(
+fn inc(x: i64) -> i64 { return x + 1; }
+fn dec(x: i64) -> i64 { return x - 1; }
+fn apply_twice(f: fn(i64) -> i64, x: i64) -> i64 {
+    return f(f(x));
+}
+fn main() {
+    print_int(apply_twice(inc, 10));
+    print_int(apply_twice(dec, 10));
+})"),
+              (std::vector<std::string>{"12", "8"}));
+}
+
+TEST(InterpTest, StaticsInitializedAndShared) {
+    EXPECT_EQ(output_of(R"(
+static LIMIT: i64 = 40;
+static mut ACC: i64 = 2;
+fn bump(n: i64) {
+    unsafe { ACC = ACC + n; }
+}
+fn main() {
+    bump(LIMIT);
+    unsafe { print_int(ACC); }
+})"),
+              std::vector<std::string>{"42"});
+}
+
+TEST(InterpTest, StaticArray) {
+    EXPECT_EQ(output_of(R"(
+static TABLE: [i64; 4] = [2, 3, 5, 7];
+fn main() {
+    print_int(TABLE[0] + TABLE[3]);
+})"),
+              std::vector<std::string>{"9"});
+}
+
+TEST(InterpTest, InputsDriveBranches) {
+    MiriLite miri;
+    const MiriReport report = miri.test_source(R"(
+fn main() {
+    if input(0) > 0 {
+        print_int(1);
+    } else {
+        print_int(2);
+    }
+})",
+                                               {{5}, {-3}});
+    ASSERT_TRUE(report.passed()) << report.summary();
+    EXPECT_EQ(report.outputs[0], std::vector<std::string>{"1"});
+    EXPECT_EQ(report.outputs[1], std::vector<std::string>{"2"});
+}
+
+TEST(InterpTest, MissingInputDefaultsToZero) {
+    EXPECT_EQ(output_of("fn main() { print_int(input(7)); }"),
+              std::vector<std::string>{"0"});
+}
+
+TEST(InterpTest, ShadowingInNestedScopes) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let x = 1;
+    {
+        let x = 2;
+        print_int(x as i64);
+    }
+    print_int(x as i64);
+})"),
+              (std::vector<std::string>{"2", "1"}));
+}
+
+TEST(InterpTest, ScopedLocalsDieAndReuse) {
+    EXPECT_EQ(output_of(R"(
+fn main() {
+    let mut total: i64 = 0;
+    let mut i: i64 = 0;
+    while i < 3 {
+        let tmp = i * 10;
+        total = total + tmp;
+        i = i + 1;
+    }
+    print_int(total);
+})"),
+              std::vector<std::string>{"30"});
+}
+
+TEST(InterpTest, ThreadsShareStaticsWithSync) {
+    EXPECT_EQ(output_of(R"(
+static mut SUM: i64 = 0;
+fn add_ten() {
+    unsafe {
+        let p = &mut SUM as *mut i64;
+        let old = atomic_fetch_add(p, 10);
+    }
+}
+fn main() {
+    let a = spawn(add_ten);
+    let b = spawn(add_ten);
+    join(a);
+    join(b);
+    unsafe {
+        let p = &mut SUM as *mut i64;
+        print_int(atomic_load(p as *const i64));
+    }
+})"),
+              std::vector<std::string>{"20"});
+}
+
+TEST(InterpTest, UnitFunctionsAndBareReturn) {
+    EXPECT_EQ(output_of(R"(
+fn log(x: i64) {
+    if x < 0 {
+        return;
+    }
+    print_int(x);
+}
+fn main() {
+    log(0 - 1);
+    log(5);
+})"),
+              std::vector<std::string>{"5"});
+}
+
+}  // namespace
+}  // namespace rustbrain::miri

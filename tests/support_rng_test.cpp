@@ -1,0 +1,139 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rustbrain::support {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.next_below(17), 17u);
+    }
+}
+
+TEST(RngTest, NextBelowRejectsZero) {
+    Rng rng(7);
+    EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.next_double();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(RngTest, ChanceExtremes) {
+    Rng rng(11);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+    Rng rng(13);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        if (rng.chance(0.3)) ++hits;
+    }
+    const double rate = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, NextRangeInclusive) {
+    Rng rng(15);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = rng.next_range(-3, 3);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 3);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextRangeRejectsInverted) {
+    Rng rng(15);
+    EXPECT_THROW(rng.next_range(3, -3), std::invalid_argument);
+}
+
+TEST(RngTest, GaussianMoments) {
+    Rng rng(17);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.next_gaussian();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWeightedFavorsHeavyWeight) {
+    Rng rng(19);
+    int heavy = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (rng.sample_weighted({0.1, 0.9}) == 1) ++heavy;
+    }
+    EXPECT_GT(heavy, 800);
+}
+
+TEST(RngTest, SampleWeightedHandlesZeros) {
+    Rng rng(21);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.sample_weighted({0.0, 1.0, 0.0}), 1u);
+    }
+}
+
+TEST(RngTest, SampleWeightedAllZerosFallsBack) {
+    Rng rng(23);
+    EXPECT_EQ(rng.sample_weighted({0.0, 0.0, 0.0}), 2u);
+}
+
+TEST(RngTest, SampleWeightedEmptyThrows) {
+    Rng rng(23);
+    EXPECT_THROW(rng.sample_weighted({}), std::invalid_argument);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+    Rng parent(31);
+    Rng a = parent.fork("alpha");
+    Rng b = parent.fork("beta");
+    Rng a2 = parent.fork("alpha");
+    EXPECT_EQ(a.next_u64(), a2.next_u64());
+    EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DeriveSeedStable) {
+    EXPECT_EQ(derive_seed(5, "x"), derive_seed(5, "x"));
+    EXPECT_NE(derive_seed(5, "x"), derive_seed(5, "y"));
+    EXPECT_NE(derive_seed(5, "x"), derive_seed(6, "x"));
+}
+
+}  // namespace
+}  // namespace rustbrain::support

@@ -1,0 +1,122 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rustbrain::support {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanAndVariance) {
+    RunningStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stats.add(x);
+    }
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleVarianceZero) {
+    RunningStats stats;
+    stats.add(3.5);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+}
+
+TEST(ZCriticalTest, KnownValues) {
+    EXPECT_NEAR(z_critical(0.95), 1.96, 0.001);
+    EXPECT_NEAR(z_critical(0.99), 2.576, 0.001);
+    EXPECT_NEAR(z_critical(0.90), 1.645, 0.001);
+}
+
+TEST(ZCriticalTest, BisectionPath) {
+    // 0.80 is not a table entry; check against the known value 1.2816.
+    EXPECT_NEAR(z_critical(0.80), 1.2816, 0.001);
+}
+
+TEST(ZCriticalTest, RejectsOutOfRange) {
+    EXPECT_THROW(z_critical(0.0), std::invalid_argument);
+    EXPECT_THROW(z_critical(1.0), std::invalid_argument);
+}
+
+TEST(NormalCdfTest, Symmetry) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.96) + normal_cdf(-1.96), 1.0, 1e-12);
+}
+
+TEST(WilsonTest, ContainsPointEstimate) {
+    const auto ci = wilson_interval(80, 100);
+    EXPECT_TRUE(ci.contains(0.8));
+    EXPECT_GT(ci.lower, 0.7);
+    EXPECT_LT(ci.upper, 0.9);
+}
+
+TEST(WilsonTest, ZeroTrialsIsFullInterval) {
+    const auto ci = wilson_interval(0, 0);
+    EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+    EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+}
+
+TEST(WilsonTest, BoundaryRates) {
+    const auto none = wilson_interval(0, 50);
+    EXPECT_DOUBLE_EQ(none.lower, 0.0);
+    EXPECT_GT(none.upper, 0.0);
+    const auto all = wilson_interval(50, 50);
+    EXPECT_DOUBLE_EQ(all.upper, 1.0);
+    EXPECT_LT(all.lower, 1.0);
+}
+
+TEST(WilsonTest, RejectsImpossibleCounts) {
+    EXPECT_THROW(wilson_interval(5, 4), std::invalid_argument);
+}
+
+TEST(WilsonTest, WidthShrinksWithN) {
+    const auto small = wilson_interval(8, 10);
+    const auto large = wilson_interval(800, 1000);
+    EXPECT_LT(large.width(), small.width());
+}
+
+// Property-style sweep: Wilson interval always inside [0,1] and contains p.
+class WilsonSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WilsonSweep, ValidInterval) {
+    const auto [success_pct, trials] = GetParam();
+    const std::size_t successes =
+        static_cast<std::size_t>(trials) * static_cast<std::size_t>(success_pct) / 100;
+    const auto ci = wilson_interval(successes, static_cast<std::size_t>(trials));
+    EXPECT_GE(ci.lower, 0.0);
+    EXPECT_LE(ci.upper, 1.0);
+    EXPECT_LE(ci.lower, ci.upper);
+    const double p = static_cast<double>(successes) / trials;
+    EXPECT_TRUE(ci.contains(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WilsonSweep,
+    ::testing::Combine(::testing::Values(0, 10, 50, 90, 100),
+                       ::testing::Values(1, 5, 20, 100, 1000)));
+
+TEST(MeanIntervalTest, CentersOnMean) {
+    RunningStats stats;
+    for (int i = 0; i < 100; ++i) {
+        stats.add(i % 2 == 0 ? 1.0 : 0.0);
+    }
+    const auto ci = mean_interval(stats);
+    EXPECT_NEAR((ci.lower + ci.upper) / 2.0, 0.5, 1e-12);
+    EXPECT_TRUE(ci.contains(0.5));
+}
+
+TEST(MeanOfTest, Basics) {
+    EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace rustbrain::support

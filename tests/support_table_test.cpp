@@ -1,0 +1,38 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rustbrain::support {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+    TextTable table({"type", "pass", "exec"});
+    table.add_row({"alloc", "94.3", "80.4"});
+    table.add_row({"danglingpointer", "90", "75"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("| type            |"), std::string::npos);
+    EXPECT_NE(out.find("| alloc           |"), std::string::npos);
+    EXPECT_NE(out.find("danglingpointer"), std::string::npos);
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+    TextTable table({"a", "b"});
+    table.add_row({"only"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, RequiresColumns) {
+    EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, HeaderOnlyRenders) {
+    TextTable table({"col"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("col"), std::string::npos);
+    EXPECT_EQ(table.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rustbrain::support
