@@ -1,21 +1,27 @@
 // Shared evaluation harness for the figure/table benches: config
-// construction, per-category sweeps, rate formatting.
+// construction, per-category sweeps (parallel over a BatchRunner by
+// default), rate formatting.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/expert_model.hpp"
 #include "baselines/fixed_pipeline.hpp"
 #include "baselines/standalone_llm.hpp"
+#include "core/batch_runner.hpp"
 #include "core/rustbrain.hpp"
 #include "dataset/corpus.hpp"
 #include "kb/seed.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rustbrain::bench {
 
@@ -83,12 +89,20 @@ struct CategoryRates {
     }
 };
 
-/// Run a repair functor over every corpus case (optionally a category
-/// subset) and aggregate per-category rates.
-template <typename RepairFn>
-CategoryRates sweep(RepairFn&& repair,
-                    const std::vector<miri::UbCategory>* only = nullptr) {
-    CategoryRates rates;
+/// Worker count for the parallel sweeps: RUSTBRAIN_WORKERS env override,
+/// else one per hardware thread.
+inline std::size_t sweep_workers() {
+    if (const char* env = std::getenv("RUSTBRAIN_WORKERS")) {
+        const long value = std::strtol(env, nullptr, 10);
+        if (value > 0) return static_cast<std::size_t>(value);
+    }
+    return support::ThreadPool::hardware_threads();
+}
+
+/// Corpus cases, optionally restricted to a category subset, in corpus order.
+inline std::vector<const dataset::UbCase*> corpus_cases(
+    const std::vector<miri::UbCategory>* only = nullptr) {
+    std::vector<const dataset::UbCase*> cases;
     for (const dataset::UbCase& ub_case : corpus().cases()) {
         if (only != nullptr) {
             bool wanted = false;
@@ -97,14 +111,83 @@ CategoryRates sweep(RepairFn&& repair,
             }
             if (!wanted) continue;
         }
-        rates.add(ub_case, repair(ub_case));
+        cases.push_back(&ub_case);
+    }
+    return cases;
+}
+
+/// Fold a BatchReport back into per-category rates (case order preserved).
+inline CategoryRates rates_from(const std::vector<const dataset::UbCase*>& cases,
+                                const core::BatchReport& report) {
+    CategoryRates rates;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        rates.add(*cases[i], report.results[i]);
     }
     return rates;
+}
+
+/// Parallel corpus sweep over an already-configured BatchRunner.
+inline CategoryRates sweep(const core::BatchRunner& runner,
+                           const std::vector<miri::UbCategory>* only = nullptr) {
+    const std::vector<const dataset::UbCase*> cases = corpus_cases(only);
+    return rates_from(cases, runner.run(cases));
+}
+
+/// Parallel corpus sweep with a per-worker engine factory: `make_engine`
+/// runs once per worker, and the functor it returns is only called from
+/// that worker's thread. Results are aggregated in corpus order, so the
+/// outcome is identical to a serial sweep.
+template <typename MakeEngine>
+CategoryRates parallel_sweep(MakeEngine&& make_engine,
+                             const std::vector<miri::UbCategory>* only = nullptr) {
+    core::BatchRunner runner(
+        core::EngineFactory(std::forward<MakeEngine>(make_engine)),
+        core::BatchOptions{sweep_workers()});
+    return sweep(runner, only);
+}
+
+/// Ordered single-engine sweep for configurations whose whole point is
+/// cross-case state (a shared FeedbackStore accumulating over the corpus).
+template <typename RepairFn>
+CategoryRates sequential_sweep(RepairFn&& repair,
+                               const std::vector<miri::UbCategory>* only = nullptr) {
+    const std::vector<const dataset::UbCase*> cases = corpus_cases(only);
+    return rates_from(cases, core::BatchRunner::run_sequential(
+                                 cases, core::RepairFn(std::forward<RepairFn>(repair))));
+}
+
+/// Parallel RustBrain sweep: one instance per worker over the shared KB.
+inline CategoryRates rustbrain_sweep(
+    const core::RustBrainConfig& config, const kb::KnowledgeBase* kbase,
+    const std::vector<miri::UbCategory>* only = nullptr,
+    const core::FeedbackStore* warm_feedback = nullptr) {
+    const core::BatchRunner runner(config, kbase,
+                                   core::BatchOptions{sweep_workers()},
+                                   warm_feedback);
+    return sweep(runner, only);
+}
+
+/// One baseline engine of type Engine per worker, constructed from
+/// `config`. Every baseline derives all randomness from its config seed +
+/// the case id, so these sweeps are scheduling-invariant.
+template <typename Engine, typename Config>
+core::EngineFactory engine_per_worker(Config config) {
+    return [config](std::size_t) -> core::RepairFn {
+        auto engine = std::make_shared<Engine>(config);
+        return [engine](const dataset::UbCase& ub_case) {
+            return engine->repair(ub_case);
+        };
+    };
 }
 
 inline std::string pct(double value) {
     return support::format_double(value, 1);
 }
+
+struct LabelledRates {
+    std::string label;
+    CategoryRates rates;
+};
 
 inline core::RustBrainConfig rustbrain_config(const std::string& model,
                                               bool use_kb, double temperature = 0.5,
@@ -115,6 +198,34 @@ inline core::RustBrainConfig rustbrain_config(const std::string& model,
     config.use_knowledge_base = use_kb;
     config.seed = seed;
     return config;
+}
+
+/// The seven configurations Figs. 8 and 9 share: three bare models, two
+/// +RustBrain pairs, GPT-4+RustBrain without the knowledge base, and the
+/// flagship. All swept in parallel with cases repaired independently (no
+/// cross-case feedback), so every rate is order- and worker-count-
+/// invariant; the feedback mechanism is measured where it is the subject
+/// (fig07's warmed groups, Table I's feedback-bearing columns,
+/// repair_campaign's focused phase).
+inline std::vector<LabelledRates> seven_standard_configs() {
+    std::vector<LabelledRates> configs;
+    for (const char* model : {"gpt-3.5", "claude-3.5", "gpt-4"}) {
+        configs.push_back(
+            {model, parallel_sweep(engine_per_worker<baselines::StandaloneLlmRepair>(
+                        baselines::StandaloneConfig{model, 0.5, 2, 42}))});
+    }
+    for (const char* model : {"gpt-3.5", "claude-3.5"}) {
+        configs.push_back({std::string(model) + "+RustBrain",
+                           rustbrain_sweep(rustbrain_config(model, true),
+                                           &knowledge_base())});
+    }
+    configs.push_back(
+        {"gpt-4+RustBrain(non-knowledge)",
+         rustbrain_sweep(rustbrain_config("gpt-4", false), nullptr)});
+    configs.push_back({"gpt-4+RustBrain",
+                       rustbrain_sweep(rustbrain_config("gpt-4", true),
+                                       &knowledge_base())});
+    return configs;
 }
 
 }  // namespace rustbrain::bench

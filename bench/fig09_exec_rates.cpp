@@ -9,44 +9,7 @@ using namespace rustbrain::bench;
 int main() {
     std::printf("== Fig. 9: execution (semantic acceptability) rate (%%) ==\n\n");
 
-    struct Config {
-        std::string label;
-        CategoryRates rates;
-    };
-    std::vector<Config> configs;
-
-    for (const char* model : {"gpt-3.5", "claude-3.5", "gpt-4"}) {
-        baselines::StandaloneLlmRepair solo({model, 0.5, 2, 42});
-        configs.push_back({model, sweep([&](const dataset::UbCase& ub_case) {
-                               return solo.repair(ub_case);
-                           })});
-    }
-    for (const char* model : {"gpt-3.5", "claude-3.5"}) {
-        core::FeedbackStore feedback;
-        core::RustBrain rb(rustbrain_config(model, true), &knowledge_base(),
-                           &feedback);
-        configs.push_back({std::string(model) + "+RustBrain",
-                           sweep([&](const dataset::UbCase& ub_case) {
-                               return rb.repair(ub_case);
-                           })});
-    }
-    {
-        core::FeedbackStore feedback;
-        core::RustBrain rb(rustbrain_config("gpt-4", false), nullptr, &feedback);
-        configs.push_back({"gpt-4+RustBrain(non-knowledge)",
-                           sweep([&](const dataset::UbCase& ub_case) {
-                               return rb.repair(ub_case);
-                           })});
-    }
-    {
-        core::FeedbackStore feedback;
-        core::RustBrain rb(rustbrain_config("gpt-4", true), &knowledge_base(),
-                           &feedback);
-        configs.push_back({"gpt-4+RustBrain",
-                           sweep([&](const dataset::UbCase& ub_case) {
-                               return rb.repair(ub_case);
-                           })});
-    }
+    const std::vector<LabelledRates> configs = seven_standard_configs();
 
     std::vector<std::string> headers = {"category"};
     for (const auto& config : configs) headers.push_back(config.label);

@@ -16,19 +16,12 @@ int main() {
         miri::UbCategory::FuncCall,
     };
 
-    core::FeedbackStore feedback_gpt4;
-    core::RustBrain gpt4(rustbrain_config("gpt-4", true), &knowledge_base(),
-                         &feedback_gpt4);
-    const CategoryRates gpt4_rates = sweep(
-        [&](const dataset::UbCase& ub_case) { return gpt4.repair(ub_case); },
-        &subset);
-
-    core::FeedbackStore feedback_o1;
-    core::RustBrain o1(rustbrain_config("gpt-o1", true), &knowledge_base(),
-                       &feedback_o1);
-    const CategoryRates o1_rates = sweep(
-        [&](const dataset::UbCase& ub_case) { return o1.repair(ub_case); },
-        &subset);
+    // Parallel, case-independent sweeps (no cross-case feedback — see the
+    // note in fig08).
+    const CategoryRates gpt4_rates = rustbrain_sweep(
+        rustbrain_config("gpt-4", true), &knowledge_base(), &subset);
+    const CategoryRates o1_rates = rustbrain_sweep(
+        rustbrain_config("gpt-o1", true), &knowledge_base(), &subset);
 
     support::TextTable table({"category", "gpt4+RB pass", "o1+RB pass",
                               "gpt4+RB exec", "o1+RB exec"});

@@ -23,13 +23,12 @@ int main() {
         std::size_t exec_count = 0;
         std::size_t trials_cases = 0;
         for (int trial = 0; trial < kTrials; ++trial) {
-            core::FeedbackStore feedback;
-            core::RustBrain rb(
+            // Parallel, case-independent sweep per trial (no cross-case
+            // feedback — see the note in fig08).
+            const CategoryRates rates = rustbrain_sweep(
                 rustbrain_config("gpt-4", true, temperature,
                                  /*seed=*/1000 + static_cast<std::uint64_t>(trial)),
-                &knowledge_base(), &feedback);
-            const CategoryRates rates = sweep(
-                [&](const dataset::UbCase& ub_case) { return rb.repair(ub_case); });
+                &knowledge_base());
             pass_count += static_cast<std::size_t>(rates.pass_total);
             exec_count += static_cast<std::size_t>(rates.exec_total);
             trials_cases += static_cast<std::size_t>(rates.case_total);

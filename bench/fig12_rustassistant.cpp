@@ -9,20 +9,15 @@ using namespace rustbrain::bench;
 int main() {
     std::printf("== Fig. 12: RustBrain vs RustAssistant-style fixed pipeline ==\n\n");
 
-    core::FeedbackStore feedback;
-    core::RustBrain rb(rustbrain_config("gpt-4", true), &knowledge_base(),
-                       &feedback);
-    const CategoryRates rb_rates = sweep(
-        [&](const dataset::UbCase& ub_case) { return rb.repair(ub_case); });
-
-    core::FeedbackStore feedback_nk;
-    core::RustBrain rb_nk(rustbrain_config("gpt-4", false), nullptr, &feedback_nk);
-    const CategoryRates rb_nk_rates = sweep(
-        [&](const dataset::UbCase& ub_case) { return rb_nk.repair(ub_case); });
-
-    baselines::FixedPipeline assistant({"gpt-4", 0.5, 2, 42});
-    const CategoryRates ra_rates = sweep(
-        [&](const dataset::UbCase& ub_case) { return assistant.repair(ub_case); });
+    // Parallel, case-independent sweeps (no cross-case feedback — see the
+    // note in fig08); both contenders are measured under the same rules.
+    const CategoryRates rb_rates =
+        rustbrain_sweep(rustbrain_config("gpt-4", true), &knowledge_base());
+    const CategoryRates rb_nk_rates =
+        rustbrain_sweep(rustbrain_config("gpt-4", false), nullptr);
+    const CategoryRates ra_rates =
+        parallel_sweep(engine_per_worker<baselines::FixedPipeline>(
+            baselines::FixedPipelineConfig{"gpt-4", 0.5, 2, 42}));
 
     support::TextTable table({"category", "RustBrain pass", "RustAssistant pass",
                               "RustBrain exec", "RustAssistant exec",

@@ -14,27 +14,33 @@ using namespace rustbrain::bench;
 int main() {
     std::printf("== Table I: execution time of RustBrain against human ==\n\n");
 
+    // Table I is a *time* table and self-learning is precisely a time
+    // effect, so both feedback-bearing columns (no-knowledge and
+    // knowledge+feedback) keep their ordered, shared-store semantics.
     core::FeedbackStore fb_nk;
-    core::RustBrain no_knowledge(rustbrain_config("gpt-4", false), nullptr, &fb_nk);
-    const CategoryRates nk = sweep(
-        [&](const dataset::UbCase& ub_case) { return no_knowledge.repair(ub_case); });
+    core::RustBrain no_knowledge(rustbrain_config("gpt-4", false), nullptr,
+                                 &fb_nk);
+    const CategoryRates nk = sequential_sweep([&](const dataset::UbCase& ub_case) {
+        return no_knowledge.repair(ub_case);
+    });
 
     core::RustBrainConfig kb_config = rustbrain_config("gpt-4", true);
     kb_config.use_feedback = false;  // pure-knowledge column: consult always
-    core::RustBrain knowledge(kb_config, &knowledge_base(), nullptr);
-    const CategoryRates kn = sweep(
-        [&](const dataset::UbCase& ub_case) { return knowledge.repair(ub_case); });
+    const CategoryRates kn = rustbrain_sweep(kb_config, &knowledge_base());
 
+    // The knowledge+feedback column is the self-learning demonstration
+    // (the paper's red cells): feedback recorded on early cases must be
+    // visible to later ones, so this sweep is also ordered.
     core::FeedbackStore fb_kf;
     core::RustBrain knowledge_feedback(rustbrain_config("gpt-4", true),
                                        &knowledge_base(), &fb_kf);
-    const CategoryRates kf = sweep([&](const dataset::UbCase& ub_case) {
-        return knowledge_feedback.repair(ub_case);
-    });
+    const CategoryRates kf =
+        sequential_sweep([&](const dataset::UbCase& ub_case) {
+            return knowledge_feedback.repair(ub_case);
+        });
 
-    baselines::ExpertModel expert(42);
-    const CategoryRates human = sweep(
-        [&](const dataset::UbCase& ub_case) { return expert.repair(ub_case); });
+    const CategoryRates human = parallel_sweep(
+        engine_per_worker<baselines::ExpertModel>(std::uint64_t{42}));
 
     support::TextTable table({"type", "RB no-knowledge (s)", "RB knowledge (s)",
                               "human (s)", "speedup", "knowledge+feedback (s)"});

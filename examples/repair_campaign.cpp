@@ -1,14 +1,22 @@
 // repair_campaign: the paper's motivating workflow at project scale —
 // sweep a whole corpus of UB-ridden modules, repair each with RustBrain,
-// and report a triage summary (what was fixed, how, and how long it took),
-// demonstrating the feedback loop getting faster on repeated error shapes.
+// and report a triage summary (what was fixed, how, and how long it took).
+//
+// Two phases show the two execution shapes BatchRunner supports:
+//   1. a focused sequential campaign over one category, where the shared
+//      feedback store makes the third sibling cheaper than the first; then
+//   2. a corpus-wide parallel campaign that shards cases across every
+//      hardware thread, warm-started from the snapshot phase 1 learned —
+//      results are identical at any worker count.
 #include <cstdio>
 #include <map>
 
+#include "core/batch_runner.hpp"
 #include "core/rustbrain.hpp"
 #include "dataset/corpus.hpp"
 #include "kb/seed.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace rustbrain;
 
@@ -25,38 +33,47 @@ int main() {
     core::RustBrain rustbrain(config, &kbase, &feedback);
 
     // Campaign over one category to showcase self-learning: the third
-    // sibling benefits from feedback recorded on the first two.
+    // sibling benefits from feedback recorded on the first two, so the
+    // sweep is ordered (run_sequential), not parallel.
     std::printf("== focused campaign: danglingpointer ==\n");
-    for (const dataset::UbCase* ub_case :
-         corpus.by_category(miri::UbCategory::DanglingPointer)) {
-        const core::CaseResult result = rustbrain.repair(*ub_case);
-        std::printf("  %-42s %s/%s  %5.1fs  rule=%s%s\n", ub_case->id.c_str(),
+    const std::vector<const dataset::UbCase*> focused =
+        corpus.by_category(miri::UbCategory::DanglingPointer);
+    const core::BatchReport focused_report = core::BatchRunner::run_sequential(
+        focused, [&](const dataset::UbCase& ub_case) {
+            return rustbrain.repair(ub_case);
+        });
+    for (std::size_t i = 0; i < focused.size(); ++i) {
+        const core::CaseResult& result = focused_report.results[i];
+        std::printf("  %-42s %s/%s  %5.1fs  rule=%s%s\n", focused[i]->id.c_str(),
                     result.pass ? "pass" : "FAIL", result.exec ? "exec" : "div ",
                     result.time_ms / 1000.0, result.winning_rule.c_str(),
                     result.kb_skipped_by_feedback ? "  [feedback: skipped KB]"
                                                   : "");
     }
 
-    // Full-corpus triage summary.
-    std::printf("\n== full campaign (%zu modules) ==\n", corpus.size());
+    // Full-corpus triage, sharded across the hardware. Each case starts
+    // from a private copy of the feedback snapshot learned above, so the
+    // outcome does not depend on scheduling or worker count.
+    const std::size_t workers = support::ThreadPool::hardware_threads();
+    std::printf("\n== full campaign (%zu modules, %zu workers) ==\n",
+                corpus.size(), workers);
+    const core::BatchRunner runner(config, &kbase, core::BatchOptions{workers},
+                                   &feedback);
+    const core::BatchReport report = runner.run(corpus);
+
     std::map<std::string, int> by_rule;
-    int pass = 0;
-    int exec = 0;
     int kb_skips = 0;
-    double total_time = 0.0;
-    for (const dataset::UbCase& ub_case : corpus.cases()) {
-        const core::CaseResult result = rustbrain.repair(ub_case);
-        pass += result.pass;
-        exec += result.exec;
+    for (const core::CaseResult& result : report.results) {
         kb_skips += result.kb_skipped_by_feedback;
-        total_time += result.time_ms;
         if (result.pass && !result.winning_rule.empty()) {
             ++by_rule[result.winning_rule];
         }
     }
     std::printf("repaired %d/%zu (%d semantically verified), %.1f virtual "
-                "minutes total, %d KB lookups skipped by feedback\n\n",
-                pass, corpus.size(), exec, total_time / 60000.0, kb_skips);
+                "minutes total, %d KB lookups skipped by feedback, "
+                "%.0f ms wall clock\n\n",
+                report.pass_total(), corpus.size(), report.exec_total(),
+                report.virtual_ms_total() / 60000.0, kb_skips, report.wall_ms);
 
     support::TextTable table({"winning strategy", "repairs"});
     for (const auto& [rule, count] : by_rule) {

@@ -14,6 +14,9 @@
 namespace rustbrain::agents {
 
 struct AgentContext {
+    AgentContext(llm::SimLLM& model, support::SimClock& sim_clock)
+        : llm(model), clock(sim_clock) {}
+
     llm::SimLLM& llm;
     support::SimClock& clock;
     double temperature = 0.5;

@@ -41,6 +41,7 @@ core::CaseResult ExpertModel::repair(const dataset::UbCase& ub_case) const {
     const double difficulty_factor = 0.85 + 0.15 * ub_case.difficulty;
     const double jitter = 1.0 + 0.2 * (rng.next_double() - 0.5);
     result.time_ms = mean_ms * difficulty_factor * jitter;
+    result.time_breakdown["human"] = result.time_ms;
     return result;
 }
 

@@ -32,6 +32,7 @@ core::CaseResult FixedPipeline::repair(const dataset::UbCase& ub_case) {
         result.pass = true;
         result.exec = true;
         result.time_ms = clock.now_ms();
+        result.time_breakdown = clock.breakdown();
         return result;
     }
     const miri::Finding& finding = initial.findings.front();
@@ -51,6 +52,7 @@ core::CaseResult FixedPipeline::repair(const dataset::UbCase& ub_case) {
     }
     if (fixed_steps.empty()) {
         result.time_ms = clock.now_ms();
+        result.time_breakdown = clock.breakdown();
         return result;
     }
 
@@ -92,6 +94,7 @@ core::CaseResult FixedPipeline::repair(const dataset::UbCase& ub_case) {
     }
     result.llm_calls = context.llm_calls;
     result.time_ms = clock.now_ms();
+    result.time_breakdown = clock.breakdown();
     return result;
 }
 

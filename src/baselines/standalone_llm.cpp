@@ -31,6 +31,7 @@ core::CaseResult StandaloneLlmRepair::repair(const dataset::UbCase& ub_case) {
         result.pass = true;
         result.exec = true;
         result.time_ms = clock.now_ms();
+        result.time_breakdown = clock.breakdown();
         return result;
     }
     const miri::Finding& finding = initial.findings.front();
@@ -77,6 +78,7 @@ core::CaseResult StandaloneLlmRepair::repair(const dataset::UbCase& ub_case) {
     }
     result.llm_calls = context.llm_calls;
     result.time_ms = clock.now_ms();
+    result.time_breakdown = clock.breakdown();
     return result;
 }
 

@@ -49,6 +49,7 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
         result.exec = true;
         result.final_source = ub_case.buggy_source;
         result.time_ms = clock.now_ms();
+        result.time_breakdown = clock.breakdown();
         return result;
     }
 
@@ -109,6 +110,7 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
     result.final_source = slow.final_source;
     result.llm_calls = context.llm_calls;
     result.time_ms = clock.now_ms();
+    result.time_breakdown = clock.breakdown();
     return result;
 }
 

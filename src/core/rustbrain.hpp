@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,9 @@ struct CaseResult {
     bool pass = false;   // repaired code passes MiriLite
     bool exec = false;   // ... and matches the reference semantics
     double time_ms = 0.0;  // virtual repair time
+    /// Per-category virtual-time charges (the case's SimClock breakdown);
+    /// BatchRunner folds these into an aggregate clock in case-index order.
+    std::map<std::string, double> time_breakdown;
     int solutions_generated = 0;
     int steps_executed = 0;
     int rollbacks = 0;

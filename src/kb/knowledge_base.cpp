@@ -11,7 +11,7 @@ std::vector<KbHit> KnowledgeBase::query(const analysis::AstVector& probe,
                                         const std::string& exclude_hint,
                                         std::optional<miri::UbCategory> category)
     const {
-    ++queries_;
+    queries_.fetch_add(1, std::memory_order_relaxed);
     std::vector<KbHit> hits;
     for (const KbEntry& entry : entries_) {
         if (!exclude_hint.empty() && entry.source_hint == exclude_hint) continue;
@@ -28,7 +28,7 @@ std::vector<KbHit> KnowledgeBase::query(const analysis::AstVector& probe,
     if (hits.size() > k) {
         hits.resize(k);
     }
-    hits_ += hits.size();
+    hits_.fetch_add(hits.size(), std::memory_order_relaxed);
     return hits;
 }
 

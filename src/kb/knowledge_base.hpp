@@ -7,6 +7,7 @@
 // exemplars in subsequent LLM prompts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -31,6 +32,30 @@ struct KbHit {
 
 class KnowledgeBase {
   public:
+    KnowledgeBase() = default;
+    // The usage counters are atomics (so a shared const KB can serve
+    // concurrent BatchRunner workers), which makes copy/move user-provided.
+    KnowledgeBase(const KnowledgeBase& other)
+        : entries_(other.entries_),
+          queries_(other.queries_.load()),
+          hits_(other.hits_.load()) {}
+    KnowledgeBase(KnowledgeBase&& other) noexcept
+        : entries_(std::move(other.entries_)),
+          queries_(other.queries_.load()),
+          hits_(other.hits_.load()) {}
+    KnowledgeBase& operator=(const KnowledgeBase& other) {
+        entries_ = other.entries_;
+        queries_ = other.queries_.load();
+        hits_ = other.hits_.load();
+        return *this;
+    }
+    KnowledgeBase& operator=(KnowledgeBase&& other) noexcept {
+        entries_ = std::move(other.entries_);
+        queries_ = other.queries_.load();
+        hits_ = other.hits_.load();
+        return *this;
+    }
+
     void add(KbEntry entry);
 
     /// Top-k entries by cosine similarity, at or above `min_similarity`.
@@ -52,8 +77,8 @@ class KnowledgeBase {
 
   private:
     std::vector<KbEntry> entries_;
-    mutable std::uint64_t queries_ = 0;
-    mutable std::uint64_t hits_ = 0;
+    mutable std::atomic<std::uint64_t> queries_{0};
+    mutable std::atomic<std::uint64_t> hits_{0};
 };
 
 }  // namespace rustbrain::kb

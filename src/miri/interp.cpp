@@ -154,31 +154,41 @@ Value Interpreter::call_function(std::int32_t fn_index, std::vector<Value> args,
                   std::to_string(limits_.max_call_depth),
               span);
     }
-    const lang::FnItem& fn =
-        program_.functions[static_cast<std::size_t>(fn_index)];
-
-    frames_.emplace_back();
-    frames_.back().fn = &fn;
-    frames_.back().scopes.emplace_back();
-    for (std::size_t i = 0; i < fn.params.size(); ++i) {
-        declare_local(fn.params[i].name, fn.params[i].type,
-                      i < args.size() ? args[i] : Value::unit(), fn.span);
-    }
-
     Value result = Value::unit();
-    try {
-        const ExecResult exec = exec_block(fn.body);
+    // Trampoline: a `become` in the callee surfaces as Flow::TailCall and
+    // replaces this frame in place, so arbitrarily long tail-call chains
+    // use O(1) native stack and never grow call_depth_.
+    while (true) {
+        const lang::FnItem& fn =
+            program_.functions[static_cast<std::size_t>(fn_index)];
+        frames_.emplace_back();
+        frames_.back().fn = &fn;
+        frames_.back().scopes.emplace_back();
+        ExecResult exec;
+        try {
+            for (std::size_t i = 0; i < fn.params.size(); ++i) {
+                declare_local(fn.params[i].name, fn.params[i].type,
+                              i < args.size() ? args[i] : Value::unit(), fn.span);
+            }
+            exec = exec_block(fn.body);
+        } catch (...) {
+            kill_frame(frames_.back());
+            frames_.pop_back();
+            --call_depth_;
+            throw;
+        }
+        kill_frame(frames_.back());
+        frames_.pop_back();
+        if (exec.flow == Flow::TailCall) {
+            fn_index = exec.tail_fn;
+            args = std::move(exec.tail_args);
+            continue;
+        }
         if (exec.flow == Flow::Return) {
             result = exec.value;
         }
-    } catch (...) {
-        kill_frame(frames_.back());
-        frames_.pop_back();
-        --call_depth_;
-        throw;
+        break;
     }
-    kill_frame(frames_.back());
-    frames_.pop_back();
     --call_depth_;
     return result;
 }
@@ -192,7 +202,7 @@ Interpreter::ExecResult Interpreter::exec_block(const lang::Block& block) {
     ExecResult result;
     for (const auto& stmt : block.statements) {
         result = exec_statement(*stmt);
-        if (result.flow == Flow::Return) break;
+        if (result.flow != Flow::Normal) break;
     }
     kill_scope(frames_.back().scopes.back());
     frames_.back().scopes.pop_back();
@@ -236,8 +246,8 @@ Interpreter::ExecResult Interpreter::exec_statement(const lang::Stmt& stmt) {
             const auto& node = static_cast<const lang::WhileStmt&>(stmt);
             while (eval_expr(*node.condition).as_bool()) {
                 step(node.span);
-                const ExecResult result = exec_block(node.body);
-                if (result.flow == Flow::Return) return result;
+                ExecResult result = exec_block(node.body);
+                if (result.flow != Flow::Normal) return result;
             }
             return {};
         }
@@ -262,28 +272,21 @@ Interpreter::ExecResult Interpreter::exec_statement(const lang::Stmt& stmt) {
             }
             // Guaranteed tail call: the current frame's locals die *before*
             // the callee runs. Pointers into this frame become dangling, and
-            // accesses to them are classified as TailCall UB.
+            // accesses to them are classified as TailCall UB. The scope
+            // structure is kept so enclosing blocks unwind normally on the
+            // way out to the call_function trampoline.
             for (auto& scope : frames_.back().scopes) {
                 for (const LocalSlot& local : scope.locals) {
                     mem_.kill_for_tail_call(local.alloc);
                 }
                 scope.locals.clear();
             }
-            frames_.back().scopes.clear();
-            frames_.back().scopes.emplace_back();  // keep frame shape valid
             ExecResult result;
-            result.flow = Flow::Return;
-            // Tail calls don't grow the call stack.
-            --call_depth_;
-            try {
-                result.value = call_fn_value(callee.as_fn(), node.callee->type,
-                                             std::move(args), node.span,
-                                             /*is_become=*/true);
-            } catch (...) {
-                ++call_depth_;
-                throw;
-            }
-            ++call_depth_;
+            result.flow = Flow::TailCall;
+            // Validate now so a bad target is attributed to the become site.
+            result.tail_fn = resolve_fn_target(callee.as_fn(), node.callee->type,
+                                               node.span, /*is_become=*/true);
+            result.tail_args = std::move(args);
             return result;
         }
     }
@@ -679,9 +682,10 @@ Value Interpreter::eval_cast(const lang::CastExpr& expr) {
                            " as " + target.to_string());
 }
 
-Value Interpreter::call_fn_value(const FnPtrVal& fn, const Type& static_type,
-                                 std::vector<Value> args, support::SourceSpan span,
-                                 bool is_become) {
+std::int32_t Interpreter::resolve_fn_target(const FnPtrVal& fn,
+                                            const Type& static_type,
+                                            support::SourceSpan span,
+                                            bool is_become) const {
     if (!fn.valid() ||
         static_cast<std::size_t>(fn.fn_index) >= program_.functions.size()) {
         throw UbException{
@@ -702,7 +706,15 @@ Value Interpreter::call_fn_value(const FnPtrVal& fn, const Type& static_type,
                 target.fn_type().to_string(),
             span}};
     }
-    return call_function(fn.fn_index, std::move(args), span);
+    return fn.fn_index;
+}
+
+Value Interpreter::call_fn_value(const FnPtrVal& fn, const Type& static_type,
+                                 std::vector<Value> args, support::SourceSpan span,
+                                 bool is_become) {
+    const std::int32_t target =
+        resolve_fn_target(fn, static_type, span, is_become);
+    return call_function(target, std::move(args), span);
 }
 
 Value Interpreter::eval_call(const lang::CallExpr& expr) {

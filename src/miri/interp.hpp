@@ -75,11 +75,16 @@ class Interpreter {
         std::vector<Scope> scopes;
     };
 
-    enum class Flow { Normal, Return };
+    enum class Flow { Normal, Return, TailCall };
 
     struct ExecResult {
         Flow flow = Flow::Normal;
         Value value;
+        // Pending `become` target, resolved and validated at the become
+        // site; the call_function trampoline replaces the current frame
+        // with it instead of recursing.
+        std::int32_t tail_fn = -1;
+        std::vector<Value> tail_args;
     };
 
     struct ThreadState {
@@ -112,6 +117,9 @@ class Interpreter {
     Value call_fn_value(const FnPtrVal& fn, const lang::Type& static_type,
                         std::vector<Value> args, support::SourceSpan span,
                         bool is_become);
+    std::int32_t resolve_fn_target(const FnPtrVal& fn,
+                                   const lang::Type& static_type,
+                                   support::SourceSpan span, bool is_become) const;
 
     Place eval_place(const lang::Expr& expr);
 

@@ -99,8 +99,10 @@ TEST(KbTest, StatisticsAccumulate) {
     kbase.add(entry);
     analysis::AstVector probe{};
     probe[0] = 1.0F;
-    kbase.query(probe, 3, 0.5);
-    kbase.query(probe, 3, 0.5);
+    const auto first = kbase.query(probe, 3, 0.5);
+    const auto second = kbase.query(probe, 3, 0.5);
+    EXPECT_EQ(first.size(), 1u);
+    EXPECT_EQ(second.size(), 1u);
     EXPECT_EQ(kbase.queries_served(), 2u);
     EXPECT_EQ(kbase.hits_returned(), 2u);
 }

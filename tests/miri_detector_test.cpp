@@ -804,6 +804,83 @@ fn main() {
 })");
 }
 
+TEST(MiriTailCall, DeepMutualBecomeChainDoesNotOverflow) {
+    // The trampoline must also flatten chains that alternate between
+    // functions: 20000 mutual tail calls with depth cap 200.
+    expect_pass(R"(
+fn is_even(n: i64) -> bool {
+    if n == 0 { return true; }
+    become is_odd(n - 1);
+}
+fn is_odd(n: i64) -> bool {
+    if n == 0 { return false; }
+    become is_even(n - 1);
+}
+fn main() {
+    print_bool(is_even(20000));
+})");
+}
+
+TEST(MiriTailCall, BecomeNestedInBlocksUnwindsCleanly) {
+    // A become buried in nested blocks: every enclosing scope must unwind
+    // normally on the way out to the trampoline, at any chain length.
+    expect_pass(R"(
+fn count(n: i64) -> i64 {
+    if n > 0 {
+        unsafe {
+            become count(n - 1);
+        }
+    }
+    return 0;
+}
+fn main() {
+    print_int(count(5000));
+})");
+}
+
+TEST(MiriTailCall, ChainEndingInPanicKeepsFaultSiteSpan) {
+    // UB at the end of a become chain must be attributed to the faulting
+    // expression in the final callee, not to any become site the
+    // trampoline flattened away.
+    const MiriReport report = run(
+        "fn h(n: i64) -> i64 { return 100 / n; }\n"
+        "fn g(n: i64) -> i64 { become h(n); }\n"
+        "fn f(n: i64) -> i64 { become g(n); }\n"
+        "fn main() { let v = f(0); }\n");
+    ASSERT_FALSE(report.passed());
+    EXPECT_TRUE(report.has_category(UbCategory::Panic)) << report.summary();
+    EXPECT_EQ(report.findings.front().span.line, 1u) << report.summary();
+}
+
+TEST(MiriTailCall, ChainEndingInDanglingAccessKeepsFaultSiteSpan) {
+    // A caller local handed through two becomes: the access in the final
+    // callee is TailCall UB, attributed to the deref site on line 1.
+    const MiriReport report = run(
+        "fn h(p: *const i32) -> i32 { unsafe { return *p; } }\n"
+        "fn g(p: *const i32) -> i32 { become h(p); }\n"
+        "fn f() -> i32 { let local = 7; become g(&local as *const i32); }\n"
+        "fn main() { let v = f(); }\n");
+    ASSERT_FALSE(report.passed());
+    EXPECT_TRUE(report.has_category(UbCategory::TailCall)) << report.summary();
+    EXPECT_EQ(report.findings.front().span.line, 1u) << report.summary();
+}
+
+TEST(MiriTailCall, BadTargetAttributedToBecomeSite) {
+    // The become statement itself is the fault site when the target is
+    // bogus — resolution happens before the trampoline bounces.
+    const MiriReport report = run(
+        "fn f() -> i64 {\n"
+        "    unsafe {\n"
+        "        let k = 4096 as fn() -> i64;\n"
+        "        become k();\n"
+        "    }\n"
+        "}\n"
+        "fn main() { let v = f(); }\n");
+    ASSERT_FALSE(report.passed());
+    EXPECT_TRUE(report.has_category(UbCategory::TailCall)) << report.summary();
+    EXPECT_EQ(report.findings.front().span.line, 4u) << report.summary();
+}
+
 // --- compile errors & outputs ------------------------------------------------------
 
 TEST(MiriDriver, CompileErrorReported) {

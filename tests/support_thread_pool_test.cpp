@@ -1,0 +1,95 @@
+// ThreadPool: coverage, worker-id stability, exception propagation, reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace rustbrain::support {
+namespace {
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
+    EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareThreads) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(kCount, [&](std::size_t index, std::size_t) {
+        hits[index].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPoolTest, WorkerIdsStayInRange) {
+    ThreadPool pool(3);
+    std::mutex mutex;
+    std::set<std::size_t> seen;
+    pool.parallel_for(64, [&](std::size_t, std::size_t worker) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(worker);
+    });
+    EXPECT_FALSE(seen.empty());
+    for (std::size_t worker : seen) {
+        EXPECT_LT(worker, pool.size());
+    }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
+    ThreadPool pool(2);
+    pool.parallel_for(0, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, SubmitRunsJobsBeforeWaitIdleReturns) {
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [&](std::size_t index, std::size_t) {
+                              if (index == 13) {
+                                  throw std::runtime_error("boom");
+                              }
+                          }),
+        std::runtime_error);
+    // The pool must still work after a failed batch.
+    std::atomic<int> counter{0};
+    pool.parallel_for(10, [&](std::size_t, std::size_t) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SameWorkerIdNeverRunsConcurrently) {
+    // An engine per worker is only safe if jobs with the same worker id are
+    // serialized; assert no overlap per id.
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> active(pool.size());
+    std::atomic<bool> overlapped{false};
+    pool.parallel_for(256, [&](std::size_t, std::size_t worker) {
+        if (active[worker].fetch_add(1) != 0) overlapped.store(true);
+        active[worker].fetch_sub(1);
+    });
+    EXPECT_FALSE(overlapped.load());
+}
+
+}  // namespace
+}  // namespace rustbrain::support
