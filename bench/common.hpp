@@ -1,20 +1,21 @@
-// Shared evaluation harness for the figure/table benches: config
-// construction, per-category sweeps (parallel over a BatchRunner by
-// default), rate formatting.
+// Shared evaluation harness for the figure/table benches: registry-driven
+// engine sweeps (parallel over a BatchRunner by default), per-category
+// rate folding, rate formatting.
+//
+// No bench constructs an engine class directly: every configuration is a
+// (registry id, option spec) pair handed to core::EngineRegistry /
+// core::BatchRunner, exactly the way a sweep config file would express it.
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "baselines/expert_model.hpp"
-#include "baselines/fixed_pipeline.hpp"
-#include "baselines/standalone_llm.hpp"
 #include "core/batch_runner.hpp"
+#include "core/engine_registry.hpp"
 #include "core/rustbrain.hpp"
 #include "dataset/corpus.hpp"
 #include "kb/seed.hpp"
@@ -37,6 +38,14 @@ inline const kb::KnowledgeBase& knowledge_base() {
         return k;
     }();
     return kbase;
+}
+
+/// Build context wired to the shared seeded knowledge base (engines whose
+/// options say knowledge=off simply ignore it).
+inline core::EngineBuildContext kb_context() {
+    core::EngineBuildContext context;
+    context.knowledge_base = &knowledge_base();
+    return context;
 }
 
 struct CategoryRates {
@@ -89,16 +98,6 @@ struct CategoryRates {
     }
 };
 
-/// Worker count for the parallel sweeps: RUSTBRAIN_WORKERS env override,
-/// else one per hardware thread.
-inline std::size_t sweep_workers() {
-    if (const char* env = std::getenv("RUSTBRAIN_WORKERS")) {
-        const long value = std::strtol(env, nullptr, 10);
-        if (value > 0) return static_cast<std::size_t>(value);
-    }
-    return support::ThreadPool::hardware_threads();
-}
-
 /// Corpus cases, optionally restricted to a category subset, in corpus order.
 inline std::vector<const dataset::UbCase*> corpus_cases(
     const std::vector<miri::UbCategory>* only = nullptr) {
@@ -133,51 +132,36 @@ inline CategoryRates sweep(const core::BatchRunner& runner,
     return rates_from(cases, runner.run(cases));
 }
 
-/// Parallel corpus sweep with a per-worker engine factory: `make_engine`
-/// runs once per worker, and the functor it returns is only called from
-/// that worker's thread. Results are aggregated in corpus order, so the
-/// outcome is identical to a serial sweep.
-template <typename MakeEngine>
-CategoryRates parallel_sweep(MakeEngine&& make_engine,
-                             const std::vector<miri::UbCategory>* only = nullptr) {
-    core::BatchRunner runner(
-        core::EngineFactory(std::forward<MakeEngine>(make_engine)),
-        core::BatchOptions{sweep_workers()});
+/// THE corpus sweep: build `engine_id` with `option_spec` through the
+/// registry (one engine per worker; worker count = hardware threads, or
+/// RUSTBRAIN_WORKERS when set) and fan the cases out. Cases are repaired
+/// independently, so every rate is order- and worker-count-invariant; a
+/// non-null `warm_feedback` gives each case a private snapshot copy.
+inline CategoryRates engine_sweep(
+    const std::string& engine_id, const std::string& option_spec,
+    const core::EngineBuildContext& context = kb_context(),
+    const std::vector<miri::UbCategory>* only = nullptr,
+    const core::FeedbackStore* warm_feedback = nullptr) {
+    const core::BatchRunner runner(engine_id,
+                                   core::EngineOptions::parse(option_spec),
+                                   context, core::BatchOptions{}, warm_feedback);
     return sweep(runner, only);
 }
 
 /// Ordered single-engine sweep for configurations whose whole point is
 /// cross-case state (a shared FeedbackStore accumulating over the corpus).
-template <typename RepairFn>
-CategoryRates sequential_sweep(RepairFn&& repair,
-                               const std::vector<miri::UbCategory>* only = nullptr) {
+/// The engine comes from the registry like everywhere else.
+inline CategoryRates ordered_engine_sweep(
+    const std::string& engine_id, const std::string& option_spec,
+    const core::EngineBuildContext& context,
+    const std::vector<miri::UbCategory>* only = nullptr) {
+    const auto engine = core::EngineRegistry::builtin().build(
+        engine_id, core::EngineOptions::parse(option_spec), context);
     const std::vector<const dataset::UbCase*> cases = corpus_cases(only);
     return rates_from(cases, core::BatchRunner::run_sequential(
-                                 cases, core::RepairFn(std::forward<RepairFn>(repair))));
-}
-
-/// Parallel RustBrain sweep: one instance per worker over the shared KB.
-inline CategoryRates rustbrain_sweep(
-    const core::RustBrainConfig& config, const kb::KnowledgeBase* kbase,
-    const std::vector<miri::UbCategory>* only = nullptr,
-    const core::FeedbackStore* warm_feedback = nullptr) {
-    const core::BatchRunner runner(config, kbase,
-                                   core::BatchOptions{sweep_workers()},
-                                   warm_feedback);
-    return sweep(runner, only);
-}
-
-/// One baseline engine of type Engine per worker, constructed from
-/// `config`. Every baseline derives all randomness from its config seed +
-/// the case id, so these sweeps are scheduling-invariant.
-template <typename Engine, typename Config>
-core::EngineFactory engine_per_worker(Config config) {
-    return [config](std::size_t) -> core::RepairFn {
-        auto engine = std::make_shared<Engine>(config);
-        return [engine](const dataset::UbCase& ub_case) {
-            return engine->repair(ub_case);
-        };
-    };
+                                 cases, [&](const dataset::UbCase& ub_case) {
+                                     return engine->repair(ub_case);
+                                 }));
 }
 
 inline std::string pct(double value) {
@@ -189,42 +173,37 @@ struct LabelledRates {
     CategoryRates rates;
 };
 
-inline core::RustBrainConfig rustbrain_config(const std::string& model,
-                                              bool use_kb, double temperature = 0.5,
-                                              std::uint64_t seed = 42) {
-    core::RustBrainConfig config;
-    config.model = model;
-    config.temperature = temperature;
-    config.use_knowledge_base = use_kb;
-    config.seed = seed;
-    return config;
-}
-
 /// The seven configurations Figs. 8 and 9 share: three bare models, two
 /// +RustBrain pairs, GPT-4+RustBrain without the knowledge base, and the
-/// flagship. All swept in parallel with cases repaired independently (no
-/// cross-case feedback), so every rate is order- and worker-count-
-/// invariant; the feedback mechanism is measured where it is the subject
-/// (fig07's warmed groups, Table I's feedback-bearing columns,
-/// repair_campaign's focused phase).
+/// flagship — each a declarative (engine id, options) row. All swept in
+/// parallel with cases repaired independently (no cross-case feedback),
+/// so every rate is order- and worker-count-invariant; the feedback
+/// mechanism is measured where it is the subject (fig07's warmed groups,
+/// Table I's feedback-bearing columns, repair_campaign's focused phase).
 inline std::vector<LabelledRates> seven_standard_configs() {
+    struct Row {
+        const char* label;
+        const char* engine;
+        const char* options;
+        bool with_kb;
+    };
+    const Row rows[] = {
+        {"gpt-3.5", "standalone", "model=gpt-3.5", false},
+        {"claude-3.5", "standalone", "model=claude-3.5", false},
+        {"gpt-4", "standalone", "model=gpt-4", false},
+        {"gpt-3.5+RustBrain", "rustbrain", "model=gpt-3.5", true},
+        {"claude-3.5+RustBrain", "rustbrain", "model=claude-3.5", true},
+        {"gpt-4+RustBrain(non-knowledge)", "rustbrain",
+         "model=gpt-4,knowledge=off", false},
+        {"gpt-4+RustBrain", "rustbrain", "model=gpt-4", true},
+    };
     std::vector<LabelledRates> configs;
-    for (const char* model : {"gpt-3.5", "claude-3.5", "gpt-4"}) {
+    for (const Row& row : rows) {
         configs.push_back(
-            {model, parallel_sweep(engine_per_worker<baselines::StandaloneLlmRepair>(
-                        baselines::StandaloneConfig{model, 0.5, 2, 42}))});
+            {row.label,
+             engine_sweep(row.engine, row.options,
+                          row.with_kb ? kb_context() : core::EngineBuildContext{})});
     }
-    for (const char* model : {"gpt-3.5", "claude-3.5"}) {
-        configs.push_back({std::string(model) + "+RustBrain",
-                           rustbrain_sweep(rustbrain_config(model, true),
-                                           &knowledge_base())});
-    }
-    configs.push_back(
-        {"gpt-4+RustBrain(non-knowledge)",
-         rustbrain_sweep(rustbrain_config("gpt-4", false), nullptr)});
-    configs.push_back({"gpt-4+RustBrain",
-                       rustbrain_sweep(rustbrain_config("gpt-4", true),
-                                       &knowledge_base())});
     return configs;
 }
 

@@ -54,29 +54,33 @@ int main() {
     // group order after the join, so output is identical to a serial run.
     constexpr std::size_t kGroupCount = sizeof(groups) / sizeof(groups[0]);
     std::vector<core::CaseResult> results(kGroupCount);
-    support::ThreadPool pool(sweep_workers());
+    support::ThreadPool pool(support::ThreadPool::hardware_threads());
     pool.parallel_for(kGroupCount, [&](std::size_t index, std::size_t) {
         const Group& group = groups[index];
-        core::RustBrainConfig config = rustbrain_config("gpt-4", group.kb);
-        config.use_feedback = group.feedback;
-        config.use_adaptive_rollback = group.rollback;
-        config.use_feature_extraction = group.features;
-        config.max_solutions = group.solutions;
+        const std::string options =
+            std::string("model=gpt-4") +
+            ",knowledge=" + (group.kb ? "on" : "off") +
+            ",feedback=" + (group.feedback ? "on" : "off") +
+            ",rollback=" + (group.rollback ? "on" : "off") +
+            ",features=" + (group.features ? "on" : "off") +
+            ",max_solutions=" + std::to_string(group.solutions);
         core::FeedbackStore feedback;
-        // Feedback needs history to matter: warm it on the sibling variants.
+        core::EngineBuildContext context;
+        if (group.kb) context.knowledge_base = &knowledge_base();
+        context.feedback = &feedback;
+        const auto engine = core::EngineRegistry::builtin().build(
+            "rustbrain", core::EngineOptions::parse(options), context);
+        // Feedback needs history to matter: warm it on the sibling variants
+        // (the engine shares the store across its repairs).
         if (group.feedback) {
-            core::RustBrain warm(config, group.kb ? &knowledge_base() : nullptr,
-                                 &feedback);
             for (const char* sibling :
                  {"bothborrow/juggle_1", "bothborrow/juggle_2"}) {
                 if (const auto* warm_case = corpus().find(sibling)) {
-                    warm.repair(*warm_case);
+                    (void)engine->repair(*warm_case);
                 }
             }
         }
-        core::RustBrain rb(config, group.kb ? &knowledge_base() : nullptr,
-                           group.feedback ? &feedback : nullptr);
-        results[index] = rb.repair(*ub_case);
+        results[index] = engine->repair(*ub_case);
     });
 
     for (std::size_t index = 0; index < kGroupCount; ++index) {

@@ -17,11 +17,11 @@ int main() {
     };
 
     // Parallel, case-independent sweeps (no cross-case feedback — see the
-    // note in fig08).
-    const CategoryRates gpt4_rates = rustbrain_sweep(
-        rustbrain_config("gpt-4", true), &knowledge_base(), &subset);
-    const CategoryRates o1_rates = rustbrain_sweep(
-        rustbrain_config("gpt-o1", true), &knowledge_base(), &subset);
+    // note in fig08), both selected by registry id.
+    const CategoryRates gpt4_rates =
+        engine_sweep("rustbrain", "model=gpt-4", kb_context(), &subset);
+    const CategoryRates o1_rates =
+        engine_sweep("rustbrain", "model=gpt-o1", kb_context(), &subset);
 
     support::TextTable table({"category", "gpt4+RB pass", "o1+RB pass",
                               "gpt4+RB exec", "o1+RB exec"});

@@ -25,10 +25,11 @@ int main() {
         for (int trial = 0; trial < kTrials; ++trial) {
             // Parallel, case-independent sweep per trial (no cross-case
             // feedback — see the note in fig08).
-            const CategoryRates rates = rustbrain_sweep(
-                rustbrain_config("gpt-4", true, temperature,
-                                 /*seed=*/1000 + static_cast<std::uint64_t>(trial)),
-                &knowledge_base());
+            const CategoryRates rates = engine_sweep(
+                "rustbrain",
+                "model=gpt-4,temperature=" +
+                    support::format_double(temperature, 1) +
+                    ",seed=" + std::to_string(1000 + trial));
             pass_count += static_cast<std::size_t>(rates.pass_total);
             exec_count += static_cast<std::size_t>(rates.exec_total);
             trials_cases += static_cast<std::size_t>(rates.case_total);

@@ -11,13 +11,13 @@ int main() {
 
     // Parallel, case-independent sweeps (no cross-case feedback — see the
     // note in fig08); both contenders are measured under the same rules.
-    const CategoryRates rb_rates =
-        rustbrain_sweep(rustbrain_config("gpt-4", true), &knowledge_base());
+    const CategoryRates rb_rates = engine_sweep("rustbrain", "model=gpt-4");
     const CategoryRates rb_nk_rates =
-        rustbrain_sweep(rustbrain_config("gpt-4", false), nullptr);
+        engine_sweep("rustbrain", "model=gpt-4,knowledge=off",
+                     core::EngineBuildContext{});
     const CategoryRates ra_rates =
-        parallel_sweep(engine_per_worker<baselines::FixedPipeline>(
-            baselines::FixedPipelineConfig{"gpt-4", 0.5, 2, 42}));
+        engine_sweep("fixed-pipeline", "model=gpt-4,max_iterations=2",
+                     core::EngineBuildContext{});
 
     support::TextTable table({"category", "RustBrain pass", "RustAssistant pass",
                               "RustBrain exec", "RustAssistant exec",

@@ -5,7 +5,8 @@
 // consultation — the "knowledge" cost column), the human expert, and the
 // speedup (human / no-knowledge, as in the paper's average of 7.4x).
 // A final column shows knowledge+feedback, where the self-learning loop
-// skips KB lookups once it is confident — the paper's red cells.
+// skips KB lookups once it is confident — the paper's red cells. Every
+// column is a registry id + option spec.
 #include "common.hpp"
 
 using namespace rustbrain;
@@ -18,29 +19,25 @@ int main() {
     // effect, so both feedback-bearing columns (no-knowledge and
     // knowledge+feedback) keep their ordered, shared-store semantics.
     core::FeedbackStore fb_nk;
-    core::RustBrain no_knowledge(rustbrain_config("gpt-4", false), nullptr,
-                                 &fb_nk);
-    const CategoryRates nk = sequential_sweep([&](const dataset::UbCase& ub_case) {
-        return no_knowledge.repair(ub_case);
-    });
+    core::EngineBuildContext nk_context;
+    nk_context.feedback = &fb_nk;
+    const CategoryRates nk =
+        ordered_engine_sweep("rustbrain", "model=gpt-4,knowledge=off", nk_context);
 
-    core::RustBrainConfig kb_config = rustbrain_config("gpt-4", true);
-    kb_config.use_feedback = false;  // pure-knowledge column: consult always
-    const CategoryRates kn = rustbrain_sweep(kb_config, &knowledge_base());
+    // Pure-knowledge column: consult always.
+    const CategoryRates kn = engine_sweep("rustbrain", "model=gpt-4,feedback=off");
 
     // The knowledge+feedback column is the self-learning demonstration
     // (the paper's red cells): feedback recorded on early cases must be
     // visible to later ones, so this sweep is also ordered.
     core::FeedbackStore fb_kf;
-    core::RustBrain knowledge_feedback(rustbrain_config("gpt-4", true),
-                                       &knowledge_base(), &fb_kf);
+    core::EngineBuildContext kf_context = kb_context();
+    kf_context.feedback = &fb_kf;
     const CategoryRates kf =
-        sequential_sweep([&](const dataset::UbCase& ub_case) {
-            return knowledge_feedback.repair(ub_case);
-        });
+        ordered_engine_sweep("rustbrain", "model=gpt-4", kf_context);
 
-    const CategoryRates human = parallel_sweep(
-        engine_per_worker<baselines::ExpertModel>(std::uint64_t{42}));
+    const CategoryRates human =
+        engine_sweep("expert", "seed=42", core::EngineBuildContext{});
 
     support::TextTable table({"type", "RB no-knowledge (s)", "RB knowledge (s)",
                               "human (s)", "speedup", "knowledge+feedback (s)"});

@@ -1,19 +1,48 @@
 // Quickstart: detect UB in a mini-Rust program with MiriLite, then repair
-// it with RustBrain end to end.
+// it end to end with any registered engine.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart                       # rustbrain (default)
+//   $ ./examples/quickstart --engine standalone
+//   $ ./examples/quickstart --engine rustbrain --options model=gpt-3.5
 //
 // Walks through the exact pipeline of the paper's Fig. 2 on a classic
-// use-after-free and prints every stage's result.
+// use-after-free and prints every stage's result. Engines come from
+// core::EngineRegistry — a bad --engine id prints the available table.
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
-#include "core/rustbrain.hpp"
+#include "core/engine_registry.hpp"
 #include "dataset/case.hpp"
 #include "miri/mirilite.hpp"
 
 using namespace rustbrain;
 
-int main() {
+namespace {
+
+int usage(const char* argv0) {
+    std::printf("usage: %s [--engine <id>] [--options k=v,k=v...]\n\n"
+                "available engines:\n%s",
+                argv0, core::EngineRegistry::builtin().help().c_str());
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string engine_id = "rustbrain";
+    std::string option_spec;  // engines default to model=gpt-4, seed=42
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--engine" && i + 1 < argc) {
+            engine_id = argv[++i];
+        } else if (arg == "--options" && i + 1 < argc) {
+            option_spec = argv[++i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
     // A mini-Rust program with a seeded use-after-free: the buffer is
     // deallocated before the last read.
     const std::string buggy = R"(fn main() {
@@ -52,15 +81,23 @@ int main() {
     ub_case.inputs = {{}};
     ub_case.difficulty = 1;
 
-    // Repair with RustBrain (GPT-4 profile, no knowledge base needed for a
-    // routine shape like this).
-    std::printf("=== RustBrain repair ===\n");
-    core::RustBrainConfig config;
-    config.model = "gpt-4";
-    config.use_knowledge_base = false;
+    // Build the selected engine from the registry (no knowledge base is
+    // needed for a routine shape like this) and repair.
     core::FeedbackStore feedback;
-    core::RustBrain rustbrain(config, nullptr, &feedback);
-    const core::CaseResult result = rustbrain.repair(ub_case);
+    core::EngineBuildContext context;
+    context.feedback = &feedback;
+    std::unique_ptr<core::RepairEngine> engine;
+    try {
+        engine = core::EngineRegistry::builtin().build(
+            engine_id, core::EngineOptions::parse(option_spec), context);
+    } catch (const std::invalid_argument& error) {
+        std::printf("error: %s\n\n", error.what());
+        return usage(argv[0]);
+    }
+
+    std::printf("=== %s repair (%s) ===\n", engine->name().c_str(),
+                engine->config_summary().c_str());
+    const core::CaseResult result = engine->repair(ub_case);
 
     std::printf("pass (Miri clean): %s\n", result.pass ? "yes" : "no");
     std::printf("exec (semantics match): %s\n", result.exec ? "yes" : "no");

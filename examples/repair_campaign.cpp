@@ -1,18 +1,28 @@
 // repair_campaign: the paper's motivating workflow at project scale —
-// sweep a whole corpus of UB-ridden modules, repair each with RustBrain,
-// and report a triage summary (what was fixed, how, and how long it took).
+// sweep a whole corpus of UB-ridden modules, repair each with a registry-
+// selected engine, and report a triage summary (what was fixed, how, and
+// how long it took).
+//
+//   $ ./examples/repair_campaign                        # rustbrain, full corpus
+//   $ ./examples/repair_campaign --engine fixed-pipeline
+//   $ ./examples/repair_campaign --engine rustbrain --limit 3   # smoke slice
 //
 // Two phases show the two execution shapes BatchRunner supports:
 //   1. a focused sequential campaign over one category, where the shared
 //      feedback store makes the third sibling cheaper than the first; then
 //   2. a corpus-wide parallel campaign that shards cases across every
-//      hardware thread, warm-started from the snapshot phase 1 learned —
-//      results are identical at any worker count.
+//      hardware thread (RUSTBRAIN_WORKERS overrides), warm-started from
+//      the snapshot phase 1 learned — results are identical at any worker
+//      count. With --limit N the sweep covers only the first N cases (the
+//      CI smoke slice) and the focused phase is skipped.
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <stdexcept>
+#include <string>
 
 #include "core/batch_runner.hpp"
-#include "core/rustbrain.hpp"
+#include "core/engine_registry.hpp"
 #include "dataset/corpus.hpp"
 #include "kb/seed.hpp"
 #include "support/table.hpp"
@@ -20,46 +30,107 @@
 
 using namespace rustbrain;
 
-int main() {
+namespace {
+
+int usage(const char* argv0) {
+    std::printf("usage: %s [--engine <id>] [--options k=v,...] [--limit N]\n\n"
+                "available engines:\n%s",
+                argv0, core::EngineRegistry::builtin().help().c_str());
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string engine_id = "rustbrain";
+    std::string option_spec;  // engines default to model=gpt-4, seed=42
+    std::size_t limit = 0;  // 0 = whole corpus
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--engine" && i + 1 < argc) {
+            engine_id = argv[++i];
+        } else if (arg == "--options" && i + 1 < argc) {
+            option_spec = argv[++i];
+        } else if (arg == "--limit" && i + 1 < argc) {
+            const char* text = argv[++i];
+            char* end = nullptr;
+            const unsigned long value = std::strtoul(text, &end, 10);
+            if (end == text || *end != '\0') {
+                std::printf("error: --limit expects a number, got '%s'\n\n", text);
+                return usage(argv[0]);
+            }
+            limit = static_cast<std::size_t>(value);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
     const dataset::Corpus corpus = dataset::Corpus::standard();
     kb::KnowledgeBase kbase;
     const kb::SeedStats seeded = kb::seed_from_corpus(corpus, kbase);
-    std::printf("knowledge base: %zu entries (%zu verified fixes)\n\n",
+    std::printf("knowledge base: %zu entries (%zu verified fixes)\n",
                 seeded.entries_added, seeded.rules_verified);
 
-    core::RustBrainConfig config;
-    config.model = "gpt-4";
+    core::EngineBuildContext context;
+    context.knowledge_base = &kbase;
     core::FeedbackStore feedback;
-    core::RustBrain rustbrain(config, &kbase, &feedback);
 
-    // Campaign over one category to showcase self-learning: the third
-    // sibling benefits from feedback recorded on the first two, so the
-    // sweep is ordered (run_sequential), not parallel.
-    std::printf("== focused campaign: danglingpointer ==\n");
-    const std::vector<const dataset::UbCase*> focused =
-        corpus.by_category(miri::UbCategory::DanglingPointer);
-    const core::BatchReport focused_report = core::BatchRunner::run_sequential(
-        focused, [&](const dataset::UbCase& ub_case) {
-            return rustbrain.repair(ub_case);
-        });
-    for (std::size_t i = 0; i < focused.size(); ++i) {
-        const core::CaseResult& result = focused_report.results[i];
-        std::printf("  %-42s %s/%s  %5.1fs  rule=%s%s\n", focused[i]->id.c_str(),
-                    result.pass ? "pass" : "FAIL", result.exec ? "exec" : "div ",
-                    result.time_ms / 1000.0, result.winning_rule.c_str(),
-                    result.kb_skipped_by_feedback ? "  [feedback: skipped KB]"
-                                                  : "");
+    // Validate the options and engine id up front so a typo prints the
+    // table, not a stack trace.
+    core::EngineOptions options;
+    std::unique_ptr<core::RepairEngine> engine;
+    try {
+        options = core::EngineOptions::parse(option_spec);
+        core::EngineBuildContext focused_context = context;
+        focused_context.feedback = &feedback;
+        engine = core::EngineRegistry::builtin().build(engine_id, options,
+                                                       focused_context);
+    } catch (const std::invalid_argument& error) {
+        std::printf("error: %s\n\n", error.what());
+        return usage(argv[0]);
+    }
+    std::printf("engine: %s (%s)\n\n", engine->name().c_str(),
+                engine->config_summary().c_str());
+
+    if (limit == 0) {
+        // Campaign over one category to showcase self-learning: the third
+        // sibling benefits from feedback recorded on the first two, so the
+        // sweep is ordered (run_sequential), not parallel. Engines without
+        // a feedback loop simply repair the siblings independently.
+        std::printf("== focused campaign: danglingpointer ==\n");
+        const std::vector<const dataset::UbCase*> focused =
+            corpus.by_category(miri::UbCategory::DanglingPointer);
+        const core::BatchReport focused_report = core::BatchRunner::run_sequential(
+            focused, [&](const dataset::UbCase& ub_case) {
+                return engine->repair(ub_case);
+            });
+        for (std::size_t i = 0; i < focused.size(); ++i) {
+            const core::CaseResult& result = focused_report.results[i];
+            std::printf("  %-42s %s/%s  %5.1fs  rule=%s%s\n",
+                        focused[i]->id.c_str(), result.pass ? "pass" : "FAIL",
+                        result.exec ? "exec" : "div ", result.time_ms / 1000.0,
+                        result.winning_rule.c_str(),
+                        result.kb_skipped_by_feedback ? "  [feedback: skipped KB]"
+                                                      : "");
+        }
+        std::printf("\n");
     }
 
-    // Full-corpus triage, sharded across the hardware. Each case starts
-    // from a private copy of the feedback snapshot learned above, so the
-    // outcome does not depend on scheduling or worker count.
+    // Full campaign, sharded across the hardware. Each case starts from a
+    // private copy of the feedback snapshot learned above (empty when the
+    // focused phase was skipped), so the outcome does not depend on
+    // scheduling or worker count.
+    std::vector<const dataset::UbCase*> cases;
+    for (const dataset::UbCase& ub_case : corpus.cases()) {
+        if (limit != 0 && cases.size() >= limit) break;
+        cases.push_back(&ub_case);
+    }
     const std::size_t workers = support::ThreadPool::hardware_threads();
-    std::printf("\n== full campaign (%zu modules, %zu workers) ==\n",
-                corpus.size(), workers);
-    const core::BatchRunner runner(config, &kbase, core::BatchOptions{workers},
-                                   &feedback);
-    const core::BatchReport report = runner.run(corpus);
+    std::printf("== full campaign (%zu modules, %zu workers) ==\n", cases.size(),
+                workers);
+    const core::BatchRunner runner(engine_id, options, context,
+                                   core::BatchOptions{workers}, &feedback);
+    const core::BatchReport report = runner.run(cases);
 
     std::map<std::string, int> by_rule;
     int kb_skips = 0;
@@ -72,7 +143,7 @@ int main() {
     std::printf("repaired %d/%zu (%d semantically verified), %.1f virtual "
                 "minutes total, %d KB lookups skipped by feedback, "
                 "%.0f ms wall clock\n\n",
-                report.pass_total(), corpus.size(), report.exec_total(),
+                report.pass_total(), cases.size(), report.exec_total(),
                 report.virtual_ms_total() / 60000.0, kb_skips, report.wall_ms);
 
     support::TextTable table({"winning strategy", "repairs"});

@@ -5,6 +5,7 @@
 #include "analysis/prune.hpp"
 #include "analysis/vectorize.hpp"
 #include "kb/seed.hpp"
+#include "llm/simllm.hpp"
 #include "lang/parser.hpp"
 
 namespace rustbrain::agents {

@@ -3,12 +3,14 @@
 namespace rustbrain::agents {
 
 llm::ChatResponse AgentContext::call_llm(const llm::PromptSpec& spec) {
-    ++llm_calls;
     llm::ChatRequest request;
     request.temperature = temperature;
+    request.sequence = sequence++;
     request.messages.push_back({llm::Role::User, spec.render()});
     llm::ChatResponse response = llm.complete(request);
     clock.charge("llm", response.latency_ms);
+    emit(core::TraceEventKind::LlmCall, spec.task,
+         static_cast<std::uint64_t>(response.latency_ms * 1000.0));
     return response;
 }
 
@@ -19,7 +21,20 @@ miri::MiriReport AgentContext::verify(const std::string& source) {
         miri.test_source(source, inputs != nullptr ? *inputs : kNoInputs);
     // Interpretation cost: fixed setup plus per-step execution time.
     clock.charge("miri", 120.0 + static_cast<double>(report.total_steps) * 0.01);
+    emit(core::TraceEventKind::Verify, "",
+         static_cast<std::uint64_t>(report.error_count()));
     return report;
+}
+
+void AgentContext::emit(core::TraceEventKind kind, const std::string& label,
+                        std::uint64_t value) {
+    if (trace == nullptr) return;
+    core::TraceEvent event;
+    event.kind = kind;
+    event.label = label;
+    event.value = value;
+    event.clock_ms = clock.now_ms();
+    trace->on_event(event);
 }
 
 }  // namespace rustbrain::agents

@@ -1,24 +1,29 @@
-// Shared execution context for the slow-thinking agents: the model, the
-// virtual clock, the verifier and the (optional) knowledge base.
+// Shared execution context for the slow-thinking agents: the model
+// backend, the virtual clock, the trace sink, the verifier and the
+// (optional) knowledge base.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/trace.hpp"
 #include "kb/knowledge_base.hpp"
-#include "llm/simllm.hpp"
+#include "llm/backend.hpp"
 #include "miri/mirilite.hpp"
 #include "support/sim_clock.hpp"
 
 namespace rustbrain::agents {
 
 struct AgentContext {
-    AgentContext(llm::SimLLM& model, support::SimClock& sim_clock)
+    AgentContext(llm::LlmBackend& model, support::SimClock& sim_clock)
         : llm(model), clock(sim_clock) {}
 
-    llm::SimLLM& llm;
+    llm::LlmBackend& llm;
     support::SimClock& clock;
+    /// Event sink for this repair (may be null). Stages and agents report
+    /// everything countable through it — see core/trace.hpp.
+    core::TraceSink* trace = nullptr;
     double temperature = 0.5;
     /// Inputs of the case's semantic benchmark (for verification runs).
     const std::vector<std::vector<std::int64_t>>* inputs = nullptr;
@@ -35,13 +40,23 @@ struct AgentContext {
     /// Extracted feature summary (empty when the feature stage is off).
     std::string feature_key;
 
-    std::uint64_t llm_calls = 0;
+    /// Calls issued so far in this backend session; stamped into each
+    /// request as its sequence number (part of the call's deterministic
+    /// identity — see llm/backend.hpp).
+    std::uint64_t sequence = 0;
 
-    /// Send one chat request, charging the clock with the model's latency.
+    /// Send one chat request, charging the clock with the model's latency
+    /// and emitting an LlmCall trace event.
     llm::ChatResponse call_llm(const llm::PromptSpec& spec);
 
-    /// Verify code with MiriLite, charging verification time.
+    /// Verify code with MiriLite, charging verification time and emitting
+    /// a Verify trace event with the error count.
     miri::MiriReport verify(const std::string& source);
+
+    /// Emit one trace event stamped with the current virtual time (no-op
+    /// without a sink; never charges the clock).
+    void emit(core::TraceEventKind kind, const std::string& label = "",
+              std::uint64_t value = 0);
 };
 
 }  // namespace rustbrain::agents

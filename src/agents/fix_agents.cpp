@@ -1,5 +1,7 @@
 #include "agents/fix_agents.hpp"
 
+#include "llm/simllm.hpp"
+
 namespace rustbrain::agents {
 
 FixAgent::FixAgent(llm::RuleFamily family) : family_(family) {}

@@ -4,7 +4,7 @@
 
 namespace rustbrain::baselines {
 
-double ExpertModel::category_mean_seconds(miri::UbCategory category) {
+double ExpertModelRepair::category_mean_seconds(miri::UbCategory category) {
     // Calibrated to Table I's human column (seconds).
     switch (category) {
         case miri::UbCategory::StackBorrow: return 366.0;
@@ -27,7 +27,7 @@ double ExpertModel::category_mean_seconds(miri::UbCategory category) {
     return 442.0;  // the study's overall average
 }
 
-core::CaseResult ExpertModel::repair(const dataset::UbCase& ub_case) const {
+core::CaseResult ExpertModelRepair::repair(const dataset::UbCase& ub_case) {
     core::CaseResult result;
     result.case_id = ub_case.id;
     result.pass = true;

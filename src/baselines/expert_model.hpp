@@ -3,21 +3,28 @@
 //
 // Only *time* is compared in the paper — expert correctness is assumed.
 // Per-category mean times are calibrated to Table I's human column; each
-// case gets a deterministic jitter and a difficulty multiplier.
+// case gets a deterministic jitter and a difficulty multiplier. No LLM is
+// involved, so the backend boundary is unused.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
-#include "core/rustbrain.hpp"
+#include "core/repair_engine.hpp"
 #include "dataset/case.hpp"
 
 namespace rustbrain::baselines {
 
-class ExpertModel {
+class ExpertModelRepair final : public core::RepairEngine {
   public:
-    explicit ExpertModel(std::uint64_t seed = 42) : seed_(seed) {}
+    explicit ExpertModelRepair(std::uint64_t seed = 42) : seed_(seed) {}
 
-    core::CaseResult repair(const dataset::UbCase& ub_case) const;
+    core::CaseResult repair(const dataset::UbCase& ub_case) override;
+
+    [[nodiscard]] std::string name() const override { return "expert"; }
+    [[nodiscard]] std::string config_summary() const override {
+        return "seed=" + std::to_string(seed_);
+    }
 
     /// Mean human repair time for a category, in virtual seconds.
     static double category_mean_seconds(miri::UbCategory category);

@@ -5,25 +5,40 @@
 #include "agents/agent_context.hpp"
 #include "dataset/semantic.hpp"
 #include "llm/rules.hpp"
-#include "support/hashing.hpp"
+#include "llm/simllm.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace rustbrain::baselines {
 
-FixedPipeline::FixedPipeline(FixedPipelineConfig config)
-    : config_(std::move(config)) {
+FixedPipelineRepair::FixedPipelineRepair(FixedPipelineConfig config,
+                                         llm::BackendFactory backend_factory)
+    : config_(std::move(config)), backend_factory_(std::move(backend_factory)) {
     if (llm::find_profile(config_.model) == nullptr) {
         throw std::invalid_argument("unknown model profile: " + config_.model);
     }
+    if (!backend_factory_) backend_factory_ = llm::sim_backend_factory();
 }
 
-core::CaseResult FixedPipeline::repair(const dataset::UbCase& ub_case) {
+std::string FixedPipelineRepair::config_summary() const {
+    return "model=" + config_.model +
+           " temperature=" + support::format_double(config_.temperature, 2) +
+           " max_iterations=" + std::to_string(config_.max_iterations) +
+           " seed=" + std::to_string(config_.seed);
+}
+
+core::CaseResult FixedPipelineRepair::repair(const dataset::UbCase& ub_case) {
     core::CaseResult result;
     result.case_id = ub_case.id;
 
-    llm::SimLLM sim(*llm::find_profile(config_.model),
-                    support::derive_seed(config_.seed, "fixed:" + ub_case.id));
+    const auto backend = backend_factory_(
+        *llm::find_profile(config_.model),
+        support::derive_seed(config_.seed, "fixed:" + ub_case.id));
     support::SimClock clock;
-    agents::AgentContext context{sim, clock};
+    core::TraceStats stats;
+    core::TraceTee tee(&stats, trace_sink_);
+    agents::AgentContext context{*backend, clock};
+    context.trace = &tee;
     context.temperature = config_.temperature;
     context.inputs = &ub_case.inputs;
 
@@ -71,9 +86,10 @@ core::CaseResult FixedPipeline::repair(const dataset::UbCase& ub_case) {
         const auto patched = context.call_llm(apply);
         const std::string candidate = llm::parse_code_block(patched.content);
 
+        context.emit(core::TraceEventKind::StepExecuted, fixed_steps[step]);
         const miri::MiriReport report = context.verify(candidate);
-        result.error_trajectory.push_back(report.error_count());
-        ++result.steps_executed;
+        context.emit(core::TraceEventKind::StepVerified, fixed_steps[step],
+                     report.error_count());
 
         if (report.passed()) {
             result.pass = true;
@@ -86,13 +102,17 @@ core::CaseResult FixedPipeline::repair(const dataset::UbCase& ub_case) {
             // Full rollback to the initial state (Fig 5a): every partial
             // correction is discarded and the restart is charged in full.
             clock.charge("rollback", 400.0);
-            ++result.rollbacks;
+            context.emit(core::TraceEventKind::Rollback, fixed_steps[step],
+                         initial_errors);
             current = ub_case.buggy_source;
         } else {
             current = candidate;
         }
     }
-    result.llm_calls = context.llm_calls;
+    result.steps_executed = stats.steps_executed();
+    result.rollbacks = stats.rollbacks();
+    result.error_trajectory = stats.error_trajectory();
+    result.llm_calls = stats.llm_calls();
     result.time_ms = clock.now_ms();
     result.time_breakdown = clock.breakdown();
     return result;

@@ -13,8 +13,9 @@
 #include <cstdint>
 #include <string>
 
-#include "core/rustbrain.hpp"
+#include "core/repair_engine.hpp"
 #include "dataset/case.hpp"
+#include "llm/backend.hpp"
 
 namespace rustbrain::baselines {
 
@@ -25,14 +26,19 @@ struct FixedPipelineConfig {
     std::uint64_t seed = 42;
 };
 
-class FixedPipeline {
+class FixedPipelineRepair final : public core::RepairEngine {
   public:
-    explicit FixedPipeline(FixedPipelineConfig config);
+    explicit FixedPipelineRepair(FixedPipelineConfig config,
+                                 llm::BackendFactory backend_factory = {});
 
-    core::CaseResult repair(const dataset::UbCase& ub_case);
+    core::CaseResult repair(const dataset::UbCase& ub_case) override;
+
+    [[nodiscard]] std::string name() const override { return "fixed-pipeline"; }
+    [[nodiscard]] std::string config_summary() const override;
 
   private:
     FixedPipelineConfig config_;
+    llm::BackendFactory backend_factory_;
 };
 
 }  // namespace rustbrain::baselines

@@ -4,25 +4,40 @@
 
 #include "agents/agent_context.hpp"
 #include "dataset/semantic.hpp"
-#include "support/hashing.hpp"
+#include "llm/simllm.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace rustbrain::baselines {
 
-StandaloneLlmRepair::StandaloneLlmRepair(StandaloneConfig config)
-    : config_(std::move(config)) {
+StandaloneLlmRepair::StandaloneLlmRepair(StandaloneConfig config,
+                                         llm::BackendFactory backend_factory)
+    : config_(std::move(config)), backend_factory_(std::move(backend_factory)) {
     if (llm::find_profile(config_.model) == nullptr) {
         throw std::invalid_argument("unknown model profile: " + config_.model);
     }
+    if (!backend_factory_) backend_factory_ = llm::sim_backend_factory();
+}
+
+std::string StandaloneLlmRepair::config_summary() const {
+    return "model=" + config_.model +
+           " temperature=" + support::format_double(config_.temperature, 2) +
+           " attempts=" + std::to_string(config_.attempts) +
+           " seed=" + std::to_string(config_.seed);
 }
 
 core::CaseResult StandaloneLlmRepair::repair(const dataset::UbCase& ub_case) {
     core::CaseResult result;
     result.case_id = ub_case.id;
 
-    llm::SimLLM sim(*llm::find_profile(config_.model),
-                    support::derive_seed(config_.seed, "solo:" + ub_case.id));
+    const auto backend =
+        backend_factory_(*llm::find_profile(config_.model),
+                         support::derive_seed(config_.seed, "solo:" + ub_case.id));
     support::SimClock clock;
-    agents::AgentContext context{sim, clock};
+    core::TraceStats stats;
+    core::TraceTee tee(&stats, trace_sink_);
+    agents::AgentContext context{*backend, clock};
+    context.trace = &tee;
     context.temperature = config_.temperature;
     context.inputs = &ub_case.inputs;
 
@@ -62,9 +77,10 @@ core::CaseResult StandaloneLlmRepair::repair(const dataset::UbCase& ub_case) {
         const auto patched = context.call_llm(apply);
         const std::string candidate = llm::parse_code_block(patched.content);
 
+        context.emit(core::TraceEventKind::StepExecuted, rules.front());
         const miri::MiriReport report = context.verify(candidate);
-        result.error_trajectory.push_back(report.error_count());
-        ++result.steps_executed;
+        context.emit(core::TraceEventKind::StepVerified, rules.front(),
+                     report.error_count());
         if (report.passed()) {
             result.pass = true;
             result.exec = dataset::judge_semantics(candidate, ub_case).acceptable();
@@ -76,7 +92,9 @@ core::CaseResult StandaloneLlmRepair::repair(const dataset::UbCase& ub_case) {
         // starts from, exactly the failure mode RustBrain's rollback fixes.
         current = candidate;
     }
-    result.llm_calls = context.llm_calls;
+    result.steps_executed = stats.steps_executed();
+    result.error_trajectory = stats.error_trajectory();
+    result.llm_calls = stats.llm_calls();
     result.time_ms = clock.now_ms();
     result.time_breakdown = clock.breakdown();
     return result;

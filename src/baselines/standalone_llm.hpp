@@ -8,8 +8,9 @@
 #include <cstdint>
 #include <string>
 
-#include "core/rustbrain.hpp"
+#include "core/repair_engine.hpp"
 #include "dataset/case.hpp"
+#include "llm/backend.hpp"
 
 namespace rustbrain::baselines {
 
@@ -20,14 +21,19 @@ struct StandaloneConfig {
     std::uint64_t seed = 42;
 };
 
-class StandaloneLlmRepair {
+class StandaloneLlmRepair final : public core::RepairEngine {
   public:
-    explicit StandaloneLlmRepair(StandaloneConfig config);
+    explicit StandaloneLlmRepair(StandaloneConfig config,
+                                 llm::BackendFactory backend_factory = {});
 
-    core::CaseResult repair(const dataset::UbCase& ub_case);
+    core::CaseResult repair(const dataset::UbCase& ub_case) override;
+
+    [[nodiscard]] std::string name() const override { return "standalone"; }
+    [[nodiscard]] std::string config_summary() const override;
 
   private:
     StandaloneConfig config_;
+    llm::BackendFactory backend_factory_;
 };
 
 }  // namespace rustbrain::baselines

@@ -85,6 +85,48 @@ BatchRunner::BatchRunner(RustBrainConfig config,
     }
 }
 
+BatchRunner::BatchRunner(const std::string& engine_id,
+                         EngineOptions engine_options,
+                         EngineBuildContext context, BatchOptions options,
+                         const FeedbackStore* warm_feedback)
+    : options_(options) {
+    // See header: parallel sweeps must not share a mutable store, and a
+    // single TraceSink written from every worker would race.
+    context.feedback = nullptr;
+    context.trace = nullptr;
+    // Fail fast on an unknown id or option, not on the first repaired case.
+    (void)EngineRegistry::builtin().build(engine_id, engine_options, context);
+    if (warm_feedback == nullptr) {
+        factory_ = [engine_id, engine_options,
+                    context](std::size_t) -> RepairFn {
+            std::shared_ptr<RepairEngine> engine =
+                EngineRegistry::builtin().build(engine_id, engine_options,
+                                                context);
+            return [engine](const dataset::UbCase& ub_case) {
+                return engine->repair(ub_case);
+            };
+        };
+    } else {
+        // Each case starts from its own copy of the snapshot; the engine is
+        // rebuilt per case because engines bind their feedback store at
+        // construction (construction is a registry lookup plus a profile
+        // lookup — cheap next to a repair).
+        auto snapshot = std::make_shared<const FeedbackStore>(*warm_feedback);
+        factory_ = [engine_id, engine_options, context,
+                    snapshot](std::size_t) -> RepairFn {
+            return [engine_id, engine_options, context,
+                    snapshot](const dataset::UbCase& ub_case) {
+                FeedbackStore store = *snapshot;
+                EngineBuildContext case_context = context;
+                case_context.feedback = &store;
+                const auto engine = EngineRegistry::builtin().build(
+                    engine_id, engine_options, case_context);
+                return engine->repair(ub_case);
+            };
+        };
+    }
+}
+
 BatchReport BatchRunner::run(
     const std::vector<const dataset::UbCase*>& cases) const {
     BatchReport report;

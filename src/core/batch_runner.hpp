@@ -22,6 +22,9 @@
 #include <functional>
 #include <vector>
 
+#include <string>
+
+#include "core/engine_registry.hpp"
 #include "core/feedback.hpp"
 #include "core/rustbrain.hpp"
 #include "dataset/corpus.hpp"
@@ -63,6 +66,19 @@ class BatchRunner {
     /// count or scheduling.
     BatchRunner(RustBrainConfig config, const kb::KnowledgeBase* knowledge_base,
                 BatchOptions options = {},
+                const FeedbackStore* warm_feedback = nullptr);
+
+    /// Registry-driven sweep: build `engine_id` from EngineRegistry::builtin()
+    /// with `engine_options`, one engine per worker. `context.feedback` and
+    /// `context.trace` are both ignored: a shared mutable feedback store
+    /// would make results scheduling-dependent, and a single TraceSink
+    /// written from every worker would race. To sweep from learned feedback
+    /// pass `warm_feedback`, which gives every case a private copy of the
+    /// snapshot exactly like the RustBrain constructor above; to trace,
+    /// build one engine from the registry and run it directly (or via
+    /// run_sequential).
+    BatchRunner(const std::string& engine_id, EngineOptions engine_options,
+                EngineBuildContext context, BatchOptions options = {},
                 const FeedbackStore* warm_feedback = nullptr);
 
     [[nodiscard]] BatchReport run(

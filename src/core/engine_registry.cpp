@@ -1,0 +1,256 @@
+#include "core/engine_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/expert_model.hpp"
+#include "baselines/fixed_pipeline.hpp"
+#include "baselines/standalone_llm.hpp"
+#include "core/rustbrain.hpp"
+#include "support/strings.hpp"
+
+namespace rustbrain::core {
+
+// ---------------------------------------------------------------------------
+// EngineOptions
+// ---------------------------------------------------------------------------
+
+EngineOptions EngineOptions::parse(const std::string& spec) {
+    EngineOptions options;
+    for (const std::string& entry : support::split(spec, ',')) {
+        if (entry.empty()) continue;
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            throw std::invalid_argument(
+                "malformed engine option '" + entry +
+                "' (expected key=value[,key=value...])");
+        }
+        options.values[entry.substr(0, eq)] = entry.substr(eq + 1);
+    }
+    return options;
+}
+
+std::string EngineOptions::get(const std::string& key,
+                               const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+}
+
+double EngineOptions::get_double(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    // Fail loudly on trailing junk ("0.5x"), not just on unparseable text.
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(it->second, &consumed);
+        if (consumed == it->second.size()) return value;
+    } catch (...) {
+    }
+    throw std::invalid_argument("engine option " + key + "=" + it->second +
+                                " is not a number");
+}
+
+int EngineOptions::get_int(const std::string& key, int fallback) const {
+    auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    try {
+        std::size_t consumed = 0;
+        const int value = std::stoi(it->second, &consumed);
+        if (consumed == it->second.size()) return value;
+    } catch (...) {
+    }
+    throw std::invalid_argument("engine option " + key + "=" + it->second +
+                                " is not an integer");
+}
+
+std::uint64_t EngineOptions::get_u64(const std::string& key,
+                                     std::uint64_t fallback) const {
+    auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    // stoull accepts a leading '-' (wrapping to a huge value); reject it.
+    try {
+        if (it->second.empty() || it->second[0] == '-') {
+            throw std::invalid_argument(it->second);
+        }
+        std::size_t consumed = 0;
+        const std::uint64_t value = std::stoull(it->second, &consumed);
+        if (consumed == it->second.size()) return value;
+    } catch (...) {
+    }
+    throw std::invalid_argument("engine option " + key + "=" + it->second +
+                                " is not an unsigned integer");
+}
+
+bool EngineOptions::get_bool(const std::string& key, bool fallback) const {
+    auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    const std::string& value = it->second;
+    if (value == "on" || value == "true" || value == "yes" || value == "1") {
+        return true;
+    }
+    if (value == "off" || value == "false" || value == "no" || value == "0") {
+        return false;
+    }
+    throw std::invalid_argument("engine option " + key + "=" + value +
+                                " is not a boolean (use on/off)");
+}
+
+void EngineOptions::check_known(std::initializer_list<const char*> known) const {
+    for (const auto& [key, value] : values) {
+        bool found = false;
+        for (const char* candidate : known) {
+            if (key == candidate) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::string message = "unknown engine option '" + key +
+                                  "'; this engine understands:";
+            for (const char* candidate : known) {
+                message += ' ';
+                message += candidate;
+            }
+            throw std::invalid_argument(message);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EngineRegistry
+// ---------------------------------------------------------------------------
+
+void EngineRegistry::add(Entry entry) {
+    if (entries_.count(entry.id) != 0) {
+        throw std::invalid_argument("duplicate engine id: " + entry.id);
+    }
+    entries_.emplace(entry.id, std::move(entry));
+}
+
+bool EngineRegistry::contains(const std::string& id) const {
+    return entries_.count(id) != 0;
+}
+
+const EngineRegistry::Entry* EngineRegistry::find(const std::string& id) const {
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> EngineRegistry::ids() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [id, entry] : entries_) out.push_back(id);
+    return out;
+}
+
+std::string EngineRegistry::help() const {
+    std::string out;
+    for (const auto& [id, entry] : entries_) {
+        out += "  " + id + " — " + entry.description + "\n";
+    }
+    return out;
+}
+
+std::unique_ptr<RepairEngine> EngineRegistry::build(
+    const std::string& id, const EngineOptions& options,
+    const EngineBuildContext& context) const {
+    const Entry* entry = find(id);
+    if (entry == nullptr) {
+        std::string message = "unknown engine id '" + id + "'; available:";
+        for (const std::string& known : ids()) message += ' ' + known;
+        throw std::invalid_argument(message);
+    }
+    std::unique_ptr<RepairEngine> engine = entry->build(options, context);
+    engine->set_trace_sink(context.trace);
+    return engine;
+}
+
+namespace {
+
+std::unique_ptr<RepairEngine> build_rustbrain(const EngineOptions& options,
+                                              const EngineBuildContext& context) {
+    options.check_known({"model", "temperature", "seed", "knowledge", "feedback",
+                         "rollback", "features", "max_solutions", "max_steps",
+                         "judge_error"});
+    RustBrainConfig config;
+    config.model = options.get("model", config.model);
+    config.temperature = options.get_double("temperature", config.temperature);
+    config.seed = options.get_u64("seed", config.seed);
+    config.use_knowledge_base =
+        options.get_bool("knowledge", config.use_knowledge_base);
+    config.use_feedback = options.get_bool("feedback", config.use_feedback);
+    config.use_adaptive_rollback =
+        options.get_bool("rollback", config.use_adaptive_rollback);
+    config.use_feature_extraction =
+        options.get_bool("features", config.use_feature_extraction);
+    config.max_solutions = options.get_int("max_solutions", config.max_solutions);
+    config.max_steps_per_solution =
+        options.get_int("max_steps", config.max_steps_per_solution);
+    config.internal_judge_error =
+        options.get_double("judge_error", config.internal_judge_error);
+    return std::make_unique<RustBrain>(
+        config, config.use_knowledge_base ? context.knowledge_base : nullptr,
+        config.use_feedback ? context.feedback : nullptr,
+        context.backend_factory);
+}
+
+std::unique_ptr<RepairEngine> build_standalone(const EngineOptions& options,
+                                               const EngineBuildContext& context) {
+    options.check_known({"model", "temperature", "seed", "attempts"});
+    baselines::StandaloneConfig config;
+    config.model = options.get("model", config.model);
+    config.temperature = options.get_double("temperature", config.temperature);
+    config.attempts = options.get_int("attempts", config.attempts);
+    config.seed = options.get_u64("seed", config.seed);
+    return std::make_unique<baselines::StandaloneLlmRepair>(
+        config, context.backend_factory);
+}
+
+std::unique_ptr<RepairEngine> build_fixed_pipeline(
+    const EngineOptions& options, const EngineBuildContext& context) {
+    options.check_known({"model", "temperature", "seed", "max_iterations"});
+    baselines::FixedPipelineConfig config;
+    config.model = options.get("model", config.model);
+    config.temperature = options.get_double("temperature", config.temperature);
+    config.max_iterations =
+        options.get_int("max_iterations", config.max_iterations);
+    config.seed = options.get_u64("seed", config.seed);
+    return std::make_unique<baselines::FixedPipelineRepair>(
+        config, context.backend_factory);
+}
+
+std::unique_ptr<RepairEngine> build_expert(const EngineOptions& options,
+                                           const EngineBuildContext& context) {
+    (void)context;
+    options.check_known({"seed"});
+    return std::make_unique<baselines::ExpertModelRepair>(
+        options.get_u64("seed", 42));
+}
+
+}  // namespace
+
+const EngineRegistry& EngineRegistry::builtin() {
+    static const EngineRegistry registry = [] {
+        EngineRegistry r;
+        r.add({"rustbrain",
+               "fast/slow thinking with agents, knowledge base and feedback "
+               "(the paper's framework)",
+               build_rustbrain});
+        r.add({"standalone",
+               "bare model, one candidate per attempt, no scaffolding "
+               "(Figs 8/9 base columns)",
+               build_standalone});
+        r.add({"fixed-pipeline",
+               "RustAssistant-style fixed step sequence with restart-from-T0 "
+               "rollback (Fig 12)",
+               build_fixed_pipeline});
+        r.add({"expert",
+               "calibrated human-expert repair times, always correct "
+               "(Table I)",
+               build_expert});
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace rustbrain::core

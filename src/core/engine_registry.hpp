@@ -1,0 +1,92 @@
+// EngineRegistry — build any repair engine from a string id + option map.
+//
+// The seam that lets BatchRunner, the benches and the examples select
+// strategies declaratively: "rustbrain" / "standalone" / "fixed-pipeline" /
+// "expert" plus options like "model=gpt-4,temperature=0.7,knowledge=off".
+// Unknown ids and unknown option keys both throw std::invalid_argument with
+// a message listing what IS available, so a typo in a sweep config fails
+// loudly instead of silently running the default.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feedback.hpp"
+#include "core/repair_engine.hpp"
+#include "kb/knowledge_base.hpp"
+#include "llm/backend.hpp"
+
+namespace rustbrain::core {
+
+/// String-keyed engine options ("model=gpt-4,seed=7"). Typed getters parse
+/// on demand; check_known() rejects stray keys.
+struct EngineOptions {
+    std::map<std::string, std::string> values;
+
+    /// Parse a "key=value,key=value" spec (empty string => no options).
+    /// Throws std::invalid_argument on a malformed entry.
+    static EngineOptions parse(const std::string& spec);
+
+    [[nodiscard]] std::string get(const std::string& key,
+                                  const std::string& fallback) const;
+    [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+    [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+    [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                        std::uint64_t fallback) const;
+    /// Accepts on/off, true/false, yes/no, 1/0.
+    [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+    /// Throws std::invalid_argument naming the first key not in `known`.
+    void check_known(std::initializer_list<const char*> known) const;
+};
+
+/// Everything an engine may be wired to at build time. All members are
+/// optional; engines ignore what they do not use.
+struct EngineBuildContext {
+    const kb::KnowledgeBase* knowledge_base = nullptr;
+    FeedbackStore* feedback = nullptr;
+    llm::BackendFactory backend_factory;  // empty => SimLLM
+    TraceSink* trace = nullptr;
+};
+
+class EngineRegistry {
+  public:
+    using Builder = std::function<std::unique_ptr<RepairEngine>(
+        const EngineOptions& options, const EngineBuildContext& context)>;
+
+    struct Entry {
+        std::string id;
+        std::string description;
+        Builder build;
+    };
+
+    /// Register an engine; throws std::invalid_argument on a duplicate id.
+    void add(Entry entry);
+
+    [[nodiscard]] bool contains(const std::string& id) const;
+    [[nodiscard]] const Entry* find(const std::string& id) const;
+    [[nodiscard]] std::vector<std::string> ids() const;  // sorted
+    /// "id — description" lines, one per engine (for --engine usage text).
+    [[nodiscard]] std::string help() const;
+
+    /// Build an engine by id. Throws std::invalid_argument listing the
+    /// available ids when `id` is unknown, or naming the offending key when
+    /// `options` contains one the engine does not understand.
+    [[nodiscard]] std::unique_ptr<RepairEngine> build(
+        const std::string& id, const EngineOptions& options = {},
+        const EngineBuildContext& context = {}) const;
+
+    /// The four paper engines: rustbrain, standalone, fixed-pipeline,
+    /// expert. Registered eagerly (no static-initialization-order games).
+    static const EngineRegistry& builtin();
+
+  private:
+    std::map<std::string, Entry> entries_;
+};
+
+}  // namespace rustbrain::core

@@ -1,5 +1,6 @@
 #include "core/fast_thinking.hpp"
 
+#include "llm/simllm.hpp"
 #include "support/strings.hpp"
 
 namespace rustbrain::core {
@@ -8,11 +9,13 @@ FastThinkingResult FastThinking::run(const std::string& source, int difficulty,
                                      const FeedbackStore* feedback,
                                      agents::AgentContext& context) const {
     FastThinkingResult result;
+    context.emit(TraceEventKind::StageEnter, "fast_thinking");
 
     // F1: Miri detection. Clean programs terminate the pipeline.
     const miri::MiriReport report = context.verify(source);
     if (report.passed()) {
         result.already_clean = true;
+        context.emit(TraceEventKind::StageExit, "fast_thinking");
         return result;
     }
     result.finding = report.findings.front();
@@ -73,6 +76,9 @@ FastThinkingResult FastThinking::run(const std::string& source, int difficulty,
         solution.rule_ids.push_back(rule_id);
         result.solutions.push_back(std::move(solution));
     }
+    context.emit(TraceEventKind::SolutionsGenerated, "",
+                 static_cast<std::uint64_t>(result.solutions.size()));
+    context.emit(TraceEventKind::StageExit, "fast_thinking");
     return result;
 }
 

@@ -4,30 +4,54 @@
 
 #include "agents/abstract_reasoning_agent.hpp"
 #include "dataset/semantic.hpp"
-#include "support/hashing.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace rustbrain::core {
 
 RustBrain::RustBrain(RustBrainConfig config, const kb::KnowledgeBase* knowledge_base,
-                     FeedbackStore* feedback)
+                     FeedbackStore* feedback, llm::BackendFactory backend_factory)
     : config_(std::move(config)),
       knowledge_base_(knowledge_base),
-      feedback_(feedback) {
+      feedback_(feedback),
+      backend_factory_(std::move(backend_factory)) {
     if (llm::find_profile(config_.model) == nullptr) {
         throw std::invalid_argument("unknown model profile: " + config_.model);
     }
+    if (!backend_factory_) backend_factory_ = llm::sim_backend_factory();
+}
+
+std::string RustBrain::config_summary() const {
+    std::string summary = "model=" + config_.model;
+    summary += " temperature=" + support::format_double(config_.temperature, 2);
+    summary += std::string(" knowledge=") +
+               (config_.use_knowledge_base && knowledge_base_ != nullptr ? "on"
+                                                                        : "off");
+    summary += std::string(" feedback=") +
+               (config_.use_feedback && feedback_ != nullptr ? "on" : "off");
+    summary +=
+        std::string(" rollback=") + (config_.use_adaptive_rollback ? "on" : "off");
+    summary +=
+        std::string(" features=") + (config_.use_feature_extraction ? "on" : "off");
+    summary += " max_solutions=" + std::to_string(config_.max_solutions);
+    summary += " seed=" + std::to_string(config_.seed);
+    return summary;
 }
 
 CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
     CaseResult result;
     result.case_id = ub_case.id;
 
-    // A fresh model conversation per case, deterministically seeded.
-    llm::SimLLM sim(*llm::find_profile(config_.model),
-                    support::derive_seed(config_.seed, ub_case.id));
+    // A fresh backend session per case, deterministically seeded.
+    const auto backend =
+        backend_factory_(*llm::find_profile(config_.model),
+                         support::derive_seed(config_.seed, ub_case.id));
     support::SimClock clock;
+    TraceStats stats;
+    TraceTee tee(&stats, trace_sink_);
 
-    agents::AgentContext context{sim, clock};
+    agents::AgentContext context{*backend, clock};
+    context.trace = &tee;
     context.temperature = config_.temperature;
     context.inputs = &ub_case.inputs;
     context.knowledge_base =
@@ -65,7 +89,8 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
         const agents::ReasoningResult consult = reasoning.consult(
             ub_case.buggy_source, fast.finding.category, context);
         context.exemplar_rules = consult.exemplar_rules;
-        result.kb_consulted = true;
+        context.emit(TraceEventKind::KbConsult, "",
+                     static_cast<std::uint64_t>(consult.exemplar_rules.size()));
         if (!consult.exemplar_rules.empty()) {
             // Exemplars sharpen generation: regenerate solutions with them.
             fast = fast_stage.run(ub_case.buggy_source, ub_case.difficulty,
@@ -73,9 +98,8 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
                                   context);
         }
     } else if (feedback_confident) {
-        result.kb_skipped_by_feedback = true;
+        context.emit(TraceEventKind::KbSkip);
     }
-    result.solutions_generated = static_cast<int>(fast.solutions.size());
 
     // --- Slow thinking --------------------------------------------------
     support::Rng judge_rng(
@@ -103,12 +127,17 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
     // The harness's exact semantic verdict (the paper's exec metric).
     result.exec = slow.pass && !slow.final_source.empty() &&
                   dataset::judge_semantics(slow.final_source, ub_case).acceptable();
-    result.steps_executed = slow.steps_executed;
-    result.rollbacks = slow.rollbacks;
-    result.error_trajectory = slow.error_trajectory;
     result.winning_rule = slow.winning_rule;
     result.final_source = slow.final_source;
-    result.llm_calls = context.llm_calls;
+    // Statistics come from the trace — the single source (the stages emit,
+    // TraceStats tallies).
+    result.solutions_generated = stats.solutions_generated();
+    result.steps_executed = stats.steps_executed();
+    result.rollbacks = stats.rollbacks();
+    result.error_trajectory = stats.error_trajectory();
+    result.llm_calls = stats.llm_calls();
+    result.kb_consulted = stats.kb_consulted();
+    result.kb_skipped_by_feedback = stats.kb_skipped();
     result.time_ms = clock.now_ms();
     result.time_breakdown = clock.breakdown();
     return result;

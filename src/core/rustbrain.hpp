@@ -6,20 +6,24 @@
 // agents, verify, adaptively roll back), and the feedback loop that feeds
 // evaluation triplets back into future fast-thinking runs.
 //
+// Implements core::RepairEngine; all model traffic flows through an
+// injected llm::BackendFactory (default: SimLLM), and per-case statistics
+// are tallied from core::TraceSink events.
+//
 // Every stochastic choice derives from `config.seed` + the case id, so whole
 // experiment sweeps are reproducible bit-for-bit.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
-#include <vector>
 
 #include "core/fast_thinking.hpp"
 #include "core/feedback.hpp"
+#include "core/repair_engine.hpp"
 #include "core/slow_thinking.hpp"
 #include "dataset/case.hpp"
 #include "kb/knowledge_base.hpp"
+#include "llm/backend.hpp"
 
 namespace rustbrain::core {
 
@@ -41,34 +45,19 @@ struct RustBrainConfig {
     std::uint64_t seed = 42;
 };
 
-struct CaseResult {
-    std::string case_id;
-    bool pass = false;   // repaired code passes MiriLite
-    bool exec = false;   // ... and matches the reference semantics
-    double time_ms = 0.0;  // virtual repair time
-    /// Per-category virtual-time charges (the case's SimClock breakdown);
-    /// BatchRunner folds these into an aggregate clock in case-index order.
-    std::map<std::string, double> time_breakdown;
-    int solutions_generated = 0;
-    int steps_executed = 0;
-    int rollbacks = 0;
-    std::uint64_t llm_calls = 0;
-    bool kb_consulted = false;
-    bool kb_skipped_by_feedback = false;
-    std::vector<std::size_t> error_trajectory;
-    std::string winning_rule;
-    std::string final_source;
-};
-
-class RustBrain {
+class RustBrain final : public RepairEngine {
   public:
     /// `knowledge_base` may be null (disables KB regardless of config);
-    /// `feedback` may be null (disables the self-learning loop).
+    /// `feedback` may be null (disables the self-learning loop);
+    /// `backend_factory` may be empty (uses SimLLM).
     RustBrain(RustBrainConfig config, const kb::KnowledgeBase* knowledge_base,
-              FeedbackStore* feedback);
+              FeedbackStore* feedback, llm::BackendFactory backend_factory = {});
 
     /// Repair one corpus case end to end.
-    CaseResult repair(const dataset::UbCase& ub_case);
+    CaseResult repair(const dataset::UbCase& ub_case) override;
+
+    [[nodiscard]] std::string name() const override { return "rustbrain"; }
+    [[nodiscard]] std::string config_summary() const override;
 
     [[nodiscard]] const RustBrainConfig& config() const { return config_; }
 
@@ -76,6 +65,7 @@ class RustBrain {
     RustBrainConfig config_;
     const kb::KnowledgeBase* knowledge_base_;
     FeedbackStore* feedback_;
+    llm::BackendFactory backend_factory_;
 };
 
 }  // namespace rustbrain::core

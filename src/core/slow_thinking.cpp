@@ -11,6 +11,7 @@ SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
                                      FeedbackStore* feedback,
                                      agents::AgentContext& context) const {
     SlowThinkingResult result;
+    context.emit(TraceEventKind::StageEnter, "slow_thinking");
     // Fallback candidate: passes Miri but failed the semantic benchmark.
     std::optional<std::pair<std::string, std::string>> pass_only;  // source, rule
 
@@ -37,11 +38,13 @@ SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
             const agents::FixOutcome outcome =
                 agent.run(current, fast.finding, rule_id, context);
             ++result.steps_executed;
+            context.emit(TraceEventKind::StepExecuted, rule_id);
 
             // ...and verification measures it.
             const miri::MiriReport report = context.verify(outcome.code);
             const std::size_t errors = report.error_count();
             result.error_trajectory.push_back(errors);
+            context.emit(TraceEventKind::StepVerified, rule_id, errors);
             rollback.observe(outcome.code, errors);
 
             if (errors == 0) {
@@ -68,6 +71,8 @@ SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
                 // (Fig 5b). Only true regressions charge rollback cost.
                 if (rollback.should_rollback(errors)) {
                     current = rollback.rollback(context.clock);
+                    context.emit(TraceEventKind::Rollback, rule_id,
+                                 rollback.best_errors());
                 } else {
                     current = rollback.best_code();
                 }
@@ -97,6 +102,7 @@ SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
             result.winning_rule = solution.rule_ids.empty()
                                       ? ""
                                       : solution.rule_ids.front();
+            context.emit(TraceEventKind::StageExit, "slow_thinking");
             return result;
         }
     }
@@ -109,6 +115,7 @@ SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
     } else {
         result.final_source = buggy_source;
     }
+    context.emit(TraceEventKind::StageExit, "slow_thinking");
     return result;
 }
 

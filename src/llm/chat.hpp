@@ -23,6 +23,13 @@ struct ChatMessage {
 struct ChatRequest {
     std::vector<ChatMessage> messages;
     double temperature = 0.5;
+    /// Position of this call within its backend session (stamped by
+    /// AgentContext). Part of the call's deterministic identity: a retry
+    /// of a byte-identical prompt at a later sequence draws a fresh
+    /// stream, while a re-run of the same session reproduces every
+    /// response bit-for-bit — the property CachingBackend and the
+    /// transcript backends key on.
+    std::uint64_t sequence = 0;
 };
 
 struct ChatResponse {

@@ -1,0 +1,88 @@
+#include "llm/replay_backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rustbrain::llm {
+
+void Transcript::record(std::uint64_t key, const ChatResponse& response) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(key, response);
+}
+
+std::optional<ChatResponse> Transcript::lookup(std::uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::size_t Transcript::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+RecordingBackend::RecordingBackend(std::shared_ptr<Transcript> transcript,
+                                   std::unique_ptr<LlmBackend> inner,
+                                   std::string session_tag,
+                                   std::uint64_t session_seed)
+    : transcript_(std::move(transcript)),
+      inner_(std::move(inner)),
+      session_tag_(std::move(session_tag)),
+      session_seed_(session_seed) {}
+
+ChatResponse RecordingBackend::complete(const ChatRequest& request) {
+    ++calls_;
+    const ChatResponse response = inner_->complete(request);
+    transcript_->record(call_key(session_tag_, session_seed_, request), response);
+    return response;
+}
+
+std::string RecordingBackend::description() const {
+    return "record(" + inner_->description() + ")";
+}
+
+ReplayBackend::ReplayBackend(std::shared_ptr<const Transcript> transcript,
+                             std::string session_tag, std::uint64_t session_seed)
+    : transcript_(std::move(transcript)),
+      session_tag_(std::move(session_tag)),
+      session_seed_(session_seed) {}
+
+ChatResponse ReplayBackend::complete(const ChatRequest& request) {
+    ++calls_;
+    auto response =
+        transcript_->lookup(call_key(session_tag_, session_seed_, request));
+    if (!response) {
+        throw std::out_of_range(
+            "ReplayBackend: no transcript entry for call (session " +
+            session_tag_ + ", sequence " + std::to_string(request.sequence) +
+            ") — the replayed run diverged from the recording");
+    }
+    return *response;
+}
+
+std::string ReplayBackend::description() const {
+    return "replay(" + session_tag_ + ")";
+}
+
+BackendFactory recording_backend_factory(std::shared_ptr<Transcript> transcript,
+                                         BackendFactory inner) {
+    if (!inner) inner = sim_backend_factory();
+    return [transcript, inner](const ModelProfile& profile,
+                               std::uint64_t session_seed) {
+        return std::make_unique<RecordingBackend>(
+            transcript, inner(profile, session_seed), profile.name,
+            session_seed);
+    };
+}
+
+BackendFactory replay_backend_factory(
+    std::shared_ptr<const Transcript> transcript) {
+    return [transcript](const ModelProfile& profile,
+                        std::uint64_t session_seed) {
+        return std::make_unique<ReplayBackend>(transcript, profile.name,
+                                               session_seed);
+    };
+}
+
+}  // namespace rustbrain::llm

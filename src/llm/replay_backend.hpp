@@ -1,0 +1,80 @@
+// RecordingBackend / ReplayBackend — golden transcripts for the LLM
+// boundary.
+//
+// A RecordingBackend wraps any inner backend and writes every exchange
+// into a shared Transcript, keyed by the same full call identity the
+// cache uses. A ReplayBackend serves *only* from a transcript — it has no
+// inner model at all — and throws on any call the transcript does not
+// contain. Because backends are per-call deterministic, replaying a
+// recorded sweep reproduces bit-identical CaseResults, which turns a
+// transcript into a golden test fixture for the whole pipeline (and, in a
+// real deployment, would decouple tests from a live API).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "llm/backend.hpp"
+
+namespace rustbrain::llm {
+
+class Transcript {
+  public:
+    void record(std::uint64_t key, const ChatResponse& response);
+    [[nodiscard]] std::optional<ChatResponse> lookup(std::uint64_t key) const;
+    [[nodiscard]] std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, ChatResponse> entries_;
+};
+
+class RecordingBackend final : public LlmBackend {
+  public:
+    RecordingBackend(std::shared_ptr<Transcript> transcript,
+                     std::unique_ptr<LlmBackend> inner, std::string session_tag,
+                     std::uint64_t session_seed);
+
+    ChatResponse complete(const ChatRequest& request) override;
+    [[nodiscard]] std::uint64_t calls_served() const override { return calls_; }
+    [[nodiscard]] std::string description() const override;
+
+  private:
+    std::shared_ptr<Transcript> transcript_;
+    std::unique_ptr<LlmBackend> inner_;
+    std::string session_tag_;
+    std::uint64_t session_seed_;
+    std::uint64_t calls_ = 0;
+};
+
+class ReplayBackend final : public LlmBackend {
+  public:
+    ReplayBackend(std::shared_ptr<const Transcript> transcript,
+                  std::string session_tag, std::uint64_t session_seed);
+
+    /// Throws std::out_of_range when the transcript has no entry for the
+    /// call — the replayed run diverged from the recorded one.
+    ChatResponse complete(const ChatRequest& request) override;
+    [[nodiscard]] std::uint64_t calls_served() const override { return calls_; }
+    [[nodiscard]] std::string description() const override;
+
+  private:
+    std::shared_ptr<const Transcript> transcript_;
+    std::string session_tag_;
+    std::uint64_t session_seed_;
+    std::uint64_t calls_ = 0;
+};
+
+/// Record every session of `inner` (default: SimLLM) into `transcript`.
+BackendFactory recording_backend_factory(std::shared_ptr<Transcript> transcript,
+                                         BackendFactory inner = {});
+
+/// Serve every session purely from `transcript`; no model behind it.
+BackendFactory replay_backend_factory(
+    std::shared_ptr<const Transcript> transcript);
+
+}  // namespace rustbrain::llm

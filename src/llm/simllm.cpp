@@ -8,6 +8,7 @@
 #include "lang/printer.hpp"
 #include "llm/hallucinate.hpp"
 #include "llm/rules.hpp"
+#include "support/hashing.hpp"
 #include "support/strings.hpp"
 
 namespace rustbrain::llm {
@@ -40,7 +41,7 @@ std::string field_str(const PromptSpec& spec, const std::string& key) {
 }  // namespace
 
 SimLLM::SimLLM(const ModelProfile& profile, std::uint64_t seed)
-    : profile_(profile), rng_(support::derive_seed(seed, profile.name)) {}
+    : profile_(profile), session_base_(support::derive_seed(seed, profile.name)) {}
 
 ChatResponse SimLLM::complete(const ChatRequest& request) {
     ++calls_;
@@ -51,15 +52,31 @@ ChatResponse SimLLM::complete(const ChatRequest& request) {
     }
     const PromptSpec spec = PromptSpec::parse(prompt_text);
 
+    // The call's stream is derived from its full identity (session,
+    // sequence, prompt) — the LlmBackend purity contract.
+    const std::uint64_t prompt_seed =
+        support::hash_combine(session_base_, support::fnv1a64(prompt_text));
+    support::Rng rng(support::hash_combine(prompt_seed, request.sequence));
+    // Retry fixation: a real model at low temperature nearly repeats itself
+    // when re-prompted with identical text, so retrying a failing strategy
+    // buys little (Fig 11's left flank); at mid/high temperature retries
+    // genuinely resample. Collapsing onto the sequence-independent prompt
+    // stream keeps the response a pure function of the call identity.
+    const double repeat_probability =
+        std::clamp(1.0 - 2.2 * request.temperature, 0.0, 0.95);
+    if (rng.chance(repeat_probability)) {
+        rng = support::Rng(prompt_seed);
+    }
+
     std::string content;
     if (spec.task == "extract_features") {
         content = handle_extract_features(spec);
     } else if (spec.task == "generate_solutions") {
-        content = handle_generate_solutions(spec, request.temperature);
+        content = handle_generate_solutions(spec, request.temperature, rng);
     } else if (spec.task == "apply_rule") {
-        content = handle_apply_rule(spec, request.temperature);
+        content = handle_apply_rule(spec, request.temperature, rng);
     } else if (spec.task == "extract_ast") {
-        content = handle_extract_ast(spec, request.temperature);
+        content = handle_extract_ast(spec, request.temperature, rng);
     } else {
         content = "I am not sure how to help with that task.";
     }
@@ -99,7 +116,8 @@ std::string SimLLM::handle_extract_features(const PromptSpec& spec) {
 // ---------------------------------------------------------------------------
 
 std::string SimLLM::handle_generate_solutions(const PromptSpec& spec,
-                                              double temperature) {
+                                              double temperature,
+                                              support::Rng& rng) {
     const miri::UbCategory category =
         category_from_label(field_str(spec, "error_category"));
     const int difficulty = field_int(spec, "difficulty", 1);
@@ -146,7 +164,7 @@ std::string SimLLM::handle_generate_solutions(const PromptSpec& spec,
         std::min(requested, std::max(profile_.max_candidates, 1) * 2);
     for (int i = 0; i < budget && emitted < requested; ++i) {
         std::string choice;
-        if (!good.empty() && !rng_.chance(distractor_chance)) {
+        if (!good.empty() && !rng.chance(distractor_chance)) {
             // Rank-weighted sample from the good pool; feedback-validated
             // rules carry extra mass (they already worked on similar code).
             std::vector<double> weights(good.size());
@@ -158,9 +176,9 @@ std::string SimLLM::handle_generate_solutions(const PromptSpec& spec,
                     weights[r] *= 3.0;
                 }
             }
-            choice = good[rng_.sample_weighted(weights)];
+            choice = good[rng.sample_weighted(weights)];
         } else if (!distractors.empty()) {
-            choice = distractors[rng_.next_below(distractors.size())];
+            choice = distractors[rng.next_below(distractors.size())];
         } else if (!good.empty()) {
             choice = good[0];
         } else {
@@ -179,7 +197,8 @@ std::string SimLLM::handle_generate_solutions(const PromptSpec& spec,
 // apply_rule
 // ---------------------------------------------------------------------------
 
-std::string SimLLM::handle_apply_rule(const PromptSpec& spec, double temperature) {
+std::string SimLLM::handle_apply_rule(const PromptSpec& spec, double temperature,
+                                      support::Rng& rng) {
     auto program = lang::try_parse(spec.code);
     if (!program) {
         return "note: could not parse input\ncode:\n" + spec.code;
@@ -201,9 +220,9 @@ std::string SimLLM::handle_apply_rule(const PromptSpec& spec, double temperature
         // The named strategy does not apply here. A real model often
         // improvises rather than admitting it: with the hallucination
         // probability it edits something anyway.
-        if (rng_.chance(std::min(0.9, hallucination * 2.5))) {
+        if (rng.chance(std::min(0.9, hallucination * 2.5))) {
             lang::Program improvised = program->clone();
-            const auto mutation = mutate_program(improvised, rng_);
+            const auto mutation = mutate_program(improvised, rng);
             if (mutation) {
                 note = "note: improvised edit (" +
                        std::string(mutation_kind_name(*mutation)) + ")";
@@ -213,9 +232,9 @@ std::string SimLLM::handle_apply_rule(const PromptSpec& spec, double temperature
         if (!patched) {
             return "note: rule not applicable, code unchanged\ncode:\n" + spec.code;
         }
-    } else if (rng_.chance(hallucination)) {
+    } else if (rng.chance(hallucination)) {
         // Correct rule, corrupted execution.
-        const auto mutation = mutate_program(*patched, rng_);
+        const auto mutation = mutate_program(*patched, rng);
         if (mutation) {
             note = "note: patch applied (" +
                    std::string(mutation_kind_name(*mutation)) + " slipped in)";
@@ -232,15 +251,15 @@ std::string SimLLM::handle_apply_rule(const PromptSpec& spec, double temperature
 // ---------------------------------------------------------------------------
 
 std::string SimLLM::handle_extract_ast(const PromptSpec& spec,
-                                       double temperature) {
+                                       double temperature, support::Rng& rng) {
     auto program = lang::try_parse(spec.code);
     if (!program) {
         return "note: could not parse input\ncode:\n" + spec.code;
     }
     // LLM-based AST extraction preserves semantics but is imperfect: at
     // high temperature, stray edits creep into the reconstruction.
-    if (rng_.chance(profile_.hallucination_rate(temperature) * 0.5)) {
-        support::Rng fork = rng_.fork("ast-noise");
+    if (rng.chance(profile_.hallucination_rate(temperature) * 0.5)) {
+        support::Rng fork = rng.fork("ast-noise");
         mutate_program(*program, fork);
     }
     return "note: ast extracted\ncode:\n" + lang::print_program(*program);

@@ -1,10 +1,19 @@
-// SimLLM — deterministic simulated chat-completion engine.
+// SimLLM — deterministic simulated chat-completion engine, the first
+// llm::LlmBackend implementation.
 //
 // Serves four prompt tasks (see PromptSpec): extract_features,
 // generate_solutions, apply_rule, extract_ast. The engine sees ONLY the
 // rendered prompt text (it re-parses the code from the prompt) plus its
 // model profile, mirroring a real API boundary; it never touches the
 // dataset's reference fixes.
+//
+// Every call is a pure function of (profile, session seed,
+// request.sequence, prompt text, temperature): the RNG stream is derived
+// fresh per call from exactly those inputs, never carried across calls.
+// That is the LlmBackend determinism contract — it makes prompt-keyed
+// caching and transcript replay bit-identical to live runs, while a retry
+// of the same prompt at the next sequence number still samples a fresh
+// stream.
 //
 // Model quality is expressed mechanistically:
 //  * competence (profile x category x prompt context) decides whether the
@@ -19,32 +28,38 @@
 #include <cstdint>
 #include <string>
 
+#include "llm/backend.hpp"
 #include "llm/chat.hpp"
 #include "llm/profile.hpp"
 #include "support/rng.hpp"
 
 namespace rustbrain::llm {
 
-class SimLLM {
+class SimLLM final : public LlmBackend {
   public:
     SimLLM(const ModelProfile& profile, std::uint64_t seed);
 
     /// Serve one chat request. Never throws for malformed prompts — it
     /// answers like a confused model instead.
-    ChatResponse complete(const ChatRequest& request);
+    ChatResponse complete(const ChatRequest& request) override;
 
     [[nodiscard]] const ModelProfile& profile() const { return profile_; }
-    [[nodiscard]] std::uint64_t calls_served() const { return calls_; }
+    [[nodiscard]] std::uint64_t calls_served() const override { return calls_; }
+    [[nodiscard]] std::string description() const override {
+        return "sim:" + profile_.name;
+    }
 
   private:
     std::string handle_extract_features(const PromptSpec& spec);
     std::string handle_generate_solutions(const PromptSpec& spec,
-                                          double temperature);
-    std::string handle_apply_rule(const PromptSpec& spec, double temperature);
-    std::string handle_extract_ast(const PromptSpec& spec, double temperature);
+                                          double temperature, support::Rng& rng);
+    std::string handle_apply_rule(const PromptSpec& spec, double temperature,
+                                  support::Rng& rng);
+    std::string handle_extract_ast(const PromptSpec& spec, double temperature,
+                                   support::Rng& rng);
 
     ModelProfile profile_;
-    support::Rng rng_;
+    std::uint64_t session_base_;  // derive_seed(seed, profile.name)
     std::uint64_t calls_ = 0;
 };
 

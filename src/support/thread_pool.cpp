@@ -1,11 +1,22 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <utility>
 
 namespace rustbrain::support {
 
 std::size_t ThreadPool::hardware_threads() {
+    // Shared machines (CI, build boxes) tune sweep width without touching
+    // code: a positive RUSTBRAIN_WORKERS wins over the detected core count.
+    // BatchReport.workers_used reflects whatever this returns.
+    if (const char* env = std::getenv("RUSTBRAIN_WORKERS")) {
+        char* end = nullptr;
+        const long value = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && value > 0) {
+            return static_cast<std::size_t>(value);
+        }
+    }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
 }

@@ -45,6 +45,7 @@ class ThreadPool {
                       const std::function<void(std::size_t index,
                                                std::size_t worker)>& body);
 
+    /// A positive RUSTBRAIN_WORKERS env value if set, else
     /// max(1, std::thread::hardware_concurrency()).
     static std::size_t hardware_threads();
 

@@ -3,7 +3,9 @@
 #include "agents/abstract_reasoning_agent.hpp"
 #include "agents/fix_agents.hpp"
 #include "agents/rollback_agent.hpp"
+#include "core/trace.hpp"
 #include "dataset/corpus.hpp"
+#include "llm/simllm.hpp"
 #include "kb/seed.hpp"
 #include "miri/mirilite.hpp"
 
@@ -78,7 +80,9 @@ TEST(FixAgentTest, RunProducesVerifiableCode) {
     const auto* ub_case = corpus().find("danglingpointer/use_after_free_0");
     llm::SimLLM sim(llm::gpt4_profile(), 5);
     support::SimClock clock;
+    core::TraceStats stats;
     AgentContext context{sim, clock};
+    context.trace = &stats;
     context.temperature = 0.1;
     context.inputs = &ub_case->inputs;
 
@@ -90,7 +94,11 @@ TEST(FixAgentTest, RunProducesVerifiableCode) {
                  "move-dealloc-to-end", context);
     EXPECT_TRUE(outcome.model_changed_code);
     EXPECT_GT(clock.total_for("llm"), 0.0);
-    EXPECT_EQ(context.llm_calls, 1u);
+    // The call is reported through the trace (the single stats source) and
+    // stamped with the session sequence.
+    EXPECT_EQ(stats.llm_calls(), 1u);
+    EXPECT_EQ(context.sequence, 1u);
+    EXPECT_EQ(sim.calls_served(), 1u);
 }
 
 TEST(ReasoningAgentTest, RetrievesCategoryScopedExemplars) {

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "baselines/expert_model.hpp"
 #include "baselines/fixed_pipeline.hpp"
 #include "baselines/standalone_llm.hpp"
 #include "core/rustbrain.hpp"
 #include "dataset/corpus.hpp"
 #include "kb/seed.hpp"
+#include "llm/backend.hpp"
 
 namespace rustbrain::baselines {
 namespace {
@@ -16,30 +21,30 @@ const dataset::Corpus& corpus() {
 }
 
 TEST(ExpertModelTest, AlwaysSucceedsWithCategoryTimes) {
-    ExpertModel expert(42);
+    ExpertModelRepair expert(42);
     for (const auto& ub_case : corpus().cases()) {
         const core::CaseResult result = expert.repair(ub_case);
         EXPECT_TRUE(result.pass);
         EXPECT_TRUE(result.exec);
         const double mean_ms =
-            ExpertModel::category_mean_seconds(ub_case.category) * 1000.0;
+            ExpertModelRepair::category_mean_seconds(ub_case.category) * 1000.0;
         EXPECT_GT(result.time_ms, mean_ms * 0.5);
         EXPECT_LT(result.time_ms, mean_ms * 2.0);
     }
 }
 
 TEST(ExpertModelTest, DeterministicPerSeed) {
-    ExpertModel a(7);
-    ExpertModel b(7);
+    ExpertModelRepair a(7);
+    ExpertModelRepair b(7);
     const auto& ub_case = corpus().cases().front();
     EXPECT_DOUBLE_EQ(a.repair(ub_case).time_ms, b.repair(ub_case).time_ms);
 }
 
 TEST(ExpertModelTest, TableOneCalibration) {
-    EXPECT_DOUBLE_EQ(ExpertModel::category_mean_seconds(miri::UbCategory::FuncCall),
+    EXPECT_DOUBLE_EQ(ExpertModelRepair::category_mean_seconds(miri::UbCategory::FuncCall),
                      1176.0);
     EXPECT_DOUBLE_EQ(
-        ExpertModel::category_mean_seconds(miri::UbCategory::DanglingPointer),
+        ExpertModelRepair::category_mean_seconds(miri::UbCategory::DanglingPointer),
         114.0);
 }
 
@@ -79,7 +84,7 @@ TEST(StandaloneTest, RejectsUnknownModel) {
 }
 
 TEST(FixedPipelineTest, RepairsSomeButTrailsRustBrain) {
-    FixedPipeline assistant({"gpt-4", 0.5, 2, 42});
+    FixedPipelineRepair assistant({"gpt-4", 0.5, 2, 42});
     core::FeedbackStore feedback;
     kb::KnowledgeBase kbase;
     kb::seed_from_corpus(corpus(), kbase);
@@ -105,32 +110,118 @@ TEST(FixedPipelineTest, RepairsSomeButTrailsRustBrain) {
     EXPECT_GT((rb_exec - assistant_exec), (rb_pass - assistant_pass) / 2);
 }
 
-TEST(FixedPipelineTest, FullRollbackOnRegression) {
-    // At high temperature with extra iterations the weak model regresses
-    // (error count grows past the initial one) somewhere in the corpus and
-    // the pipeline pays its restart-from-T0 rollback.
-    FixedPipeline assistant({"gpt-3.5", 0.9, 6, 7});
-    int rollbacks = 0;
-    int steps = 0;
-    for (const auto& ub_case : corpus().cases()) {
-        const core::CaseResult result = assistant.repair(ub_case);
-        rollbacks += result.rollbacks;
-        steps += result.steps_executed;
+namespace scripted {
+
+/// A backend that ignores the prompted rule and returns pre-scripted
+/// candidates in order (echoing the prompt's code once the script runs
+/// out), recording the code section of every prompt it sees. Injecting it
+/// through the LlmBackend seam lets a test drive an engine into a branch
+/// — here, a regression — deterministically instead of hoping a corpus
+/// sweep samples one.
+class ScriptedBackend final : public llm::LlmBackend {
+  public:
+    ScriptedBackend(std::vector<std::string> candidates,
+                    std::vector<std::string>* prompted_code)
+        : candidates_(std::move(candidates)), prompted_code_(prompted_code) {}
+
+    llm::ChatResponse complete(const llm::ChatRequest& request) override {
+        const llm::PromptSpec spec =
+            llm::PromptSpec::parse(request.messages.front().content);
+        prompted_code_->push_back(spec.code);
+        const std::string body = calls_ < candidates_.size()
+                                     ? candidates_[calls_]
+                                     : spec.code;
+        ++calls_;
+        llm::ChatResponse response;
+        response.content = "note: scripted\ncode:\n" + body;
+        response.latency_ms = 100.0;
+        return response;
     }
-    EXPECT_GT(steps, 0);
-    EXPECT_GT(rollbacks, 0);
+    [[nodiscard]] std::uint64_t calls_served() const override { return calls_; }
+    [[nodiscard]] std::string description() const override { return "scripted"; }
+
+  private:
+    std::vector<std::string> candidates_;
+    std::vector<std::string>* prompted_code_;
+    std::uint64_t calls_ = 0;
+};
+
+}  // namespace scripted
+
+TEST(FixedPipelineTest, FullRollbackOnRegression) {
+    // A use-after-free case whose first scripted "patch" regresses: the
+    // candidate branches on the input so run 0 double-frees and run 1
+    // reads after free — two distinct findings where the original had one.
+    // The pipeline must pay its restart-from-T0 rollback (Fig 5a) and feed
+    // the ORIGINAL code, not the regressed candidate, to the next step.
+    dataset::UbCase ub_case;
+    ub_case.id = "scripted/regression";
+    ub_case.category = miri::UbCategory::DanglingPointer;
+    ub_case.buggy_source = R"(fn main() {
+    unsafe {
+        let buf = alloc(8, 8);
+        let slot = buf as *mut i64;
+        *slot = 41;
+        dealloc(buf, 8, 8);
+        print_int(*slot);
+    }
+}
+)";
+    ub_case.reference_fix = R"(fn main() {
+    unsafe {
+        let buf = alloc(8, 8);
+        let slot = buf as *mut i64;
+        *slot = 41;
+        print_int(*slot);
+        dealloc(buf, 8, 8);
+    }
+}
+)";
+    ub_case.inputs = {{0}, {1}};
+
+    const std::string regressed = R"(fn main() {
+    unsafe {
+        let buf = alloc(8, 8);
+        let slot = buf as *mut i64;
+        *slot = 41;
+        dealloc(buf, 8, 8);
+        if input(0) == 0 {
+            dealloc(buf, 8, 8);
+        } else {
+            print_int(*slot);
+        }
+    }
+}
+)";
+
+    auto prompted_code = std::make_shared<std::vector<std::string>>();
+    llm::BackendFactory factory = [&](const llm::ModelProfile&,
+                                      std::uint64_t) {
+        return std::make_unique<scripted::ScriptedBackend>(
+            std::vector<std::string>{regressed}, prompted_code.get());
+    };
+    FixedPipelineRepair assistant({"gpt-4", 0.5, 2, 42}, factory);
+    const core::CaseResult result = assistant.repair(ub_case);
+
+    EXPECT_EQ(result.rollbacks, 1);
+    ASSERT_GE(result.error_trajectory.size(), 2u);
+    EXPECT_EQ(result.error_trajectory[0], 2u);  // the regression
+    // The restart is charged in full and the next step starts from T0.
+    EXPECT_GT(result.time_breakdown.at("rollback"), 0.0);
+    ASSERT_GE(prompted_code->size(), 2u);
+    EXPECT_EQ((*prompted_code)[1], ub_case.buggy_source);
 }
 
 TEST(FixedPipelineTest, Deterministic) {
-    FixedPipeline a({"gpt-4", 0.5, 2, 42});
-    FixedPipeline b({"gpt-4", 0.5, 2, 42});
+    FixedPipelineRepair a({"gpt-4", 0.5, 2, 42});
+    FixedPipelineRepair b({"gpt-4", 0.5, 2, 42});
     const auto& ub_case = corpus().cases().front();
     EXPECT_EQ(a.repair(ub_case).pass, b.repair(ub_case).pass);
     EXPECT_DOUBLE_EQ(a.repair(ub_case).time_ms, b.repair(ub_case).time_ms);
 }
 
 TEST(TimingTest, ExpertSlowerThanAllAutomated) {
-    ExpertModel expert(42);
+    ExpertModelRepair expert(42);
     StandaloneLlmRepair solo({"gpt-4", 0.5, 2, 42});
     double expert_time = 0.0;
     double solo_time = 0.0;

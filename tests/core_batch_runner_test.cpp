@@ -156,12 +156,9 @@ TEST(BatchRunnerTest, RunSequentialSeesSharedEngineState) {
     // sweeps deliberately exclude.
     FeedbackStore feedback;
     RustBrain engine(flagship_config(), &seeded_kb(), &feedback);
-    std::vector<const dataset::UbCase*> siblings;
-    for (const char* id :
-         {"datarace/counter_0", "datarace/counter_1", "datarace/counter_2"}) {
-        siblings.push_back(corpus().find(id));
-        ASSERT_NE(siblings.back(), nullptr) << id;
-    }
+    const std::vector<const dataset::UbCase*> siblings =
+        corpus().by_category(miri::UbCategory::DataRace);
+    ASSERT_FALSE(siblings.empty());
     const BatchReport report = BatchRunner::run_sequential(
         siblings,
         [&](const dataset::UbCase& ub_case) { return engine.repair(ub_case); });

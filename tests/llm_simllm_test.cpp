@@ -14,7 +14,8 @@ ChatRequest make_request(const std::string& task,
                          std::map<std::string, std::string> fields,
                          const std::string& code, double temperature = 0.5,
                          std::vector<std::string> exemplars = {},
-                         std::vector<std::string> preferred = {}) {
+                         std::vector<std::string> preferred = {},
+                         std::uint64_t sequence = 0) {
     PromptSpec spec;
     spec.task = task;
     spec.fields = std::move(fields);
@@ -23,6 +24,7 @@ ChatRequest make_request(const std::string& task,
     spec.preferred_rules = std::move(preferred);
     ChatRequest request;
     request.temperature = temperature;
+    request.sequence = sequence;
     request.messages.push_back({Role::User, spec.render()});
     return request;
 }
@@ -60,6 +62,30 @@ TEST(SimLlmTest, DeterministicForSameSeed) {
     EXPECT_EQ(a.complete(request).content, b.complete(request).content);
 }
 
+TEST(SimLlmTest, ResponseIsPureFunctionOfCallIdentity) {
+    // The LlmBackend contract: the response depends only on (session seed,
+    // sequence, prompt, temperature) — never on what the session answered
+    // before. `divergent` serves two extra calls first; call identity 5
+    // still answers identically.
+    SimLLM fresh(gpt4_profile(), 7);
+    SimLLM divergent(gpt4_profile(), 7);
+    const auto probe = make_request(
+        "generate_solutions",
+        {{"error_category", "danglingpointer"}, {"count", "4"}}, kBuggy, 0.5, {},
+        {}, 5);
+    (void)divergent.complete(make_request(
+        "extract_features", {{"error_category", "alloc"}}, kBuggy, 0.5, {}, {}, 0));
+    (void)divergent.complete(make_request(
+        "apply_rule", {{"rule", "guard-divisor"}}, kBuggy, 0.9, {}, {}, 1));
+    const auto a = fresh.complete(probe);
+    const auto b = divergent.complete(probe);
+    EXPECT_EQ(a.content, b.content);
+    EXPECT_EQ(a.latency_ms, b.latency_ms);
+    // A different sequence is a different identity: a retry of the same
+    // prompt may sample differently.
+    EXPECT_EQ(fresh.calls_served(), 1u);
+}
+
 TEST(SimLlmTest, FeatureExtractionNamesCategory) {
     SimLLM llm(gpt4_profile(), 3);
     const auto response = llm.complete(make_request(
@@ -90,7 +116,7 @@ TEST(SimLlmTest, PreferredRulesDominateSampling) {
         const auto response = llm.complete(make_request(
             "generate_solutions",
             {{"error_category", "danglingpointer"}, {"count", "1"}}, kBuggy, 0.5,
-            {}, {"move-dealloc-to-end"}));
+            {}, {"move-dealloc-to-end"}, static_cast<std::uint64_t>(i)));
         const auto solutions = parse_solution_lines(response.content);
         if (!solutions.empty() && solutions[0] == "move-dealloc-to-end") ++hits;
     }
@@ -105,10 +131,12 @@ TEST(SimLlmTest, LowTemperatureCollapsesDiversity) {
     for (int i = 0; i < 12; ++i) {
         const auto cold_resp = cold.complete(make_request(
             "generate_solutions",
-            {{"error_category", "danglingpointer"}, {"count", "2"}}, kBuggy, 0.1));
+            {{"error_category", "danglingpointer"}, {"count", "2"}}, kBuggy, 0.1,
+            {}, {}, static_cast<std::uint64_t>(i)));
         const auto hot_resp = hot.complete(make_request(
             "generate_solutions",
-            {{"error_category", "danglingpointer"}, {"count", "2"}}, kBuggy, 0.9));
+            {{"error_category", "danglingpointer"}, {"count", "2"}}, kBuggy, 0.9,
+            {}, {}, static_cast<std::uint64_t>(i)));
         for (const auto& id : parse_solution_lines(cold_resp.content)) {
             cold_rules.insert(id);
         }
@@ -142,7 +170,7 @@ TEST(SimLlmTest, ApplyRuleAtLowTempUsuallyFixes) {
         const auto response = llm.complete(make_request(
             "apply_rule",
             {{"rule", "move-dealloc-to-end"}, {"error_category", "danglingpointer"}},
-            ub_case->buggy_source, 0.1));
+            ub_case->buggy_source, 0.1, {}, {}, static_cast<std::uint64_t>(i)));
         const auto report =
             miri.test_source(parse_code_block(response.content), ub_case->inputs);
         if (report.passed()) ++fixed;
@@ -153,10 +181,13 @@ TEST(SimLlmTest, ApplyRuleAtLowTempUsuallyFixes) {
 TEST(SimLlmTest, HighTemperatureCorruptsMoreOften) {
     const auto* ub_case = corpus().find("danglingpointer/use_after_free_0");
     miri::MiriLite miri;
+    // Sample the marginal corruption rate across independent sessions:
+    // within one session a low-temperature model mostly repeats itself
+    // (retry fixation), so per-session retries are not independent draws.
     auto count_failures = [&](double temperature) {
-        SimLLM llm(gpt35_profile(), 29);
         int failures = 0;
         for (int i = 0; i < 30; ++i) {
+            SimLLM llm(gpt35_profile(), 29 + static_cast<std::uint64_t>(i));
             const auto response = llm.complete(make_request(
                 "apply_rule",
                 {{"rule", "move-dealloc-to-end"},
@@ -179,7 +210,7 @@ TEST(SimLlmTest, InapplicableRuleMayImprovise) {
         const auto response = llm.complete(make_request(
             "apply_rule",
             {{"rule", "guard-divisor"}, {"error_category", "danglingpointer"}},
-            kBuggy, 0.9));
+            kBuggy, 0.9, {}, {}, static_cast<std::uint64_t>(i)));
         if (response.content.find("code unchanged") != std::string::npos) {
             saw_unchanged = true;
         }

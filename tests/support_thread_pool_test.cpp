@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -14,6 +15,22 @@ namespace {
 
 TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
     EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsHonorsWorkerEnvOverride) {
+    // Sweeps on shared machines are tuned via RUSTBRAIN_WORKERS; garbage
+    // and non-positive values fall back to the detected count.
+    const std::size_t detected = ThreadPool::hardware_threads();
+    ASSERT_EQ(setenv("RUSTBRAIN_WORKERS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::hardware_threads(), 3u);
+    ASSERT_EQ(setenv("RUSTBRAIN_WORKERS", "0", 1), 0);
+    EXPECT_EQ(ThreadPool::hardware_threads(), detected);
+    ASSERT_EQ(setenv("RUSTBRAIN_WORKERS", "lots", 1), 0);
+    EXPECT_EQ(ThreadPool::hardware_threads(), detected);
+    ASSERT_EQ(setenv("RUSTBRAIN_WORKERS", "2x", 1), 0);
+    EXPECT_EQ(ThreadPool::hardware_threads(), detected);
+    ASSERT_EQ(unsetenv("RUSTBRAIN_WORKERS"), 0);
+    EXPECT_EQ(ThreadPool::hardware_threads(), detected);
 }
 
 TEST(ThreadPoolTest, ZeroRequestsHardwareThreads) {
