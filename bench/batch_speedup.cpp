@@ -1,18 +1,32 @@
 // Engineering bench (not a paper figure): BatchRunner wall-clock scaling
-// and CachingBackend memoization.
+// and CachingBackend memoization, measured at corpus-forge scale.
 //
-// Sweeps the standard corpus with the flagship configuration at 1, 2, 4, 8
-// workers — every engine built from the registry, every run sharing one
-// PromptCache — and reports wall time, speedup vs serial, the cache hit
-// rate each run observed, and a cross-check that every run (cached or
-// not, at any worker count) is bit-identical to the uncached serial
-// baseline: the determinism contract that makes worker count and the
-// cache pure performance knobs.
+// The hand-written corpus (126 cases) is too small to say anything about
+// batching, so this bench sweeps a procedurally generated corpus of >= 500
+// cases — forged in-process at a fixed seed by default, or loaded from a
+// file saved by examples/corpus_forge:
+//
+//   $ ./bench/batch_speedup                      # forge 560 cases at seed 42
+//   $ ./bench/batch_speedup --count 1000         # bigger in-process forge
+//   $ ./bench/batch_speedup --corpus forged.rbc  # saved corpus
+//
+// The flagship configuration runs at 1, 2, 4, 8 workers — every engine
+// built from the registry over a knowledge base seeded from the SAME
+// generated corpus, every cached run sharing one PromptCache — and reports
+// wall time, speedup vs serial, the cache hit rate each run observed, and a
+// cross-check that every run (cached or not, at any worker count) is
+// bit-identical to the uncached serial baseline: the determinism contract
+// that makes worker count and the cache pure performance knobs.
 #include <cstdio>
+#include <cstdlib>
 #include <cmath>
+#include <exception>
+#include <string>
 
 #include "common.hpp"
 #include "core/batch_runner.hpp"
+#include "gen/corpus_io.hpp"
+#include "gen/forge.hpp"
 #include "llm/caching_backend.hpp"
 #include "support/thread_pool.hpp"
 
@@ -44,18 +58,69 @@ bool identical(const core::BatchReport& a, const core::BatchReport& b) {
 
 }  // namespace
 
-int main() {
-    std::printf("== BatchRunner scaling: corpus sweep, gpt-4 + knowledge base ==\n");
+int main(int argc, char** argv) {
+    std::string corpus_path;
+    std::size_t count = 560;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--corpus" && i + 1 < argc) {
+            corpus_path = argv[++i];
+        } else if (arg == "--count" && i + 1 < argc) {
+            const char* text = argv[++i];
+            char* end = nullptr;
+            const unsigned long value = std::strtoul(text, &end, 10);
+            if (end == text || *end != '\0' || value == 0) {
+                std::printf("error: --count expects a positive number, "
+                            "got '%s'\n",
+                            text);
+                return 2;
+            }
+            count = static_cast<std::size_t>(value);
+        } else {
+            std::printf("usage: %s [--corpus <file>] [--count N]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    dataset::Corpus big_corpus;
+    try {
+        if (corpus_path.empty()) {
+            gen::ForgeOptions forge_options;
+            forge_options.seed = 42;
+            forge_options.count = count;
+            big_corpus = gen::forge_corpus(forge_options);
+            std::printf("forged %zu cases in-process at seed 42\n",
+                        big_corpus.size());
+        } else {
+            big_corpus = gen::load_corpus(corpus_path);
+            std::printf("loaded %zu cases from %s\n", big_corpus.size(),
+                        corpus_path.c_str());
+        }
+    } catch (const std::exception& error) {
+        std::printf("error: %s\n", error.what());
+        return 1;
+    }
+
+    std::printf("== BatchRunner scaling: %zu-case sweep, gpt-4 + knowledge "
+                "base ==\n",
+                big_corpus.size());
     std::printf("hardware threads: %zu\n\n",
                 support::ThreadPool::hardware_threads());
+
+    // The knowledge base is seeded from the generated corpus itself —
+    // seeding takes an arbitrary corpus, not just the standard one.
+    kb::KnowledgeBase kbase;
+    kb::seed_from_corpus(big_corpus, kbase);
+    core::EngineBuildContext context;
+    context.knowledge_base = &kbase;
 
     const std::string engine_id = "rustbrain";
     const core::EngineOptions options = core::EngineOptions::parse("model=gpt-4");
 
     // Uncached serial baseline: the reference every other run must match.
-    const core::BatchRunner serial_runner(engine_id, options, kb_context(),
+    const core::BatchRunner serial_runner(engine_id, options, context,
                                           core::BatchOptions{1});
-    const core::BatchReport serial = serial_runner.run(corpus());
+    const core::BatchReport serial = serial_runner.run(big_corpus);
     std::printf("%zu cases, %d pass / %d exec, %.1f virtual minutes\n\n",
                 serial.results.size(), serial.pass_total(), serial.exec_total(),
                 serial.virtual_ms_total() / 60000.0);
@@ -63,7 +128,7 @@ int main() {
     // Every subsequent run shares one prompt cache: the first run fills it,
     // repeat configurations answer from it.
     const auto cache = std::make_shared<llm::PromptCache>();
-    core::EngineBuildContext cached_context = kb_context();
+    core::EngineBuildContext cached_context = context;
     cached_context.backend_factory = llm::caching_backend_factory(cache);
 
     support::TextTable table({"workers", "wall (ms)", "speedup", "cache hits",
@@ -74,7 +139,7 @@ int main() {
     for (std::size_t workers : {1UL, 2UL, 4UL, 8UL}) {
         core::BatchRunner runner(engine_id, options, cached_context,
                                  core::BatchOptions{workers});
-        const core::BatchReport report = runner.run(corpus());
+        const core::BatchReport report = runner.run(big_corpus);
         const llm::PromptCacheStats after = cache->stats();
         const std::uint64_t hits = after.hits - before.hits;
         const std::uint64_t calls =

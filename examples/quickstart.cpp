@@ -4,16 +4,22 @@
 //   $ ./examples/quickstart                       # rustbrain (default)
 //   $ ./examples/quickstart --engine standalone
 //   $ ./examples/quickstart --engine rustbrain --options model=gpt-3.5
+//   $ ./examples/quickstart --corpus forged.rbc --case gen/alloc/leak_s42_0000
 //
 // Walks through the exact pipeline of the paper's Fig. 2 on a classic
 // use-after-free and prints every stage's result. Engines come from
 // core::EngineRegistry — a bad --engine id prints the available table.
+// With --corpus the case comes from a saved corpus file (gen::load_corpus)
+// instead of the built-in example; --case picks an id from that file
+// (default: its first case).
 #include <cstdio>
+#include <exception>
 #include <stdexcept>
 #include <string>
 
 #include "core/engine_registry.hpp"
 #include "dataset/case.hpp"
+#include "gen/corpus_io.hpp"
 #include "miri/mirilite.hpp"
 
 using namespace rustbrain;
@@ -21,31 +27,20 @@ using namespace rustbrain;
 namespace {
 
 int usage(const char* argv0) {
-    std::printf("usage: %s [--engine <id>] [--options k=v,k=v...]\n\n"
+    std::printf("usage: %s [--engine <id>] [--options k=v,k=v...]\n"
+                "          [--corpus <file>] [--case <id>]\n\n"
                 "available engines:\n%s",
                 argv0, core::EngineRegistry::builtin().help().c_str());
     return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-    std::string engine_id = "rustbrain";
-    std::string option_spec;  // engines default to model=gpt-4, seed=42
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--engine" && i + 1 < argc) {
-            engine_id = argv[++i];
-        } else if (arg == "--options" && i + 1 < argc) {
-            option_spec = argv[++i];
-        } else {
-            return usage(argv[0]);
-        }
-    }
-
-    // A mini-Rust program with a seeded use-after-free: the buffer is
-    // deallocated before the last read.
-    const std::string buggy = R"(fn main() {
+/// The built-in demo: a mini-Rust program with a seeded use-after-free (the
+/// buffer is deallocated before the last read).
+dataset::UbCase builtin_case() {
+    dataset::UbCase ub_case;
+    ub_case.id = "quickstart/use_after_free";
+    ub_case.category = miri::UbCategory::DanglingPointer;
+    ub_case.buggy_source = R"(fn main() {
     unsafe {
         let buf = alloc(8, 8);
         let slot = buf as *mut i64;
@@ -55,19 +50,8 @@ int main(int argc, char** argv) {
     }
 }
 )";
-
-    // Stage F1: run the Miri-style detector.
-    std::printf("=== MiriLite detection ===\n");
-    miri::MiriLite miri;
-    const miri::MiriReport report = miri.test_source(buggy, {{}});
-    std::printf("%s\n", report.summary().c_str());
-
-    // Package the problem as a corpus-style case. The reference fix defines
-    // the expected semantics ("print 42, then free the buffer").
-    dataset::UbCase ub_case;
-    ub_case.id = "quickstart/use_after_free";
-    ub_case.category = miri::UbCategory::DanglingPointer;
-    ub_case.buggy_source = buggy;
+    // The reference fix defines the expected semantics ("print 42, then
+    // free the buffer").
     ub_case.reference_fix = R"(fn main() {
     unsafe {
         let buf = alloc(8, 8);
@@ -80,6 +64,71 @@ int main(int argc, char** argv) {
 )";
     ub_case.inputs = {{}};
     ub_case.difficulty = 1;
+    return ub_case;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string engine_id = "rustbrain";
+    std::string option_spec;  // engines default to model=gpt-4, seed=42
+    std::string corpus_path;
+    std::string case_id;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--engine" && i + 1 < argc) {
+            engine_id = argv[++i];
+        } else if (arg == "--options" && i + 1 < argc) {
+            option_spec = argv[++i];
+        } else if (arg == "--corpus" && i + 1 < argc) {
+            corpus_path = argv[++i];
+        } else if (arg == "--case" && i + 1 < argc) {
+            case_id = argv[++i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (!case_id.empty() && corpus_path.empty()) {
+        std::printf("error: --case requires --corpus\n\n");
+        return usage(argv[0]);
+    }
+
+    dataset::UbCase ub_case;
+    if (corpus_path.empty()) {
+        ub_case = builtin_case();
+    } else {
+        // A bad path or malformed file must print a clear error, not a
+        // stack trace.
+        try {
+            const dataset::Corpus corpus = gen::load_corpus(corpus_path);
+            if (corpus.size() == 0) {
+                std::printf("error: corpus %s contains no cases\n",
+                            corpus_path.c_str());
+                return 1;
+            }
+            const dataset::UbCase* chosen =
+                case_id.empty() ? &corpus.cases().front()
+                                : corpus.find(case_id);
+            if (chosen == nullptr) {
+                std::printf("error: corpus %s has no case '%s'\n",
+                            corpus_path.c_str(), case_id.c_str());
+                return 1;
+            }
+            ub_case = *chosen;
+        } catch (const std::exception& error) {
+            std::printf("error: %s\n", error.what());
+            return 1;
+        }
+        std::printf("loaded case %s from %s\n\n", ub_case.id.c_str(),
+                    corpus_path.c_str());
+    }
+
+    // Stage F1: run the Miri-style detector.
+    std::printf("=== MiriLite detection ===\n");
+    miri::MiriLite miri;
+    const miri::MiriReport report =
+        miri.test_source(ub_case.buggy_source, ub_case.inputs);
+    std::printf("%s\n", report.summary().c_str());
 
     // Build the selected engine from the registry (no knowledge base is
     // needed for a routine shape like this) and repair.
@@ -112,7 +161,8 @@ int main(int argc, char** argv) {
     std::printf("\n\n=== repaired program ===\n%s", result.final_source.c_str());
 
     // Confirm the repair independently.
-    const miri::MiriReport verify = miri.test_source(result.final_source, {{}});
+    const miri::MiriReport verify =
+        miri.test_source(result.final_source, ub_case.inputs);
     std::printf("\nindependent MiriLite verdict: %s\n",
                 verify.passed() ? "pass" : verify.summary().c_str());
     return result.pass ? 0 : 1;

@@ -6,6 +6,7 @@
 //   $ ./examples/repair_campaign                        # rustbrain, full corpus
 //   $ ./examples/repair_campaign --engine fixed-pipeline
 //   $ ./examples/repair_campaign --engine rustbrain --limit 3   # smoke slice
+//   $ ./examples/repair_campaign --corpus forged.rbc    # saved/generated corpus
 //
 // Two phases show the two execution shapes BatchRunner supports:
 //   1. a focused sequential campaign over one category, where the shared
@@ -17,6 +18,7 @@
 //      CI smoke slice) and the focused phase is skipped.
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -24,6 +26,7 @@
 #include "core/batch_runner.hpp"
 #include "core/engine_registry.hpp"
 #include "dataset/corpus.hpp"
+#include "gen/corpus_io.hpp"
 #include "kb/seed.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -33,7 +36,8 @@ using namespace rustbrain;
 namespace {
 
 int usage(const char* argv0) {
-    std::printf("usage: %s [--engine <id>] [--options k=v,...] [--limit N]\n\n"
+    std::printf("usage: %s [--engine <id>] [--options k=v,...] [--limit N]\n"
+                "          [--corpus <file>]\n\n"
                 "available engines:\n%s",
                 argv0, core::EngineRegistry::builtin().help().c_str());
     return 2;
@@ -44,6 +48,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
     std::string engine_id = "rustbrain";
     std::string option_spec;  // engines default to model=gpt-4, seed=42
+    std::string corpus_path;  // empty = the standard hand-written corpus
     std::size_t limit = 0;  // 0 = whole corpus
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -51,6 +56,8 @@ int main(int argc, char** argv) {
             engine_id = argv[++i];
         } else if (arg == "--options" && i + 1 < argc) {
             option_spec = argv[++i];
+        } else if (arg == "--corpus" && i + 1 < argc) {
+            corpus_path = argv[++i];
         } else if (arg == "--limit" && i + 1 < argc) {
             const char* text = argv[++i];
             char* end = nullptr;
@@ -65,7 +72,21 @@ int main(int argc, char** argv) {
         }
     }
 
-    const dataset::Corpus corpus = dataset::Corpus::standard();
+    // A bad --corpus path or a malformed file prints a clear error, not a
+    // stack trace.
+    dataset::Corpus corpus;
+    if (corpus_path.empty()) {
+        corpus = dataset::Corpus::standard();
+    } else {
+        try {
+            corpus = gen::load_corpus(corpus_path);
+        } catch (const std::exception& error) {
+            std::printf("error: %s\n", error.what());
+            return 1;
+        }
+        std::printf("corpus: %zu cases from %s\n", corpus.size(),
+                    corpus_path.c_str());
+    }
     kb::KnowledgeBase kbase;
     const kb::SeedStats seeded = kb::seed_from_corpus(corpus, kbase);
     std::printf("knowledge base: %zu entries (%zu verified fixes)\n",
@@ -92,14 +113,14 @@ int main(int argc, char** argv) {
     std::printf("engine: %s (%s)\n\n", engine->name().c_str(),
                 engine->config_summary().c_str());
 
-    if (limit == 0) {
+    const std::vector<const dataset::UbCase*> focused =
+        corpus.by_category(miri::UbCategory::DanglingPointer);
+    if (limit == 0 && !focused.empty()) {
         // Campaign over one category to showcase self-learning: the third
         // sibling benefits from feedback recorded on the first two, so the
         // sweep is ordered (run_sequential), not parallel. Engines without
         // a feedback loop simply repair the siblings independently.
         std::printf("== focused campaign: danglingpointer ==\n");
-        const std::vector<const dataset::UbCase*> focused =
-            corpus.by_category(miri::UbCategory::DanglingPointer);
         const core::BatchReport focused_report = core::BatchRunner::run_sequential(
             focused, [&](const dataset::UbCase& ub_case) {
                 return engine->repair(ub_case);

@@ -7,7 +7,6 @@
 #include "baselines/fixed_pipeline.hpp"
 #include "baselines/standalone_llm.hpp"
 #include "core/rustbrain.hpp"
-#include "support/strings.hpp"
 
 namespace rustbrain::core {
 
@@ -17,103 +16,8 @@ namespace rustbrain::core {
 
 EngineOptions EngineOptions::parse(const std::string& spec) {
     EngineOptions options;
-    for (const std::string& entry : support::split(spec, ',')) {
-        if (entry.empty()) continue;
-        const std::size_t eq = entry.find('=');
-        if (eq == std::string::npos || eq == 0) {
-            throw std::invalid_argument(
-                "malformed engine option '" + entry +
-                "' (expected key=value[,key=value...])");
-        }
-        options.values[entry.substr(0, eq)] = entry.substr(eq + 1);
-    }
+    options.values = support::OptionMap::parse(spec).values;
     return options;
-}
-
-std::string EngineOptions::get(const std::string& key,
-                               const std::string& fallback) const {
-    auto it = values.find(key);
-    return it == values.end() ? fallback : it->second;
-}
-
-double EngineOptions::get_double(const std::string& key, double fallback) const {
-    auto it = values.find(key);
-    if (it == values.end()) return fallback;
-    // Fail loudly on trailing junk ("0.5x"), not just on unparseable text.
-    try {
-        std::size_t consumed = 0;
-        const double value = std::stod(it->second, &consumed);
-        if (consumed == it->second.size()) return value;
-    } catch (...) {
-    }
-    throw std::invalid_argument("engine option " + key + "=" + it->second +
-                                " is not a number");
-}
-
-int EngineOptions::get_int(const std::string& key, int fallback) const {
-    auto it = values.find(key);
-    if (it == values.end()) return fallback;
-    try {
-        std::size_t consumed = 0;
-        const int value = std::stoi(it->second, &consumed);
-        if (consumed == it->second.size()) return value;
-    } catch (...) {
-    }
-    throw std::invalid_argument("engine option " + key + "=" + it->second +
-                                " is not an integer");
-}
-
-std::uint64_t EngineOptions::get_u64(const std::string& key,
-                                     std::uint64_t fallback) const {
-    auto it = values.find(key);
-    if (it == values.end()) return fallback;
-    // stoull accepts a leading '-' (wrapping to a huge value); reject it.
-    try {
-        if (it->second.empty() || it->second[0] == '-') {
-            throw std::invalid_argument(it->second);
-        }
-        std::size_t consumed = 0;
-        const std::uint64_t value = std::stoull(it->second, &consumed);
-        if (consumed == it->second.size()) return value;
-    } catch (...) {
-    }
-    throw std::invalid_argument("engine option " + key + "=" + it->second +
-                                " is not an unsigned integer");
-}
-
-bool EngineOptions::get_bool(const std::string& key, bool fallback) const {
-    auto it = values.find(key);
-    if (it == values.end()) return fallback;
-    const std::string& value = it->second;
-    if (value == "on" || value == "true" || value == "yes" || value == "1") {
-        return true;
-    }
-    if (value == "off" || value == "false" || value == "no" || value == "0") {
-        return false;
-    }
-    throw std::invalid_argument("engine option " + key + "=" + value +
-                                " is not a boolean (use on/off)");
-}
-
-void EngineOptions::check_known(std::initializer_list<const char*> known) const {
-    for (const auto& [key, value] : values) {
-        bool found = false;
-        for (const char* candidate : known) {
-            if (key == candidate) {
-                found = true;
-                break;
-            }
-        }
-        if (!found) {
-            std::string message = "unknown engine option '" + key +
-                                  "'; this engine understands:";
-            for (const char* candidate : known) {
-                message += ' ';
-                message += candidate;
-            }
-            throw std::invalid_argument(message);
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------

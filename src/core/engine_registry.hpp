@@ -20,29 +20,16 @@
 #include "core/repair_engine.hpp"
 #include "kb/knowledge_base.hpp"
 #include "llm/backend.hpp"
+#include "support/options.hpp"
 
 namespace rustbrain::core {
 
-/// String-keyed engine options ("model=gpt-4,seed=7"). Typed getters parse
-/// on demand; check_known() rejects stray keys.
-struct EngineOptions {
-    std::map<std::string, std::string> values;
-
+/// String-keyed engine options ("model=gpt-4,seed=7"). The parsing and typed
+/// getters live in support::OptionMap, shared with gen::GeneratorRegistry.
+struct EngineOptions : support::OptionMap {
     /// Parse a "key=value,key=value" spec (empty string => no options).
     /// Throws std::invalid_argument on a malformed entry.
     static EngineOptions parse(const std::string& spec);
-
-    [[nodiscard]] std::string get(const std::string& key,
-                                  const std::string& fallback) const;
-    [[nodiscard]] double get_double(const std::string& key, double fallback) const;
-    [[nodiscard]] int get_int(const std::string& key, int fallback) const;
-    [[nodiscard]] std::uint64_t get_u64(const std::string& key,
-                                        std::uint64_t fallback) const;
-    /// Accepts on/off, true/false, yes/no, 1/0.
-    [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
-
-    /// Throws std::invalid_argument naming the first key not in `known`.
-    void check_known(std::initializer_list<const char*> known) const;
 };
 
 /// Everything an engine may be wired to at build time. All members are

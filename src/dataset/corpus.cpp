@@ -1,6 +1,7 @@
 #include "dataset/corpus.hpp"
 
-#include <set>
+#include <stdexcept>
+#include <utility>
 
 #include "dataset/builders.hpp"
 #include "miri/mirilite.hpp"
@@ -16,11 +17,22 @@ const char* fix_strategy_name(FixStrategy strategy) {
     return "?";
 }
 
+Corpus::Corpus(std::vector<UbCase> cases) : cases_(std::move(cases)) {
+    id_index_.reserve(cases_.size());
+    for (std::size_t i = 0; i < cases_.size(); ++i) {
+        if (!id_index_.emplace(cases_[i].id, i).second) {
+            throw std::invalid_argument("duplicate corpus case id: " +
+                                        cases_[i].id);
+        }
+        category_index_[cases_[i].category].push_back(i);
+    }
+}
+
 Corpus Corpus::standard() {
-    Corpus corpus;
-    auto append = [&](std::vector<UbCase> cases) {
-        for (auto& c : cases) {
-            corpus.cases_.push_back(std::move(c));
+    std::vector<UbCase> cases;
+    auto append = [&](std::vector<UbCase> more) {
+        for (auto& c : more) {
+            cases.push_back(std::move(c));
         }
     };
     append(make_alloc_cases());
@@ -37,61 +49,67 @@ Corpus Corpus::standard() {
     append(make_unaligned_cases());
     append(make_concurrency_cases());
     append(make_tailcall_cases());
-    return corpus;
+    return Corpus(std::move(cases));
 }
 
 std::vector<const UbCase*> Corpus::by_category(miri::UbCategory category) const {
     std::vector<const UbCase*> out;
-    for (const auto& c : cases_) {
-        if (c.category == category) out.push_back(&c);
+    auto it = category_index_.find(category);
+    if (it == category_index_.end()) return out;
+    out.reserve(it->second.size());
+    for (std::size_t index : it->second) {
+        out.push_back(&cases_[index]);
     }
     return out;
 }
 
 const UbCase* Corpus::find(const std::string& id) const {
-    for (const auto& c : cases_) {
-        if (c.id == id) return &c;
-    }
-    return nullptr;
+    auto it = id_index_.find(id);
+    return it == id_index_.end() ? nullptr : &cases_[it->second];
 }
 
 std::vector<miri::UbCategory> Corpus::categories() const {
     std::vector<miri::UbCategory> out;
-    std::set<miri::UbCategory> seen;
     for (miri::UbCategory category : miri::all_ub_categories()) {
-        for (const auto& c : cases_) {
-            if (c.category == category && seen.insert(category).second) {
-                out.push_back(category);
-            }
+        if (category_index_.count(category) != 0) {
+            out.push_back(category);
         }
     }
     return out;
 }
 
+CaseValidation validate_case(const UbCase& ub_case, const miri::MiriLite& miri) {
+    CaseValidation validation;
+    validation.id = ub_case.id;
+
+    const miri::MiriReport buggy =
+        miri.test_source(ub_case.buggy_source, ub_case.inputs);
+    validation.buggy_fails = !buggy.passed();
+    validation.category_matches = buggy.has_category(ub_case.category);
+    if (!validation.buggy_fails) {
+        validation.detail = "buggy program passed MiriLite";
+    } else if (!validation.category_matches) {
+        validation.detail =
+            "expected category " +
+            std::string(miri::ub_category_label(ub_case.category)) +
+            " but findings were:\n" + buggy.summary();
+    }
+
+    const miri::MiriReport fixed =
+        miri.test_source(ub_case.reference_fix, ub_case.inputs);
+    validation.reference_passes = fixed.passed();
+    if (!validation.reference_passes) {
+        validation.detail += "\nreference fix failed:\n" + fixed.summary();
+    }
+    return validation;
+}
+
 std::vector<CaseValidation> validate_corpus(const Corpus& corpus) {
     std::vector<CaseValidation> results;
+    results.reserve(corpus.size());
     miri::MiriLite miri;
     for (const UbCase& c : corpus.cases()) {
-        CaseValidation validation;
-        validation.id = c.id;
-
-        const miri::MiriReport buggy = miri.test_source(c.buggy_source, c.inputs);
-        validation.buggy_fails = !buggy.passed();
-        validation.category_matches = buggy.has_category(c.category);
-        if (!validation.buggy_fails) {
-            validation.detail = "buggy program passed MiriLite";
-        } else if (!validation.category_matches) {
-            validation.detail = "expected category " +
-                                std::string(miri::ub_category_label(c.category)) +
-                                " but findings were:\n" + buggy.summary();
-        }
-
-        const miri::MiriReport fixed = miri.test_source(c.reference_fix, c.inputs);
-        validation.reference_passes = fixed.passed();
-        if (!validation.reference_passes) {
-            validation.detail += "\nreference fix failed:\n" + fixed.summary();
-        }
-        results.push_back(std::move(validation));
+        results.push_back(validate_case(c, miri));
     }
     return results;
 }

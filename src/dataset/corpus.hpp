@@ -2,18 +2,34 @@
 // and a validation routine used by the integration tests (every buggy case
 // must fail MiriLite with its declared category; every reference fix must
 // pass and defines the expected output traces).
+//
+// A Corpus can be built from any case vector — the hand-written standard
+// set, a gen::forge_corpus() product, or a file loaded by gen::load_corpus —
+// and indexes ids and categories at construction so find() and by_category()
+// are O(1)/O(k) instead of linear scans over the whole corpus.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dataset/case.hpp"
+
+namespace rustbrain::miri {
+class MiriLite;
+}  // namespace rustbrain::miri
 
 namespace rustbrain::dataset {
 
 class Corpus {
   public:
+    Corpus() = default;
+    /// Index an arbitrary case vector. Throws std::invalid_argument on a
+    /// duplicate id (every corpus, generated or loaded, must be addressable).
+    explicit Corpus(std::vector<UbCase> cases);
+
     /// The standard corpus (deterministic — no RNG involved).
     static Corpus standard();
 
@@ -28,6 +44,10 @@ class Corpus {
 
   private:
     std::vector<UbCase> cases_;
+    // Both indexes store positions into cases_, not pointers, so the default
+    // copy/move of a Corpus stays correct.
+    std::unordered_map<std::string, std::size_t> id_index_;
+    std::map<miri::UbCategory, std::vector<std::size_t>> category_index_;
 };
 
 /// Validation outcome for one case.
@@ -42,6 +62,11 @@ struct CaseValidation {
         return buggy_fails && category_matches && reference_passes;
     }
 };
+
+/// Validate a single case: the buggy program must fail MiriLite with the
+/// declared category and the reference fix must pass. The unit of work
+/// behind validate_corpus and the forge's rejection sampler.
+CaseValidation validate_case(const UbCase& ub_case, const miri::MiriLite& miri);
 
 /// Run MiriLite over every case; the integration tests assert all ok().
 std::vector<CaseValidation> validate_corpus(const Corpus& corpus);

@@ -1,0 +1,243 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lang/ast.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+
+namespace rustbrain::gen {
+
+namespace detail {
+
+std::string fill_template(std::string templ,
+                          const std::vector<std::string>& args) {
+    std::string out;
+    out.reserve(templ.size());
+    for (std::size_t i = 0; i < templ.size(); ++i) {
+        if (templ[i] == '$' && i + 1 < templ.size() && templ[i + 1] >= '0' &&
+            templ[i + 1] <= '9') {
+            const std::size_t index = static_cast<std::size_t>(templ[i + 1] - '0');
+            if (index < args.size()) {
+                out += args[index];
+                ++i;
+                continue;
+            }
+        }
+        out += templ[i];
+    }
+    return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+// One dead-code padding statement. Values are kept small so padding can
+// never overflow or otherwise perturb the program it decorates.
+struct PadSpec {
+    int kind = 0;  // 0: const let, 1: arithmetic let, 2: counting loop
+    std::string name;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+};
+
+/// The structural mutations of one case, sampled once and applied to both
+/// the buggy program and the reference fix so their traces stay related.
+struct MutationPlan {
+    int nesting = 0;
+    std::vector<PadSpec> front_pads;
+    std::vector<PadSpec> back_pads;
+    bool helper = false;
+    std::string helper_name;
+    std::int64_t helper_mul = 1;
+    std::int64_t helper_add = 0;
+};
+
+MutationPlan sample_plan(support::Rng& rng, const MutationKnobs& knobs) {
+    MutationPlan plan;
+    if (knobs.max_nesting > 0) {
+        plan.nesting = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(knobs.max_nesting) + 1));
+    }
+    int pads = 0;
+    if (knobs.max_padding > 0) {
+        pads = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(knobs.max_padding) + 1));
+    }
+    static const std::vector<std::string> kPadNames = {
+        "pad_idle", "pad_scratch", "pad_spare", "pad_stash", "pad_slack"};
+    for (int i = 0; i < pads; ++i) {
+        PadSpec pad;
+        pad.kind = static_cast<int>(rng.next_below(3));
+        pad.name =
+            detail::pick(rng, kPadNames) + "_" + std::to_string(i);
+        pad.a = rng.next_range(1, 90);
+        pad.b = rng.next_range(1, 9);
+        if (rng.chance(0.5)) {
+            plan.front_pads.push_back(std::move(pad));
+        } else {
+            plan.back_pads.push_back(std::move(pad));
+        }
+    }
+    if (knobs.helpers && rng.chance(0.4)) {
+        static const std::vector<std::string> kHelperNames = {
+            "unused_route", "unused_blend", "unused_probe", "unused_tally"};
+        plan.helper = true;
+        plan.helper_name = detail::pick(rng, kHelperNames);
+        plan.helper_mul = rng.next_range(2, 9);
+        plan.helper_add = rng.next_range(0, 99);
+    }
+    return plan;
+}
+
+lang::ExprPtr make_int(std::int64_t value) {
+    auto lit = std::make_unique<lang::IntLitExpr>();
+    lit->value = static_cast<std::uint64_t>(value);
+    return lit;
+}
+
+lang::ExprPtr make_var(const std::string& name) {
+    auto ref = std::make_unique<lang::VarRefExpr>();
+    ref->name = name;
+    return ref;
+}
+
+lang::ExprPtr make_binary(lang::BinaryOp op, lang::ExprPtr lhs,
+                          lang::ExprPtr rhs) {
+    auto expr = std::make_unique<lang::BinaryExpr>();
+    expr->op = op;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+}
+
+lang::StmtPtr make_let(const std::string& name, bool is_mut,
+                       lang::ExprPtr init) {
+    auto let = std::make_unique<lang::LetStmt>();
+    let->name = name;
+    let->is_mut = is_mut;
+    let->declared_type = lang::Type::i64();
+    let->init = std::move(init);
+    return let;
+}
+
+/// Render one pad spec into statements (1 or 2 of them).
+std::vector<lang::StmtPtr> make_pad(const PadSpec& pad) {
+    std::vector<lang::StmtPtr> stmts;
+    switch (pad.kind) {
+        case 0:
+            stmts.push_back(make_let(pad.name, false, make_int(pad.a)));
+            break;
+        case 1:
+            stmts.push_back(make_let(
+                pad.name, false,
+                make_binary(lang::BinaryOp::Add,
+                            make_binary(lang::BinaryOp::Mul, make_int(pad.a),
+                                        make_int(pad.b)),
+                            make_int(pad.b))));
+            break;
+        default: {
+            stmts.push_back(make_let(pad.name, true, make_int(0)));
+            auto loop = std::make_unique<lang::WhileStmt>();
+            loop->condition = make_binary(lang::BinaryOp::Lt,
+                                          make_var(pad.name), make_int(pad.b));
+            auto step = std::make_unique<lang::AssignStmt>();
+            step->place = make_var(pad.name);
+            step->value = make_binary(lang::BinaryOp::Add, make_var(pad.name),
+                                      make_int(1));
+            loop->body.statements.push_back(std::move(step));
+            stmts.push_back(std::move(loop));
+            break;
+        }
+    }
+    return stmts;
+}
+
+void apply_plan(lang::Program& program, const MutationPlan& plan) {
+    lang::FnItem* main_fn = program.find_function("main");
+    if (main_fn != nullptr) {
+        // Wrap the existing body in `nesting` plain blocks. Everything the
+        // body declares stays in scope for the whole (wrapped) body, so this
+        // is behavior-preserving for any program that only runs `main` once.
+        for (int level = 0; level < plan.nesting; ++level) {
+            auto wrapper = std::make_unique<lang::BlockStmt>();
+            wrapper->block.statements = std::move(main_fn->body.statements);
+            main_fn->body.statements.clear();
+            main_fn->body.statements.push_back(std::move(wrapper));
+        }
+        // Dead-code padding around the wrapped body. Pads never print, never
+        // touch existing locals and never overflow, so the observable trace
+        // is untouched.
+        std::vector<lang::StmtPtr> body = std::move(main_fn->body.statements);
+        main_fn->body.statements.clear();
+        for (const PadSpec& pad : plan.front_pads) {
+            for (auto& stmt : make_pad(pad)) {
+                main_fn->body.statements.push_back(std::move(stmt));
+            }
+        }
+        for (auto& stmt : body) {
+            main_fn->body.statements.push_back(std::move(stmt));
+        }
+        for (const PadSpec& pad : plan.back_pads) {
+            for (auto& stmt : make_pad(pad)) {
+                main_fn->body.statements.push_back(std::move(stmt));
+            }
+        }
+    }
+    if (plan.helper && program.find_function(plan.helper_name) == nullptr) {
+        lang::FnItem helper;
+        helper.name = plan.helper_name;
+        helper.params.push_back({"x", lang::Type::i64()});
+        helper.return_type = lang::Type::i64();
+        auto ret = std::make_unique<lang::ReturnStmt>();
+        ret->value = make_binary(
+            lang::BinaryOp::Add,
+            make_binary(lang::BinaryOp::Mul, make_var("x"),
+                        make_int(plan.helper_mul)),
+            make_int(plan.helper_add));
+        helper.body.statements.push_back(std::move(ret));
+        program.functions.push_back(std::move(helper));
+    }
+    program.renumber();
+}
+
+/// Parse -> mutate -> print. If the draft source unexpectedly fails to
+/// parse, it is returned unmodified and left for the forge's rejection
+/// sampler to throw out.
+std::string mutate_source(const std::string& source, const MutationPlan& plan) {
+    auto program = lang::try_parse(source);
+    if (!program) return source;
+    apply_plan(*program, plan);
+    return lang::print_program(*program);
+}
+
+}  // namespace
+
+CaseGenerator::CaseGenerator(std::string id, miri::UbCategory category,
+                             MutationKnobs knobs)
+    : id_(std::move(id)), category_(category), knobs_(knobs) {}
+
+dataset::UbCase CaseGenerator::generate(support::Rng& rng) const {
+    Draft drafted = draft(rng);
+    const MutationPlan plan = sample_plan(rng, knobs_);
+
+    dataset::UbCase out;
+    out.id = drafted.shape;
+    out.category = category_;
+    out.intended_strategy = drafted.strategy;
+    out.inputs = std::move(drafted.inputs);
+    out.difficulty = drafted.difficulty;
+    out.buggy_source = mutate_source(drafted.buggy, plan);
+    out.reference_fix = mutate_source(drafted.fix, plan);
+    // Mutations that add real structure make the program harder to read —
+    // reflect that in the difficulty the expert-time model and SimLLM see.
+    if (plan.nesting >= 2 ||
+        plan.front_pads.size() + plan.back_pads.size() >= 3) {
+        out.difficulty = std::min(3, out.difficulty + 1);
+    }
+    return out;
+}
+
+}  // namespace rustbrain::gen

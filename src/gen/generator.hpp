@@ -1,0 +1,95 @@
+// Corpus Forge — procedural UB case generation.
+//
+// A CaseGenerator synthesizes corpus entries for one UB category (or one
+// cross-category composition): it drafts a buggy program, its reference fix
+// and trigger inputs from seeded RNG streams, then pushes BOTH programs
+// through the lang/ front end — parse, structural AST mutation (nested block
+// wrapping, dead-code padding, never-called helper functions), print — so
+// every emitted case is a genuine mini-Rust program the rest of the system
+// (MiriLite, pruning, vectorization, the engines) can chew on, not a string
+// template. The same mutation plan is applied to the buggy program and the
+// fix, which preserves the semantic-benchmark trace relationship between
+// the two.
+//
+// Generation is deterministic: a generator is a pure function of (its
+// configuration, the Rng handed to generate()). The forge derives that Rng
+// from (corpus seed, generator id, case serial, attempt), so a whole
+// generated corpus is a pure function of its ForgeOptions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/case.hpp"
+#include "support/rng.hpp"
+
+namespace rustbrain::gen {
+
+/// Structural mutation knobs shared by every generator; resolved from a
+/// generator option map by GeneratorRegistry ("depth=3,padding=4,helpers=off").
+struct MutationKnobs {
+    /// Max extra block-nesting levels wrapped around fn main's body
+    /// (sampled uniformly in [0, max_nesting] per case).
+    int max_nesting = 2;
+    /// Max dead-code statements added to fn main (sampled in [0, max_padding]).
+    int max_padding = 3;
+    /// Allow appending a never-called helper function.
+    bool helpers = true;
+};
+
+class CaseGenerator {
+  public:
+    CaseGenerator(std::string id, miri::UbCategory category, MutationKnobs knobs);
+    virtual ~CaseGenerator() = default;
+    CaseGenerator(const CaseGenerator&) = delete;
+    CaseGenerator& operator=(const CaseGenerator&) = delete;
+
+    [[nodiscard]] const std::string& id() const { return id_; }
+    [[nodiscard]] miri::UbCategory category() const { return category_; }
+    [[nodiscard]] const MutationKnobs& knobs() const { return knobs_; }
+
+    /// Synthesize one candidate case from `rng`. The returned case's id is
+    /// the shape name only (e.g. "double_free"); the forge composes the
+    /// final corpus-unique id. The candidate is NOT yet validated — the
+    /// forge's rejection sampler owns that.
+    [[nodiscard]] dataset::UbCase generate(support::Rng& rng) const;
+
+  protected:
+    /// One drafted scenario before structural mutation.
+    struct Draft {
+        std::string shape;  // e.g. "double_free"
+        std::string buggy;  // source text (template-filled)
+        std::string fix;
+        std::vector<std::vector<std::int64_t>> inputs;
+        dataset::FixStrategy strategy =
+            dataset::FixStrategy::SemanticModification;
+        int difficulty = 1;
+    };
+
+    /// Produce one draft; must consume rng deterministically.
+    [[nodiscard]] virtual Draft draft(support::Rng& rng) const = 0;
+
+  private:
+    std::string id_;
+    miri::UbCategory category_;
+    MutationKnobs knobs_;
+};
+
+namespace detail {
+
+/// Replace `$0`..`$9` placeholders with the given fragments (the same
+/// convention the hand-written dataset builders use).
+std::string fill_template(std::string templ,
+                          const std::vector<std::string>& args);
+
+/// Pick one entry of a pool uniformly.
+template <typename T>
+const T& pick(support::Rng& rng, const std::vector<T>& pool) {
+    return pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+}
+
+}  // namespace detail
+
+}  // namespace rustbrain::gen

@@ -1,0 +1,58 @@
+// GeneratorRegistry — build any case generator from a string id + option
+// map, mirroring core::EngineRegistry: "alloc" / "panic" / ... /
+// "race-on-dangling" plus options like "depth=3,padding=4,helpers=off".
+// Unknown ids and unknown option keys both throw std::invalid_argument with
+// a message listing what IS available, so a typo in a forge config fails
+// loudly instead of silently generating the default mix.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "support/options.hpp"
+
+namespace rustbrain::gen {
+
+class GeneratorRegistry {
+  public:
+    using Builder = std::function<std::unique_ptr<CaseGenerator>(
+        const support::OptionMap& options)>;
+
+    struct Entry {
+        std::string id;
+        std::string description;
+        Builder build;
+    };
+
+    /// Register a generator; throws std::invalid_argument on a duplicate id.
+    void add(Entry entry);
+
+    [[nodiscard]] bool contains(const std::string& id) const;
+    [[nodiscard]] const Entry* find(const std::string& id) const;
+    [[nodiscard]] std::vector<std::string> ids() const;  // sorted
+    /// "id — description" lines, one per generator (for --generators usage).
+    [[nodiscard]] std::string help() const;
+
+    /// Build a generator by id. Throws std::invalid_argument listing the
+    /// available ids when `id` is unknown, or naming the offending key when
+    /// `options` contains one the generator does not understand.
+    [[nodiscard]] std::unique_ptr<CaseGenerator> build(
+        const std::string& id, const support::OptionMap& options = {}) const;
+
+    /// Every category generator plus the cross-category compositions.
+    static const GeneratorRegistry& builtin();
+
+  private:
+    std::map<std::string, Entry> entries_;
+};
+
+/// The option keys every built-in generator understands, resolved into
+/// MutationKnobs ("depth" = max nesting, "padding" = max dead-code
+/// statements, "helpers" = allow never-called helper functions).
+MutationKnobs resolve_knobs(const support::OptionMap& options);
+
+}  // namespace rustbrain::gen

@@ -17,8 +17,10 @@ struct SeedStats {
     std::size_t rules_verified = 0;
 };
 
-/// Build a KB from the corpus. Cases with no verified rule contribute no
-/// entry (the KB only stores knowledge that actually worked).
+/// Build a KB from ANY corpus — the hand-written standard set, a corpus
+/// forged by gen::forge_corpus, or one loaded from disk by gen::load_corpus.
+/// Cases with no verified rule contribute no entry (the KB only stores
+/// knowledge that actually worked).
 SeedStats seed_from_corpus(const dataset::Corpus& corpus, KnowledgeBase& kb);
 
 /// Algorithm-1 pruning with a degenerate-case fallback: when pruning keeps

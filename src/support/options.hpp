@@ -1,0 +1,36 @@
+// String-keyed option maps ("key=value,key=value") shared by every registry
+// seam in the system: core::EngineRegistry builds repair engines from them
+// and gen::GeneratorRegistry builds case generators. Typed getters parse on
+// demand and fail loudly on junk; check_known() rejects stray keys with a
+// message listing what IS understood, so a typo in a sweep or forge config
+// fails fast instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+
+namespace rustbrain::support {
+
+struct OptionMap {
+    std::map<std::string, std::string> values;
+
+    /// Parse a "key=value,key=value" spec (empty string => no options).
+    /// Throws std::invalid_argument on a malformed entry.
+    static OptionMap parse(const std::string& spec);
+
+    [[nodiscard]] std::string get(const std::string& key,
+                                  const std::string& fallback) const;
+    [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+    [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+    [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                        std::uint64_t fallback) const;
+    /// Accepts on/off, true/false, yes/no, 1/0.
+    [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+    /// Throws std::invalid_argument naming the first key not in `known`.
+    void check_known(std::initializer_list<const char*> known) const;
+};
+
+}  // namespace rustbrain::support

@@ -4,6 +4,7 @@
 
 #include <cctype>
 #include <set>
+#include <stdexcept>
 
 #include "dataset/corpus.hpp"
 #include "dataset/semantic.hpp"
@@ -143,6 +144,51 @@ TEST(SemanticTest, UnparseableCandidateRejected) {
     ASSERT_NE(c, nullptr);
     const SemanticVerdict verdict = judge_semantics("fn main( {", *c);
     EXPECT_FALSE(verdict.acceptable());
+}
+
+TEST(CorpusTest, IndexedLookupsMatchLinearScan) {
+    // find() and by_category() answer from indexes built at construction;
+    // they must agree exactly with a naive scan over cases().
+    for (const auto& c : corpus().cases()) {
+        const UbCase* found = corpus().find(c.id);
+        ASSERT_NE(found, nullptr) << c.id;
+        EXPECT_EQ(found, &c) << c.id;
+    }
+    for (miri::UbCategory category : miri::all_ub_categories()) {
+        std::vector<const UbCase*> expected;
+        for (const auto& c : corpus().cases()) {
+            if (c.category == category) expected.push_back(&c);
+        }
+        EXPECT_EQ(corpus().by_category(category), expected)
+            << miri::ub_category_label(category);
+    }
+}
+
+TEST(CorpusTest, ConstructFromArbitraryCases) {
+    UbCase a;
+    a.id = "custom/one";
+    a.category = miri::UbCategory::Panic;
+    UbCase b;
+    b.id = "custom/two";
+    b.category = miri::UbCategory::Alloc;
+    const Corpus custom(std::vector<UbCase>{a, b});
+    EXPECT_EQ(custom.size(), 2u);
+    ASSERT_NE(custom.find("custom/two"), nullptr);
+    EXPECT_EQ(custom.find("custom/two")->category, miri::UbCategory::Alloc);
+    EXPECT_EQ(custom.by_category(miri::UbCategory::Panic).size(), 1u);
+    EXPECT_TRUE(custom.by_category(miri::UbCategory::Uninit).empty());
+    // Figure order is preserved even for hand-assembled corpora.
+    const std::vector<miri::UbCategory> categories = custom.categories();
+    ASSERT_EQ(categories.size(), 2u);
+    EXPECT_EQ(categories[0], miri::UbCategory::Alloc);
+    EXPECT_EQ(categories[1], miri::UbCategory::Panic);
+}
+
+TEST(CorpusTest, DuplicateIdsThrowAtConstruction) {
+    UbCase a;
+    a.id = "dup/same";
+    std::vector<UbCase> cases = {a, a};
+    EXPECT_THROW(Corpus{std::move(cases)}, std::invalid_argument);
 }
 
 TEST(CorpusTest, StrategiesCoverAllThreeFamilies) {
