@@ -12,11 +12,12 @@
 //
 // The flagship configuration runs at 1, 2, 4, 8 workers — every engine
 // built from the registry over a knowledge base seeded from the SAME
-// generated corpus, every cached run sharing one PromptCache — and reports
-// wall time, speedup vs serial, the cache hit rate each run observed, and a
-// cross-check that every run (cached or not, at any worker count) is
-// bit-identical to the uncached serial baseline: the determinism contract
-// that makes worker count and the cache pure performance knobs.
+// generated corpus, every cached run sharing one PromptCache AND one
+// verify::Oracle — and reports wall time, speedup vs serial, the LLM and
+// verify cache hit rates each run observed, and a cross-check that every
+// run (cached or not, at any worker count) is bit-identical to the fully
+// uncached serial baseline: the determinism contract that makes worker
+// count and both caches pure performance knobs.
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -117,45 +118,72 @@ int main(int argc, char** argv) {
     const std::string engine_id = "rustbrain";
     const core::EngineOptions options = core::EngineOptions::parse("model=gpt-4");
 
-    // Uncached serial baseline: the reference every other run must match.
-    const core::BatchRunner serial_runner(engine_id, options, context,
+    // Fully uncached serial baseline: no prompt cache, and a verify::Oracle
+    // that recomputes every compile and every interpretation — the
+    // reference every other run must match bit-for-bit.
+    core::EngineBuildContext uncached_context = context;
+    {
+        verify::OracleOptions oracle_options;
+        oracle_options.caching = false;
+        uncached_context.oracle =
+            std::make_shared<verify::Oracle>(std::move(oracle_options));
+    }
+    const core::BatchRunner serial_runner(engine_id, options, uncached_context,
                                           core::BatchOptions{1});
     const core::BatchReport serial = serial_runner.run(big_corpus);
     std::printf("%zu cases, %d pass / %d exec, %.1f virtual minutes\n\n",
                 serial.results.size(), serial.pass_total(), serial.exec_total(),
                 serial.virtual_ms_total() / 60000.0);
 
-    // Every subsequent run shares one prompt cache: the first run fills it,
-    // repeat configurations answer from it.
+    // Every subsequent run shares one prompt cache and one verification
+    // oracle: the first run fills them, repeat configurations answer from
+    // them.
     const auto cache = std::make_shared<llm::PromptCache>();
     core::EngineBuildContext cached_context = context;
     cached_context.backend_factory = llm::caching_backend_factory(cache);
+    verify::OracleOptions oracle_options;
+    oracle_options.cache = std::make_shared<verify::VerifyCache>();
+    oracle_options.caching = true;
+    cached_context.oracle =
+        std::make_shared<verify::Oracle>(std::move(oracle_options));
 
-    support::TextTable table({"workers", "wall (ms)", "speedup", "cache hits",
-                              "bit-identical to serial"});
+    support::TextTable table({"workers", "wall (ms)", "speedup", "llm hits",
+                              "verify hits", "bit-identical to serial"});
     table.add_row({"1 (no cache)", support::format_double(serial.wall_ms, 0),
-                   "1.00x", "-", "-"});
-    llm::PromptCacheStats before = cache->stats();
+                   "1.00x", "-", "-", "-"});
+    llm::PromptCacheStats llm_before = cache->stats();
+    verify::VerifyCacheStats verify_before = cached_context.oracle->stats();
+    verify::VerifyCacheStats last_delta;
+    core::BatchReport last_report;
+    std::size_t last_workers = 0;
     for (std::size_t workers : {1UL, 2UL, 4UL, 8UL}) {
         core::BatchRunner runner(engine_id, options, cached_context,
                                  core::BatchOptions{workers});
         const core::BatchReport report = runner.run(big_corpus);
-        const llm::PromptCacheStats after = cache->stats();
-        const std::uint64_t hits = after.hits - before.hits;
-        const std::uint64_t calls =
-            (after.hits + after.misses) - (before.hits + before.misses);
-        before = after;
+        const llm::PromptCacheStats llm_after = cache->stats();
+        const std::uint64_t llm_hits = llm_after.hits - llm_before.hits;
+        const std::uint64_t llm_calls = (llm_after.hits + llm_after.misses) -
+                                        (llm_before.hits + llm_before.misses);
+        llm_before = llm_after;
+        const verify::VerifyCacheStats verify_after =
+            cached_context.oracle->stats();
+        last_delta = verify_delta(verify_before, verify_after);
+        verify_before = verify_after;
         table.add_row(
             {std::to_string(workers),
              support::format_double(report.wall_ms, 0),
              support::format_double(serial.wall_ms / report.wall_ms, 2) + "x",
-             support::format_double(
-                 calls == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / calls,
-                 1) +
-                 "%",
+             hit_rate_cell(llm_hits, llm_calls),
+             hit_rate_cell(last_delta.report_hits,
+                           last_delta.report_hits + last_delta.report_misses),
              identical(serial, report) ? "yes" : "NO (BUG)"});
+        last_report = report;
+        last_workers = workers;
     }
     std::printf("%s\n", table.render().c_str());
+    std::printf("aggregate virtual-time breakdown of the last run "
+                "(%zu workers):\n%s\n",
+                last_workers, time_breakdown_table(last_report, &last_delta).c_str());
     const llm::PromptCacheStats final_stats = cache->stats();
     std::printf("prompt cache: %zu entries, %llu hits / %llu misses "
                 "(%.1f%% overall)\n",
@@ -163,9 +191,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(final_stats.hits),
                 static_cast<unsigned long long>(final_stats.misses),
                 100.0 * final_stats.hit_rate());
+    const verify::VerifyCacheStats verify_total =
+        cached_context.oracle->stats();
+    std::printf("verify cache: %zu compiled programs, %zu memoized reports, "
+                "%llu report hits / %llu misses (%.1f%% overall)\n",
+                verify_total.programs, verify_total.reports,
+                static_cast<unsigned long long>(verify_total.report_hits),
+                static_cast<unsigned long long>(verify_total.report_misses),
+                100.0 * verify_total.report_hit_rate());
     std::printf("note: speedup saturates at the machine's physical core "
                 "count; after the first cached run the sweep answers almost "
-                "entirely from cache, and results are identical at any "
+                "entirely from both caches, and results are identical at any "
                 "worker count, cached or not.\n");
     return 0;
 }

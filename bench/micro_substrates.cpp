@@ -12,7 +12,10 @@
 #include "lang/printer.hpp"
 #include "lang/typecheck.hpp"
 #include "llm/rules.hpp"
+#include "miri/interp.hpp"
+#include "miri/lower.hpp"
 #include "miri/mirilite.hpp"
+#include "verify/oracle.hpp"
 
 namespace {
 
@@ -75,6 +78,66 @@ void BM_MiriThreadedRun(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_MiriThreadedRun);
+
+// The verification-oracle ladder over the same workload as BM_MiriRun:
+// tree-walk interpretation only, slot-lowered interpretation only, a fully
+// uncached Oracle call (front end + lowering + interpretation), and a
+// memoized Oracle call (report served from cache).
+void BM_InterpTreeWalk(benchmark::State& state) {
+    const auto* ub_case = corpus().find("uninit/partial_init_0");
+    auto program = lang::try_parse(ub_case->reference_fix);
+    lang::type_check(*program);
+    for (auto _ : state) {
+        for (const auto& inputs : ub_case->inputs) {
+            miri::Interpreter interp(*program, inputs);
+            auto result = interp.run();
+            benchmark::DoNotOptimize(result);
+        }
+    }
+}
+BENCHMARK(BM_InterpTreeWalk);
+
+void BM_InterpSlotLowered(benchmark::State& state) {
+    const auto* ub_case = corpus().find("uninit/partial_init_0");
+    auto program = lang::try_parse(ub_case->reference_fix);
+    lang::type_check(*program);
+    const miri::LoweredProgram lowered = miri::lower_program(*program);
+    for (auto _ : state) {
+        for (const auto& inputs : ub_case->inputs) {
+            miri::Interpreter interp(*program, inputs, {}, &lowered);
+            auto result = interp.run();
+            benchmark::DoNotOptimize(result);
+        }
+    }
+}
+BENCHMARK(BM_InterpSlotLowered);
+
+void BM_OracleUncached(benchmark::State& state) {
+    const auto* ub_case = corpus().find("uninit/partial_init_0");
+    verify::OracleOptions options;
+    options.caching = false;
+    const verify::Oracle oracle(std::move(options));
+    for (auto _ : state) {
+        auto report =
+            oracle.test_source(ub_case->reference_fix, ub_case->inputs);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_OracleUncached);
+
+void BM_OracleMemoized(benchmark::State& state) {
+    const auto* ub_case = corpus().find("uninit/partial_init_0");
+    verify::OracleOptions options;
+    options.cache = std::make_shared<verify::VerifyCache>();
+    options.caching = true;
+    const verify::Oracle oracle(std::move(options));
+    for (auto _ : state) {
+        auto report =
+            oracle.test_source(ub_case->reference_fix, ub_case->inputs);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_OracleMemoized);
 
 void BM_PruneAst(benchmark::State& state) {
     auto program = lang::try_parse(sample_source());

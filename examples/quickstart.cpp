@@ -20,7 +20,7 @@
 #include "core/engine_registry.hpp"
 #include "dataset/case.hpp"
 #include "gen/corpus_io.hpp"
-#include "miri/mirilite.hpp"
+#include "verify/oracle.hpp"
 
 using namespace rustbrain;
 
@@ -123,11 +123,13 @@ int main(int argc, char** argv) {
                     corpus_path.c_str());
     }
 
-    // Stage F1: run the Miri-style detector.
+    // Stage F1: run the Miri-style detector through the verification
+    // oracle (the single entry point the whole repair stack shares — the
+    // engine's own verifications below reuse this compile).
     std::printf("=== MiriLite detection ===\n");
-    miri::MiriLite miri;
+    const verify::Oracle& oracle = verify::Oracle::shared_default();
     const miri::MiriReport report =
-        miri.test_source(ub_case.buggy_source, ub_case.inputs);
+        oracle.test_source(ub_case.buggy_source, ub_case.inputs);
     std::printf("%s\n", report.summary().c_str());
 
     // Build the selected engine from the registry (no knowledge base is
@@ -161,9 +163,11 @@ int main(int argc, char** argv) {
     std::printf("\n\n=== repaired program ===\n%s", result.final_source.c_str());
 
     // Confirm the repair independently.
-    const miri::MiriReport verify =
-        miri.test_source(result.final_source, ub_case.inputs);
+    const miri::MiriReport verdict =
+        oracle.test_source(result.final_source, ub_case.inputs);
     std::printf("\nindependent MiriLite verdict: %s\n",
-                verify.passed() ? "pass" : verify.summary().c_str());
+                verdict.passed() ? "pass" : verdict.summary().c_str());
+
+    std::printf("verification oracle: %s\n", oracle.stats_summary().c_str());
     return result.pass ? 0 : 1;
 }

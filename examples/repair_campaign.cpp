@@ -30,6 +30,7 @@
 #include "kb/seed.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/oracle.hpp"
 
 using namespace rustbrain;
 
@@ -172,5 +173,11 @@ int main(int argc, char** argv) {
         table.add_row({rule, std::to_string(count)});
     }
     std::printf("%s", table.render().c_str());
+
+    // Everything above — KB seeding, both campaign phases, the judge —
+    // verified through one shared oracle; the campaign's repeat runs over
+    // the same programs are where the memoization pays.
+    std::printf("\nverification oracle: %s\n",
+                verify::Oracle::shared_default().stats_summary().c_str());
     return 0;
 }

@@ -16,12 +16,15 @@ llm::ChatResponse AgentContext::call_llm(const llm::PromptSpec& spec) {
 
 miri::MiriReport AgentContext::verify(const std::string& source) {
     static const std::vector<std::vector<std::int64_t>> kNoInputs;
-    miri::MiriLite miri;
-    const miri::MiriReport report =
-        miri.test_source(source, inputs != nullptr ? *inputs : kNoInputs);
-    // Interpretation cost: fixed setup plus per-step execution time.
+    const verify::Oracle& verifier = verify::resolve(oracle);
+    verify::VerifyOutcome outcome;
+    const miri::MiriReport report = verifier.test_source(
+        source, inputs != nullptr ? *inputs : kNoInputs, &outcome);
+    // Modelled interpretation cost: fixed setup plus per-step execution
+    // time. total_steps is part of the memoized report, so the charge is
+    // identical whether the report was interpreted or served from cache.
     clock.charge("miri", 120.0 + static_cast<double>(report.total_steps) * 0.01);
-    emit(core::TraceEventKind::Verify, "",
+    emit(core::TraceEventKind::Verify, outcome.report_cached ? "cached" : "",
          static_cast<std::uint64_t>(report.error_count()));
     return report;
 }

@@ -12,6 +12,7 @@
 #include "llm/backend.hpp"
 #include "miri/mirilite.hpp"
 #include "support/sim_clock.hpp"
+#include "verify/oracle.hpp"
 
 namespace rustbrain::agents {
 
@@ -27,6 +28,10 @@ struct AgentContext {
     double temperature = 0.5;
     /// Inputs of the case's semantic benchmark (for verification runs).
     const std::vector<std::vector<std::int64_t>>* inputs = nullptr;
+    /// Verification oracle shared by every stage of this repair (and, via
+    /// EngineBuildContext, by every worker of a sweep). Null falls back to
+    /// verify::Oracle::shared_default().
+    const verify::Oracle* oracle = nullptr;
     /// Optional knowledge base (Fig 6); nullptr disables it.
     const kb::KnowledgeBase* knowledge_base = nullptr;
     /// Identity of the problem being repaired — excluded from KB retrieval
@@ -49,8 +54,12 @@ struct AgentContext {
     /// and emitting an LlmCall trace event.
     llm::ChatResponse call_llm(const llm::PromptSpec& spec);
 
-    /// Verify code with MiriLite, charging verification time and emitting
-    /// a Verify trace event with the error count.
+    /// Verify code through the Oracle, charging verification time and
+    /// emitting a Verify trace event with the error count. Virtual time is
+    /// derived from the report (which is memoized bit-identically), so a
+    /// cache hit charges exactly what the uncached run would have — the
+    /// cache can never perturb results. The event label records where the
+    /// answer came from ("" = interpreted, "cached" = report cache).
     miri::MiriReport verify(const std::string& source);
 
     /// Emit one trace event stamped with the current virtual time (no-op

@@ -11,9 +11,12 @@
 
 namespace rustbrain::baselines {
 
-FixedPipelineRepair::FixedPipelineRepair(FixedPipelineConfig config,
-                                         llm::BackendFactory backend_factory)
-    : config_(std::move(config)), backend_factory_(std::move(backend_factory)) {
+FixedPipelineRepair::FixedPipelineRepair(
+    FixedPipelineConfig config, llm::BackendFactory backend_factory,
+    std::shared_ptr<const verify::Oracle> oracle)
+    : config_(std::move(config)),
+      backend_factory_(std::move(backend_factory)),
+      oracle_(std::move(oracle)) {
     if (llm::find_profile(config_.model) == nullptr) {
         throw std::invalid_argument("unknown model profile: " + config_.model);
     }
@@ -37,10 +40,12 @@ core::CaseResult FixedPipelineRepair::repair(const dataset::UbCase& ub_case) {
     support::SimClock clock;
     core::TraceStats stats;
     core::TraceTee tee(&stats, trace_sink_);
+    const verify::Oracle& oracle = verify::resolve(oracle_.get());
     agents::AgentContext context{*backend, clock};
     context.trace = &tee;
     context.temperature = config_.temperature;
     context.inputs = &ub_case.inputs;
+    context.oracle = &oracle;
 
     const miri::MiriReport initial = context.verify(ub_case.buggy_source);
     if (initial.passed()) {
@@ -93,7 +98,9 @@ core::CaseResult FixedPipelineRepair::repair(const dataset::UbCase& ub_case) {
 
         if (report.passed()) {
             result.pass = true;
-            result.exec = dataset::judge_semantics(candidate, ub_case).acceptable();
+            result.exec =
+                dataset::judge_semantics(candidate, ub_case, oracle)
+                    .acceptable();
             result.winning_rule = fixed_steps[step];
             result.final_source = candidate;
             break;

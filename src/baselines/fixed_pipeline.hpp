@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/repair_engine.hpp"
 #include "dataset/case.hpp"
 #include "llm/backend.hpp"
+#include "verify/oracle.hpp"
 
 namespace rustbrain::baselines {
 
@@ -28,8 +30,9 @@ struct FixedPipelineConfig {
 
 class FixedPipelineRepair final : public core::RepairEngine {
   public:
-    explicit FixedPipelineRepair(FixedPipelineConfig config,
-                                 llm::BackendFactory backend_factory = {});
+    explicit FixedPipelineRepair(
+        FixedPipelineConfig config, llm::BackendFactory backend_factory = {},
+        std::shared_ptr<const verify::Oracle> oracle = nullptr);
 
     core::CaseResult repair(const dataset::UbCase& ub_case) override;
 
@@ -39,6 +42,7 @@ class FixedPipelineRepair final : public core::RepairEngine {
   private:
     FixedPipelineConfig config_;
     llm::BackendFactory backend_factory_;
+    std::shared_ptr<const verify::Oracle> oracle_;
 };
 
 }  // namespace rustbrain::baselines

@@ -6,11 +6,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/repair_engine.hpp"
 #include "dataset/case.hpp"
 #include "llm/backend.hpp"
+#include "verify/oracle.hpp"
 
 namespace rustbrain::baselines {
 
@@ -23,8 +25,9 @@ struct StandaloneConfig {
 
 class StandaloneLlmRepair final : public core::RepairEngine {
   public:
-    explicit StandaloneLlmRepair(StandaloneConfig config,
-                                 llm::BackendFactory backend_factory = {});
+    explicit StandaloneLlmRepair(
+        StandaloneConfig config, llm::BackendFactory backend_factory = {},
+        std::shared_ptr<const verify::Oracle> oracle = nullptr);
 
     core::CaseResult repair(const dataset::UbCase& ub_case) override;
 
@@ -34,6 +37,7 @@ class StandaloneLlmRepair final : public core::RepairEngine {
   private:
     StandaloneConfig config_;
     llm::BackendFactory backend_factory_;
+    std::shared_ptr<const verify::Oracle> oracle_;
 };
 
 }  // namespace rustbrain::baselines

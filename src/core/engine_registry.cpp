@@ -95,7 +95,7 @@ std::unique_ptr<RepairEngine> build_rustbrain(const EngineOptions& options,
     return std::make_unique<RustBrain>(
         config, config.use_knowledge_base ? context.knowledge_base : nullptr,
         config.use_feedback ? context.feedback : nullptr,
-        context.backend_factory);
+        context.backend_factory, context.oracle);
 }
 
 std::unique_ptr<RepairEngine> build_standalone(const EngineOptions& options,
@@ -107,7 +107,7 @@ std::unique_ptr<RepairEngine> build_standalone(const EngineOptions& options,
     config.attempts = options.get_int("attempts", config.attempts);
     config.seed = options.get_u64("seed", config.seed);
     return std::make_unique<baselines::StandaloneLlmRepair>(
-        config, context.backend_factory);
+        config, context.backend_factory, context.oracle);
 }
 
 std::unique_ptr<RepairEngine> build_fixed_pipeline(
@@ -120,7 +120,7 @@ std::unique_ptr<RepairEngine> build_fixed_pipeline(
         options.get_int("max_iterations", config.max_iterations);
     config.seed = options.get_u64("seed", config.seed);
     return std::make_unique<baselines::FixedPipelineRepair>(
-        config, context.backend_factory);
+        config, context.backend_factory, context.oracle);
 }
 
 std::unique_ptr<RepairEngine> build_expert(const EngineOptions& options,

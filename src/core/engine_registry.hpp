@@ -22,6 +22,10 @@
 #include "llm/backend.hpp"
 #include "support/options.hpp"
 
+namespace rustbrain::verify {
+class Oracle;
+}  // namespace rustbrain::verify
+
 namespace rustbrain::core {
 
 /// String-keyed engine options ("model=gpt-4,seed=7"). The parsing and typed
@@ -39,6 +43,11 @@ struct EngineBuildContext {
     FeedbackStore* feedback = nullptr;
     llm::BackendFactory backend_factory;  // empty => SimLLM
     TraceSink* trace = nullptr;
+    /// Verification oracle shared by every engine built from this context
+    /// (BatchRunner workers included — it is thread-safe). Null =>
+    /// verify::Oracle::shared_default(). Caching on or off never changes
+    /// results; it is a pure performance knob.
+    std::shared_ptr<const verify::Oracle> oracle;
 };
 
 class EngineRegistry {

@@ -10,11 +10,13 @@
 namespace rustbrain::core {
 
 RustBrain::RustBrain(RustBrainConfig config, const kb::KnowledgeBase* knowledge_base,
-                     FeedbackStore* feedback, llm::BackendFactory backend_factory)
+                     FeedbackStore* feedback, llm::BackendFactory backend_factory,
+                     std::shared_ptr<const verify::Oracle> oracle)
     : config_(std::move(config)),
       knowledge_base_(knowledge_base),
       feedback_(feedback),
-      backend_factory_(std::move(backend_factory)) {
+      backend_factory_(std::move(backend_factory)),
+      oracle_(std::move(oracle)) {
     if (llm::find_profile(config_.model) == nullptr) {
         throw std::invalid_argument("unknown model profile: " + config_.model);
     }
@@ -50,10 +52,12 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
     TraceStats stats;
     TraceTee tee(&stats, trace_sink_);
 
+    const verify::Oracle& verifier = this->oracle();
     agents::AgentContext context{*backend, clock};
     context.trace = &tee;
     context.temperature = config_.temperature;
     context.inputs = &ub_case.inputs;
+    context.oracle = &verifier;
     context.knowledge_base =
         config_.use_knowledge_base ? knowledge_base_ : nullptr;
     context.case_hint = ub_case.id;
@@ -107,7 +111,8 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
     const SemanticOracle oracle = [&](const std::string& candidate) {
         // Judging against the acceptability benchmark costs evaluation time.
         clock.charge("eval", 60.0);
-        if (dataset::judge_semantics(candidate, ub_case).acceptable()) {
+        if (dataset::judge_semantics(candidate, ub_case, verifier)
+                .acceptable()) {
             return true;
         }
         // The internal judgment is imperfect: with some probability a
@@ -125,8 +130,10 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
 
     result.pass = slow.pass;
     // The harness's exact semantic verdict (the paper's exec metric).
-    result.exec = slow.pass && !slow.final_source.empty() &&
-                  dataset::judge_semantics(slow.final_source, ub_case).acceptable();
+    result.exec =
+        slow.pass && !slow.final_source.empty() &&
+        dataset::judge_semantics(slow.final_source, ub_case, verifier)
+            .acceptable();
     result.winning_rule = slow.winning_rule;
     result.final_source = slow.final_source;
     // Statistics come from the trace — the single source (the stages emit,

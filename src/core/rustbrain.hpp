@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/fast_thinking.hpp"
@@ -24,6 +25,7 @@
 #include "dataset/case.hpp"
 #include "kb/knowledge_base.hpp"
 #include "llm/backend.hpp"
+#include "verify/oracle.hpp"
 
 namespace rustbrain::core {
 
@@ -49,9 +51,11 @@ class RustBrain final : public RepairEngine {
   public:
     /// `knowledge_base` may be null (disables KB regardless of config);
     /// `feedback` may be null (disables the self-learning loop);
-    /// `backend_factory` may be empty (uses SimLLM).
+    /// `backend_factory` may be empty (uses SimLLM); `oracle` may be null
+    /// (uses verify::Oracle::shared_default()).
     RustBrain(RustBrainConfig config, const kb::KnowledgeBase* knowledge_base,
-              FeedbackStore* feedback, llm::BackendFactory backend_factory = {});
+              FeedbackStore* feedback, llm::BackendFactory backend_factory = {},
+              std::shared_ptr<const verify::Oracle> oracle = nullptr);
 
     /// Repair one corpus case end to end.
     CaseResult repair(const dataset::UbCase& ub_case) override;
@@ -62,10 +66,15 @@ class RustBrain final : public RepairEngine {
     [[nodiscard]] const RustBrainConfig& config() const { return config_; }
 
   private:
+    [[nodiscard]] const verify::Oracle& oracle() const {
+        return verify::resolve(oracle_.get());
+    }
+
     RustBrainConfig config_;
     const kb::KnowledgeBase* knowledge_base_;
     FeedbackStore* feedback_;
     llm::BackendFactory backend_factory_;
+    std::shared_ptr<const verify::Oracle> oracle_;
 };
 
 }  // namespace rustbrain::core

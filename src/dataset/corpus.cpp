@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "dataset/builders.hpp"
-#include "miri/mirilite.hpp"
+#include "verify/oracle.hpp"
 
 namespace rustbrain::dataset {
 
@@ -78,12 +78,13 @@ std::vector<miri::UbCategory> Corpus::categories() const {
     return out;
 }
 
-CaseValidation validate_case(const UbCase& ub_case, const miri::MiriLite& miri) {
+CaseValidation validate_case(const UbCase& ub_case,
+                             const verify::Oracle& oracle) {
     CaseValidation validation;
     validation.id = ub_case.id;
 
     const miri::MiriReport buggy =
-        miri.test_source(ub_case.buggy_source, ub_case.inputs);
+        oracle.test_source(ub_case.buggy_source, ub_case.inputs);
     validation.buggy_fails = !buggy.passed();
     validation.category_matches = buggy.has_category(ub_case.category);
     if (!validation.buggy_fails) {
@@ -96,7 +97,7 @@ CaseValidation validate_case(const UbCase& ub_case, const miri::MiriLite& miri) 
     }
 
     const miri::MiriReport fixed =
-        miri.test_source(ub_case.reference_fix, ub_case.inputs);
+        oracle.test_source(ub_case.reference_fix, ub_case.inputs);
     validation.reference_passes = fixed.passed();
     if (!validation.reference_passes) {
         validation.detail += "\nreference fix failed:\n" + fixed.summary();
@@ -104,12 +105,16 @@ CaseValidation validate_case(const UbCase& ub_case, const miri::MiriLite& miri) 
     return validation;
 }
 
+CaseValidation validate_case(const UbCase& ub_case) {
+    return validate_case(ub_case, verify::Oracle::shared_default());
+}
+
 std::vector<CaseValidation> validate_corpus(const Corpus& corpus) {
     std::vector<CaseValidation> results;
     results.reserve(corpus.size());
-    miri::MiriLite miri;
+    const verify::Oracle& oracle = verify::Oracle::shared_default();
     for (const UbCase& c : corpus.cases()) {
-        results.push_back(validate_case(c, miri));
+        results.push_back(validate_case(c, oracle));
     }
     return results;
 }

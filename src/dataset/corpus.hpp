@@ -17,9 +17,9 @@
 
 #include "dataset/case.hpp"
 
-namespace rustbrain::miri {
-class MiriLite;
-}  // namespace rustbrain::miri
+namespace rustbrain::verify {
+class Oracle;
+}  // namespace rustbrain::verify
 
 namespace rustbrain::dataset {
 
@@ -65,10 +65,15 @@ struct CaseValidation {
 
 /// Validate a single case: the buggy program must fail MiriLite with the
 /// declared category and the reference fix must pass. The unit of work
-/// behind validate_corpus and the forge's rejection sampler.
-CaseValidation validate_case(const UbCase& ub_case, const miri::MiriLite& miri);
+/// behind validate_corpus and the forge's rejection sampler. Verification
+/// runs through `oracle`, so a corpus validated (or forged) earlier in the
+/// process answers from cache.
+CaseValidation validate_case(const UbCase& ub_case,
+                             const verify::Oracle& oracle);
+/// Convenience overload bound to verify::Oracle::shared_default().
+CaseValidation validate_case(const UbCase& ub_case);
 
-/// Run MiriLite over every case; the integration tests assert all ok().
+/// Validate every case; the integration tests assert all ok().
 std::vector<CaseValidation> validate_corpus(const Corpus& corpus);
 
 }  // namespace rustbrain::dataset

@@ -1,25 +1,27 @@
 #include "dataset/semantic.hpp"
 
 #include "lang/printer.hpp"
-#include "miri/mirilite.hpp"
+#include "verify/oracle.hpp"
 
 namespace rustbrain::dataset {
 
 SemanticVerdict judge_semantics(const std::string& candidate_source,
-                                const UbCase& ub_case) {
+                                const UbCase& ub_case,
+                                const verify::Oracle& oracle) {
     SemanticVerdict verdict;
-    miri::MiriLite miri;
 
     const miri::MiriReport candidate_report =
-        miri.test_source(candidate_source, ub_case.inputs);
+        oracle.test_source(candidate_source, ub_case.inputs);
     verdict.miri_pass = candidate_report.passed();
     if (!verdict.miri_pass) {
         verdict.detail = "candidate fails MiriLite:\n" + candidate_report.summary();
         return verdict;
     }
 
+    // Memoized after the first candidate of this case: every later judgment
+    // reuses the reference report instead of re-interpreting the fix.
     const miri::MiriReport reference_report =
-        miri.test_source(ub_case.reference_fix, ub_case.inputs);
+        oracle.test_source(ub_case.reference_fix, ub_case.inputs);
     if (!reference_report.passed()) {
         verdict.detail = "reference fix itself fails MiriLite (corpus bug)";
         return verdict;
@@ -41,8 +43,21 @@ SemanticVerdict judge_semantics(const std::string& candidate_source,
 }
 
 SemanticVerdict judge_semantics(const lang::Program& candidate,
+                                const UbCase& ub_case,
+                                const verify::Oracle& oracle) {
+    return judge_semantics(lang::print_program(candidate), ub_case, oracle);
+}
+
+SemanticVerdict judge_semantics(const std::string& candidate_source,
                                 const UbCase& ub_case) {
-    return judge_semantics(lang::print_program(candidate), ub_case);
+    return judge_semantics(candidate_source, ub_case,
+                           verify::Oracle::shared_default());
+}
+
+SemanticVerdict judge_semantics(const lang::Program& candidate,
+                                const UbCase& ub_case) {
+    return judge_semantics(candidate, ub_case,
+                           verify::Oracle::shared_default());
 }
 
 }  // namespace rustbrain::dataset

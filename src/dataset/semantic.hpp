@@ -4,12 +4,21 @@
 // its observable output matches the developer reference fix on every input
 // vector of the case's benchmark (Scope, §II-A: "this paper validates
 // semantics using test benchmarks composed of developer-repaired code").
+//
+// Both runs go through verify::Oracle. The reference fix in particular is
+// interpreted once per (case, process) and memoized: judging N candidates
+// against one case costs N candidate runs + 1 reference run, not 2N runs
+// (asserted with a counting oracle in tests/verify_oracle_test.cpp).
 #pragma once
 
 #include <string>
 
 #include "dataset/case.hpp"
 #include "lang/ast.hpp"
+
+namespace rustbrain::verify {
+class Oracle;
+}  // namespace rustbrain::verify
 
 namespace rustbrain::dataset {
 
@@ -21,11 +30,20 @@ struct SemanticVerdict {
     [[nodiscard]] bool acceptable() const { return miri_pass && trace_match; }
 };
 
-/// Judge a candidate repair (as source text) against the case's reference.
+/// Judge a candidate repair (as source text) against the case's reference,
+/// verifying both through `oracle`.
 SemanticVerdict judge_semantics(const std::string& candidate_source,
-                                const UbCase& ub_case);
+                                const UbCase& ub_case,
+                                const verify::Oracle& oracle);
 
 /// Same, for an already-parsed program.
+SemanticVerdict judge_semantics(const lang::Program& candidate,
+                                const UbCase& ub_case,
+                                const verify::Oracle& oracle);
+
+/// Convenience overloads bound to verify::Oracle::shared_default().
+SemanticVerdict judge_semantics(const std::string& candidate_source,
+                                const UbCase& ub_case);
 SemanticVerdict judge_semantics(const lang::Program& candidate,
                                 const UbCase& ub_case);
 

@@ -5,22 +5,22 @@
 #include <utility>
 
 #include "gen/registry.hpp"
-#include "lang/parser.hpp"
-#include "lang/typecheck.hpp"
-#include "miri/mirilite.hpp"
 #include "support/rng.hpp"
+#include "verify/oracle.hpp"
 
 namespace rustbrain::gen {
 
 namespace {
 
 /// Both programs must make it through the lang/ front end before MiriLite
-/// gets involved; the split keeps the rejection stats meaningful.
-bool front_end_ok(const std::string& source, bool& parse_ok) {
-    auto program = lang::try_parse(source);
-    parse_ok = program.has_value();
-    if (!parse_ok) return false;
-    return lang::type_check(*program);
+/// gets involved; the split keeps the rejection stats meaningful. The
+/// compile is cached — validate_case's interpretation reuses it.
+bool front_end_ok(const verify::Oracle& oracle, const std::string& source,
+                  bool& parse_ok) {
+    const auto compiled = oracle.compile(source);
+    parse_ok =
+        compiled->front_end != verify::CompiledProgram::FrontEnd::ParseError;
+    return compiled->ok();
 }
 
 std::string serial_tag(std::size_t serial) {
@@ -54,7 +54,7 @@ dataset::Corpus forge_corpus(const ForgeOptions& options, ForgeStats* stats) {
         return dataset::Corpus(std::vector<dataset::UbCase>{});
     }
 
-    const miri::MiriLite miri;
+    const verify::Oracle& oracle = verify::resolve(options.oracle);
     std::vector<dataset::UbCase> cases;
     cases.reserve(options.count);
     for (std::size_t serial = 0; serial < options.count; ++serial) {
@@ -72,8 +72,8 @@ dataset::Corpus forge_corpus(const ForgeOptions& options, ForgeStats* stats) {
             ++s.attempts;
 
             bool parse_ok = true;
-            if (!front_end_ok(candidate.buggy_source, parse_ok) ||
-                !front_end_ok(candidate.reference_fix, parse_ok)) {
+            if (!front_end_ok(oracle, candidate.buggy_source, parse_ok) ||
+                !front_end_ok(oracle, candidate.reference_fix, parse_ok)) {
                 if (parse_ok) {
                     ++s.rejected_typecheck;
                 } else {
@@ -81,7 +81,7 @@ dataset::Corpus forge_corpus(const ForgeOptions& options, ForgeStats* stats) {
                 }
                 continue;
             }
-            if (!dataset::validate_case(candidate, miri).ok()) {
+            if (!dataset::validate_case(candidate, oracle).ok()) {
                 ++s.rejected_validation;
                 continue;
             }

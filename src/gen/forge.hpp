@@ -18,6 +18,10 @@
 #include "dataset/corpus.hpp"
 #include "support/options.hpp"
 
+namespace rustbrain::verify {
+class Oracle;
+}  // namespace rustbrain::verify
+
 namespace rustbrain::gen {
 
 struct ForgeOptions {
@@ -30,6 +34,12 @@ struct ForgeOptions {
     /// Rejection-sampling budget per corpus slot; exceeding it throws
     /// (it means a generator is systematically producing invalid cases).
     int max_attempts_per_case = 64;
+    /// Verification oracle for the acceptance checks; null =>
+    /// verify::Oracle::shared_default(). Candidates compile once and that
+    /// compile is shared with validate_case's runs (and with any later
+    /// sweep over the forged corpus in the same process). The corpus
+    /// produced is byte-identical whichever oracle (cached or not) is used.
+    const verify::Oracle* oracle = nullptr;
 };
 
 struct ForgeStats {

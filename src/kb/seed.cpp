@@ -2,9 +2,8 @@
 
 #include "analysis/prune.hpp"
 #include "dataset/semantic.hpp"
-#include "lang/parser.hpp"
 #include "llm/rules.hpp"
-#include "miri/mirilite.hpp"
+#include "verify/oracle.hpp"
 
 namespace rustbrain::kb {
 
@@ -22,26 +21,33 @@ lang::Program prune_or_whole(const lang::Program& program) {
 
 SeedStats seed_from_corpus(const dataset::Corpus& corpus, KnowledgeBase& kb) {
     SeedStats stats;
-    miri::MiriLite miri;
+    const verify::Oracle& oracle = verify::Oracle::shared_default();
     for (const dataset::UbCase& ub_case : corpus.cases()) {
         ++stats.cases_processed;
-        auto program = lang::try_parse(ub_case.buggy_source);
-        if (!program) continue;
+        // compile() shares the parsed program (and any earlier validation's
+        // front-end work) with every later verification of the same source.
+        const auto compiled = oracle.compile(ub_case.buggy_source);
+        if (compiled->front_end ==
+            verify::CompiledProgram::FrontEnd::ParseError) {
+            continue;
+        }
         const miri::MiriReport report =
-            miri.test(*program, ub_case.inputs);
+            oracle.test_source(ub_case.buggy_source, ub_case.inputs);
         if (report.findings.empty()) continue;
         const miri::Finding& finding = report.findings.front();
+        const lang::Program& program = compiled->program;
 
         KbEntry entry;
         entry.source_hint = ub_case.id;
         entry.category = ub_case.category;
-        entry.vector = analysis::vectorize(prune_or_whole(*program));
+        entry.vector = analysis::vectorize(prune_or_whole(program));
 
         for (const llm::RepairRule* rule :
              llm::rules_for_category(ub_case.category)) {
-            const auto patched = rule->apply(*program, finding);
+            const auto patched = rule->apply(program, finding);
             if (!patched) continue;
-            const auto verdict = dataset::judge_semantics(*patched, ub_case);
+            const auto verdict =
+                dataset::judge_semantics(*patched, ub_case, oracle);
             if (verdict.acceptable()) {
                 entry.rule_ids.push_back(rule->id);
                 ++stats.rules_verified;

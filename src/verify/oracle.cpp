@@ -1,0 +1,268 @@
+#include "verify/oracle.hpp"
+
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+#include "support/hashing.hpp"
+
+namespace rustbrain::verify {
+
+// ---------------------------------------------------------------------------
+// VerifyCache
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const CompiledProgram> VerifyCache::lookup_program(
+    std::uint64_t key, const std::string& source) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.programs.find(key);
+    if (it == shard.programs.end() || it->second->source != source) {
+        program_misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    program_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+std::shared_ptr<const CompiledProgram> VerifyCache::insert_program(
+    std::uint64_t key, std::shared_ptr<const CompiledProgram> compiled) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.programs.find(key);
+    if (it == shard.programs.end()) {
+        if (shard.programs.size() >= kMaxProgramsPerShard) {
+            shard.programs.clear();
+        }
+        shard.programs.emplace(key, compiled);
+        return compiled;
+    }
+    if (it->second->source == compiled->source) {
+        return it->second;  // a racing thread's entry is just as canonical
+    }
+    // Hash collision: the slot belongs to a different source.
+    return nullptr;
+}
+
+std::optional<miri::MiriReport> VerifyCache::lookup_report(
+    const ReportKeyView& key) {
+    Shard& shard = shard_for(key.hash);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.reports.find(key.hash);
+    if (it == shard.reports.end() || !it->second.matches(key)) {
+        report_misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    report_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.report;
+}
+
+void VerifyCache::insert_report(const ReportKeyView& key,
+                                const miri::MiriReport& report) {
+    Shard& shard = shard_for(key.hash);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.reports.count(key.hash) != 0) {
+        return;  // first entry wins; a colliding key simply stays uncached
+    }
+    if (shard.reports.size() >= kMaxReportsPerShard) {
+        shard.reports.clear();
+    }
+    ReportEntry entry;
+    entry.fingerprint = key.fingerprint;
+    entry.check = key.check;
+    entry.limits = key.limits;
+    entry.input_sets = *key.input_sets;
+    entry.report = report;
+    shard.reports.emplace(key.hash, std::move(entry));
+}
+
+VerifyCacheStats VerifyCache::stats() const {
+    VerifyCacheStats stats;
+    stats.program_hits = program_hits_.load(std::memory_order_relaxed);
+    stats.program_misses = program_misses_.load(std::memory_order_relaxed);
+    stats.report_hits = report_hits_.load(std::memory_order_relaxed);
+    stats.report_misses = report_misses_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        stats.programs += shard.programs.size();
+        stats.reports += shard.reports.size();
+    }
+    return stats;
+}
+
+const std::shared_ptr<VerifyCache>& VerifyCache::process_wide() {
+    static const std::shared_ptr<VerifyCache> store =
+        std::make_shared<VerifyCache>();
+    return store;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool cache_enabled_from_env() {
+    const char* value = std::getenv("RUSTBRAIN_VERIFY_CACHE");
+    if (value == nullptr) return true;
+    const std::string text = value;
+    return !(text == "off" || text == "0" || text == "false");
+}
+
+/// Seed for the independent second source hash (an arbitrary odd constant
+/// distinct from the FNV offset basis).
+constexpr std::uint64_t kCheckSeed = 0x51ED270B8A2C1495ULL;
+
+ReportKeyView report_key(const CompiledProgram& compiled,
+                         const std::vector<std::vector<std::int64_t>>& input_sets,
+                         const miri::InterpLimits& limits) {
+    std::uint64_t h = compiled.fingerprint;
+    h = support::hash_combine(h, limits.max_steps);
+    h = support::hash_combine(h, limits.max_call_depth);
+    h = support::hash_combine(h, input_sets.size());
+    for (const auto& inputs : input_sets) {
+        h = support::hash_combine(h, inputs.size());
+        for (std::int64_t value : inputs) {
+            h = support::hash_combine(h, static_cast<std::uint64_t>(value));
+        }
+    }
+    ReportKeyView key;
+    key.hash = h;
+    key.fingerprint = compiled.fingerprint;
+    key.check = compiled.check;
+    key.limits = limits;
+    key.input_sets = &input_sets;
+    return key;
+}
+
+}  // namespace
+
+Oracle::Oracle(OracleOptions options)
+    : limits_(options.limits),
+      cache_(options.cache != nullptr ? std::move(options.cache)
+                                      : VerifyCache::process_wide()),
+      caching_(options.caching.value_or(cache_enabled_from_env())) {}
+
+const Oracle& Oracle::shared_default() {
+    static const Oracle oracle;
+    return oracle;
+}
+
+std::shared_ptr<const CompiledProgram> Oracle::compile_uncached(
+    const std::string& source, std::uint64_t fingerprint) const {
+    auto compiled = std::make_shared<CompiledProgram>();
+    compiled->fingerprint = fingerprint;
+    compiled->check = support::fnv1a64(source, kCheckSeed);
+    compiled->source = source;
+
+    std::string parse_error;
+    auto program = lang::try_parse(source, &parse_error);
+    if (!program) {
+        compiled->front_end = CompiledProgram::FrontEnd::ParseError;
+        compiled->error = std::move(parse_error);
+        return compiled;
+    }
+    compiled->program = std::move(*program);
+
+    std::string type_error;
+    if (!lang::type_check(compiled->program, &type_error)) {
+        compiled->front_end = CompiledProgram::FrontEnd::TypeError;
+        compiled->error = std::move(type_error);
+        return compiled;
+    }
+    compiled->lowering = miri::lower_program(compiled->program);
+    return compiled;
+}
+
+std::shared_ptr<const CompiledProgram> Oracle::compile_guarded(
+    const std::string& source, VerifyOutcome* outcome, bool* canonical) const {
+    const std::uint64_t fingerprint = support::fnv1a64(source);
+    if (!caching_) {
+        if (canonical != nullptr) *canonical = false;
+        return compile_uncached(source, fingerprint);
+    }
+    if (auto cached = cache_->lookup_program(fingerprint, source)) {
+        if (outcome != nullptr) outcome->program_cached = true;
+        if (canonical != nullptr) *canonical = true;
+        return cached;
+    }
+    auto compiled = compile_uncached(source, fingerprint);
+    auto stored = cache_->insert_program(fingerprint, compiled);
+    if (stored == nullptr) {
+        // 64-bit hash collision: the slot is owned by a different source.
+        // This source keeps its fresh compile and must not key the report
+        // cache (the fingerprint would alias the owner's reports).
+        if (canonical != nullptr) *canonical = false;
+        return compiled;
+    }
+    if (canonical != nullptr) *canonical = true;
+    return stored;
+}
+
+std::shared_ptr<const CompiledProgram> Oracle::compile(
+    const std::string& source, VerifyOutcome* outcome) const {
+    return compile_guarded(source, outcome, nullptr);
+}
+
+miri::MiriReport Oracle::interpret(
+    const CompiledProgram& compiled,
+    const std::vector<std::vector<std::int64_t>>& input_sets) const {
+    // Mirrors MiriLite::test (the uncached tree-walk reference) run for run,
+    // with the front end already paid and the slot-lowered program.
+    miri::MiriReport report;
+    const std::vector<std::vector<std::int64_t>> runs =
+        input_sets.empty() ? std::vector<std::vector<std::int64_t>>{{}}
+                           : input_sets;
+    std::set<std::string> seen;
+    for (const auto& inputs : runs) {
+        miri::Interpreter interp(compiled.program, inputs, limits_,
+                                 &compiled.lowering);
+        miri::RunResult result = interp.run();
+        report.total_steps += result.steps;
+        report.outputs.push_back(std::move(result.output));
+        if (result.finding && seen.insert(result.finding->key()).second) {
+            report.findings.push_back(*result.finding);
+        }
+    }
+    return report;
+}
+
+miri::MiriReport Oracle::test_source(
+    const std::string& source,
+    const std::vector<std::vector<std::int64_t>>& input_sets,
+    VerifyOutcome* outcome) const {
+    bool canonical = false;
+    const std::shared_ptr<const CompiledProgram> compiled =
+        compile_guarded(source, outcome, &canonical);
+    if (!compiled->ok()) {
+        // Byte-identical to MiriLite's front-end failure reports.
+        miri::MiriReport report;
+        report.findings.push_back(
+            miri::Finding{miri::UbCategory::CompileError, compiled->error, {}});
+        return report;
+    }
+    if (!caching_ || !canonical) {
+        return interpret(*compiled, input_sets);
+    }
+    const ReportKeyView key = report_key(*compiled, input_sets, limits_);
+    if (auto cached = cache_->lookup_report(key)) {
+        if (outcome != nullptr) outcome->report_cached = true;
+        return *cached;
+    }
+    const miri::MiriReport report = interpret(*compiled, input_sets);
+    cache_->insert_report(key, report);
+    return report;
+}
+
+std::string Oracle::stats_summary() const {
+    const VerifyCacheStats s = stats();
+    return std::to_string(s.programs) + " compiled programs, " +
+           std::to_string(s.reports) + " memoized reports, " +
+           std::to_string(s.report_hits) + " report hits / " +
+           std::to_string(s.report_misses) + " misses" +
+           (caching_ ? "" : " (RUSTBRAIN_VERIFY_CACHE=off)");
+}
+
+}  // namespace rustbrain::verify

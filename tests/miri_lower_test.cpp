@@ -1,0 +1,252 @@
+// Slot lowering: the slot-lowered interpreter must be observationally
+// identical to the tree-walk reference — same findings (category, message,
+// span), same outputs, same step counts — over the whole corpus and over
+// targeted name-resolution shapes (shadowing, statics, fn pointers,
+// `become`), including the InterpLimits edges (step-limit exhaustion and
+// call-depth overflow).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "lang/parser.hpp"
+#include "lang/typecheck.hpp"
+#include "miri/interp.hpp"
+#include "miri/lower.hpp"
+#include "miri/mirilite.hpp"
+#include "verify/oracle.hpp"
+
+namespace rustbrain::miri {
+namespace {
+
+using Inputs = std::vector<std::vector<std::int64_t>>;
+
+/// Run `source` through the tree-walk MiriLite and through an uncached
+/// Oracle (slot-lowered), and require byte-equal reports.
+void expect_paths_agree(const std::string& source, const Inputs& inputs,
+                        InterpLimits limits = {}) {
+    const MiriLite tree_walk(limits);
+    const MiriReport a = tree_walk.test_source(source, inputs);
+
+    verify::OracleOptions options;
+    options.limits = limits;
+    options.caching = false;
+    const verify::Oracle oracle(options);
+    const MiriReport b = oracle.test_source(source, inputs);
+
+    ASSERT_EQ(a.findings.size(), b.findings.size()) << source;
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+        EXPECT_EQ(a.findings[i].category, b.findings[i].category);
+        EXPECT_EQ(a.findings[i].message, b.findings[i].message);
+        EXPECT_EQ(a.findings[i].span.line, b.findings[i].span.line);
+        EXPECT_EQ(a.findings[i].span.column, b.findings[i].span.column);
+    }
+    EXPECT_EQ(a.outputs, b.outputs) << source;
+    EXPECT_EQ(a.total_steps, b.total_steps) << source;
+}
+
+TEST(MiriLowerTest, WholeCorpusAgreesBuggyAndFixed) {
+    const dataset::Corpus corpus = dataset::Corpus::standard();
+    for (const dataset::UbCase& ub_case : corpus.cases()) {
+        SCOPED_TRACE(ub_case.id);
+        expect_paths_agree(ub_case.buggy_source, ub_case.inputs);
+        expect_paths_agree(ub_case.reference_fix, ub_case.inputs);
+    }
+}
+
+TEST(MiriLowerTest, ShadowingResolvesToTheInnermostBinding) {
+    expect_paths_agree(R"(fn main() {
+    let x = 1;
+    let x = x + 10;
+    print_int(x);
+    {
+        let x = 100;
+        print_int(x);
+    }
+    print_int(x);
+}
+)",
+                       {});
+}
+
+TEST(MiriLowerTest, LoopRedeclarationGetsAFreshAllocationEachIteration) {
+    expect_paths_agree(R"(fn main() {
+    let mut i = 0;
+    while i < 3 {
+        let x = i * 2;
+        print_int(x);
+        i = i + 1;
+    }
+}
+)",
+                       {});
+}
+
+TEST(MiriLowerTest, StaticsAndLocalsShareNamespaceWithLocalsWinning) {
+    expect_paths_agree(R"(static G: i32 = 7;
+fn main() {
+    print_int(G as i64);
+    let G = 40;
+    print_int(G);
+}
+)",
+                       {});
+}
+
+TEST(MiriLowerTest, MutableStaticAccess) {
+    expect_paths_agree(R"(static mut COUNTER: i64 = 0;
+fn bump() {
+    unsafe {
+        COUNTER = COUNTER + 1;
+    }
+}
+fn main() {
+    bump();
+    bump();
+    unsafe {
+        print_int(COUNTER);
+    }
+}
+)",
+                       {});
+}
+
+TEST(MiriLowerTest, FunctionPointersThroughLocalsAndIndirectCalls) {
+    expect_paths_agree(R"(fn double(x: i64) -> i64 {
+    return x * 2;
+}
+fn main() {
+    let f = double;
+    print_int(f(21));
+}
+)",
+                       {});
+}
+
+TEST(MiriLowerTest, BecomeTailCallsReleaseSlotsBeforeTheCallee) {
+    expect_paths_agree(R"(fn countdown(n: i64) {
+    if n == 0 {
+        print_int(0);
+        return;
+    }
+    become countdown(n - 1);
+}
+fn main() {
+    countdown(5000);
+}
+)",
+                       {});
+}
+
+TEST(MiriLowerTest, SpawnedThreadsUseSlotFrames) {
+    expect_paths_agree(R"(static mut SHARED: i64 = 0;
+fn worker() {
+    unsafe {
+        SHARED = 5;
+    }
+}
+fn main() {
+    let handle = spawn(worker);
+    join(handle);
+    unsafe {
+        print_int(SHARED);
+    }
+}
+)",
+                       {});
+}
+
+TEST(MiriLowerTest, InputsFlowIdentically) {
+    expect_paths_agree(R"(fn main() {
+    print_int(input(0) + input(1));
+}
+)",
+                       {{3, 4}, {10, 20}});
+}
+
+// --- InterpLimits coverage (both paths) ------------------------------------
+
+constexpr const char* kInfiniteLoop = R"(fn main() {
+    let mut i = 0;
+    while i < 1000000000 {
+        i = i + 1;
+    }
+}
+)";
+
+TEST(MiriLowerTest, StepLimitExhaustionIsStableOnBothPaths) {
+    InterpLimits limits;
+    limits.max_steps = 500;
+    const MiriLite tree_walk(limits);
+    const MiriReport a = tree_walk.test_source(kInfiniteLoop, {});
+    ASSERT_EQ(a.findings.size(), 1u);
+    EXPECT_EQ(a.findings.front().category, UbCategory::Panic);
+    EXPECT_EQ(a.findings.front().message,
+              "step limit exceeded (possible infinite loop)");
+    expect_paths_agree(kInfiniteLoop, {}, limits);
+}
+
+constexpr const char* kDeepRecursion = R"(fn recurse(n: i64) -> i64 {
+    if n == 0 {
+        return 0;
+    }
+    return recurse(n - 1);
+}
+fn main() {
+    print_int(recurse(100000));
+}
+)";
+
+TEST(MiriLowerTest, CallDepthOverflowIsStableOnBothPaths) {
+    InterpLimits limits;
+    limits.max_call_depth = 40;
+    const MiriLite tree_walk(limits);
+    const MiriReport a = tree_walk.test_source(kDeepRecursion, {});
+    ASSERT_EQ(a.findings.size(), 1u);
+    EXPECT_EQ(a.findings.front().category, UbCategory::Panic);
+    EXPECT_EQ(a.findings.front().message,
+              "stack overflow: call depth exceeded 40");
+    expect_paths_agree(kDeepRecursion, {}, limits);
+}
+
+TEST(MiriLowerTest, DefaultLimitsAllowDeepBecomeChains) {
+    // `become` must stay O(1) in call depth on the slot path too.
+    verify::OracleOptions options;
+    options.caching = false;
+    const verify::Oracle oracle(options);
+    const MiriReport report = oracle.test_source(R"(fn spin(n: i64) {
+    if n == 0 {
+        return;
+    }
+    become spin(n - 1);
+}
+fn main() {
+    spin(150000);
+}
+)",
+                                                 {});
+    EXPECT_TRUE(report.passed()) << report.summary();
+}
+
+TEST(MiriLowerTest, LoweringCountsSlotsPerFunction) {
+    auto program = lang::try_parse(R"(fn helper(a: i64, b: i64) -> i64 {
+    let c = a + b;
+    return c;
+}
+fn main() {
+    let x = helper(1, 2);
+    let y = x + 1;
+    print_int(y);
+}
+)");
+    ASSERT_TRUE(program.has_value());
+    ASSERT_TRUE(lang::type_check(*program));
+    const LoweredProgram lowered = lower_program(*program);
+    ASSERT_EQ(lowered.fn_slot_counts.size(), 2u);
+    EXPECT_EQ(lowered.fn_slot_counts[0], 3u);  // a, b, c
+    EXPECT_EQ(lowered.fn_slot_counts[1], 2u);  // x, y
+}
+
+}  // namespace
+}  // namespace rustbrain::miri
