@@ -26,6 +26,7 @@
 
 #include "common.hpp"
 #include "core/batch_runner.hpp"
+#include "core/thinking_policy.hpp"
 #include "gen/corpus_io.hpp"
 #include "gen/forge.hpp"
 #include "llm/caching_backend.hpp"
@@ -48,6 +49,9 @@ bool identical(const core::BatchReport& a, const core::BatchReport& b) {
             x.steps_executed != y.steps_executed ||
             x.rollbacks != y.rollbacks || x.kb_consulted != y.kb_consulted ||
             x.kb_skipped_by_feedback != y.kb_skipped_by_feedback ||
+            x.thinking_switches != y.thinking_switches ||
+            x.escalations != y.escalations || x.early_stops != y.early_stops ||
+            x.attempts_skipped != y.attempts_skipped ||
             x.error_trajectory != y.error_trajectory ||
             x.time_breakdown != y.time_breakdown) {
             return false;
@@ -184,6 +188,41 @@ int main(int argc, char** argv) {
     std::printf("aggregate virtual-time breakdown of the last run "
                 "(%zu workers):\n%s\n",
                 last_workers, time_breakdown_table(last_report, &last_delta).c_str());
+
+    // Per-policy aggregate: the same corpus under every registered thinking
+    // policy (all runs share the caches above). The switch tallies come
+    // from the ThinkingSwitch trace events each CaseResult surfaces;
+    // bench/policy_ablation is the dedicated (feedback-warmed) study.
+    support::TextTable policy_table({"policy", "pass", "exec", "virtual min",
+                                     "switches", "escal", "stops", "skips"});
+    for (const std::string& policy_id :
+         core::PolicyRegistry::builtin().ids()) {
+        // Same engine configuration as the scaling rows, policy swapped in.
+        core::EngineOptions policy_options = options;
+        core::set_policy_option(policy_options, policy_id);
+        const core::BatchRunner runner(engine_id, policy_options,
+                                       cached_context, core::BatchOptions{});
+        const core::BatchReport report = runner.run(big_corpus);
+        int switches = 0;
+        int escalations = 0;
+        int early_stops = 0;
+        int skips = 0;
+        for (const core::CaseResult& result : report.results) {
+            switches += result.thinking_switches;
+            escalations += result.escalations;
+            early_stops += result.early_stops;
+            skips += result.attempts_skipped;
+        }
+        policy_table.add_row(
+            {policy_id, std::to_string(report.pass_total()),
+             std::to_string(report.exec_total()),
+             support::format_double(report.virtual_ms_total() / 60000.0, 1),
+             std::to_string(switches), std::to_string(escalations),
+             std::to_string(early_stops), std::to_string(skips)});
+    }
+    std::printf("aggregate per thinking policy (same corpus, shared "
+                "caches):\n%s\n",
+                policy_table.render().c_str());
     const llm::PromptCacheStats final_stats = cache->stats();
     std::printf("prompt cache: %zu entries, %llu hits / %llu misses "
                 "(%.1f%% overall)\n",

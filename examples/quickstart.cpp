@@ -4,20 +4,23 @@
 //   $ ./examples/quickstart                       # rustbrain (default)
 //   $ ./examples/quickstart --engine standalone
 //   $ ./examples/quickstart --engine rustbrain --options model=gpt-3.5
+//   $ ./examples/quickstart --policy budget,ms=1500
 //   $ ./examples/quickstart --corpus forged.rbc --case gen/alloc/leak_s42_0000
 //
 // Walks through the exact pipeline of the paper's Fig. 2 on a classic
 // use-after-free and prints every stage's result. Engines come from
-// core::EngineRegistry — a bad --engine id prints the available table.
-// With --corpus the case comes from a saved corpus file (gen::load_corpus)
-// instead of the built-in example; --case picks an id from that file
-// (default: its first case).
+// core::EngineRegistry and thinking policies from core::PolicyRegistry —
+// a bad --engine or --policy id prints the matching table. With --corpus
+// the case comes from a saved corpus file (gen::load_corpus) instead of
+// the built-in example; --case picks an id from that file (default: its
+// first case).
 #include <cstdio>
 #include <exception>
 #include <stdexcept>
 #include <string>
 
 #include "core/engine_registry.hpp"
+#include "core/thinking_policy.hpp"
 #include "dataset/case.hpp"
 #include "gen/corpus_io.hpp"
 #include "verify/oracle.hpp"
@@ -28,9 +31,11 @@ namespace {
 
 int usage(const char* argv0) {
     std::printf("usage: %s [--engine <id>] [--options k=v,k=v...]\n"
+                "          [--policy <id>[,k=v...]]\n"
                 "          [--corpus <file>] [--case <id>]\n\n"
-                "available engines:\n%s",
-                argv0, core::EngineRegistry::builtin().help().c_str());
+                "available engines:\n%s\navailable policies:\n%s",
+                argv0, core::EngineRegistry::builtin().help().c_str(),
+                core::PolicyRegistry::builtin().help().c_str());
     return 2;
 }
 
@@ -72,6 +77,7 @@ dataset::UbCase builtin_case() {
 int main(int argc, char** argv) {
     std::string engine_id = "rustbrain";
     std::string option_spec;  // engines default to model=gpt-4, seed=42
+    std::string policy_spec;  // empty = whatever --options says (or paper)
     std::string corpus_path;
     std::string case_id;
     for (int i = 1; i < argc; ++i) {
@@ -80,6 +86,8 @@ int main(int argc, char** argv) {
             engine_id = argv[++i];
         } else if (arg == "--options" && i + 1 < argc) {
             option_spec = argv[++i];
+        } else if (arg == "--policy" && i + 1 < argc) {
+            policy_spec = argv[++i];
         } else if (arg == "--corpus" && i + 1 < argc) {
             corpus_path = argv[++i];
         } else if (arg == "--case" && i + 1 < argc) {
@@ -139,8 +147,11 @@ int main(int argc, char** argv) {
     context.feedback = &feedback;
     std::unique_ptr<core::RepairEngine> engine;
     try {
-        engine = core::EngineRegistry::builtin().build(
-            engine_id, core::EngineOptions::parse(option_spec), context);
+        core::EngineOptions options = core::EngineOptions::parse(option_spec);
+        // A bad --policy id throws at build, listing the policy registry.
+        if (!policy_spec.empty()) core::set_policy_option(options, policy_spec);
+        engine = core::EngineRegistry::builtin().build(engine_id, options,
+                                                       context);
     } catch (const std::invalid_argument& error) {
         std::printf("error: %s\n\n", error.what());
         return usage(argv[0]);
@@ -156,6 +167,10 @@ int main(int argc, char** argv) {
     std::printf("virtual repair time: %.1fs over %llu model calls\n",
                 result.time_ms / 1000.0,
                 static_cast<unsigned long long>(result.llm_calls));
+    std::printf("thinking switches: %d (%d escalations, %d early stops, "
+                "%d skipped attempts)\n",
+                result.thinking_switches, result.escalations,
+                result.early_stops, result.attempts_skipped);
     std::printf("error trajectory:");
     for (std::size_t n : result.error_trajectory) {
         std::printf(" %zu", n);

@@ -6,6 +6,7 @@
 //   $ ./examples/repair_campaign                        # rustbrain, full corpus
 //   $ ./examples/repair_campaign --engine fixed-pipeline
 //   $ ./examples/repair_campaign --engine rustbrain --limit 3   # smoke slice
+//   $ ./examples/repair_campaign --policy feedback-guided       # switch strategy
 //   $ ./examples/repair_campaign --corpus forged.rbc    # saved/generated corpus
 //
 // Two phases show the two execution shapes BatchRunner supports:
@@ -25,6 +26,7 @@
 
 #include "core/batch_runner.hpp"
 #include "core/engine_registry.hpp"
+#include "core/thinking_policy.hpp"
 #include "dataset/corpus.hpp"
 #include "gen/corpus_io.hpp"
 #include "kb/seed.hpp"
@@ -38,9 +40,10 @@ namespace {
 
 int usage(const char* argv0) {
     std::printf("usage: %s [--engine <id>] [--options k=v,...] [--limit N]\n"
-                "          [--corpus <file>]\n\n"
-                "available engines:\n%s",
-                argv0, core::EngineRegistry::builtin().help().c_str());
+                "          [--policy <id>[,k=v...]] [--corpus <file>]\n\n"
+                "available engines:\n%s\navailable policies:\n%s",
+                argv0, core::EngineRegistry::builtin().help().c_str(),
+                core::PolicyRegistry::builtin().help().c_str());
     return 2;
 }
 
@@ -49,6 +52,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
     std::string engine_id = "rustbrain";
     std::string option_spec;  // engines default to model=gpt-4, seed=42
+    std::string policy_spec;  // empty = whatever --options says (or paper)
     std::string corpus_path;  // empty = the standard hand-written corpus
     std::size_t limit = 0;  // 0 = whole corpus
     for (int i = 1; i < argc; ++i) {
@@ -57,6 +61,8 @@ int main(int argc, char** argv) {
             engine_id = argv[++i];
         } else if (arg == "--options" && i + 1 < argc) {
             option_spec = argv[++i];
+        } else if (arg == "--policy" && i + 1 < argc) {
+            policy_spec = argv[++i];
         } else if (arg == "--corpus" && i + 1 < argc) {
             corpus_path = argv[++i];
         } else if (arg == "--limit" && i + 1 < argc) {
@@ -103,6 +109,8 @@ int main(int argc, char** argv) {
     std::unique_ptr<core::RepairEngine> engine;
     try {
         options = core::EngineOptions::parse(option_spec);
+        // A bad --policy id throws at build, listing the policy registry.
+        if (!policy_spec.empty()) core::set_policy_option(options, policy_spec);
         core::EngineBuildContext focused_context = context;
         focused_context.feedback = &feedback;
         engine = core::EngineRegistry::builtin().build(engine_id, options,
@@ -156,17 +164,23 @@ int main(int argc, char** argv) {
 
     std::map<std::string, int> by_rule;
     int kb_skips = 0;
+    int escalations = 0;
+    int early_stops = 0;
     for (const core::CaseResult& result : report.results) {
         kb_skips += result.kb_skipped_by_feedback;
+        escalations += result.escalations;
+        early_stops += result.early_stops;
         if (result.pass && !result.winning_rule.empty()) {
             ++by_rule[result.winning_rule];
         }
     }
     std::printf("repaired %d/%zu (%d semantically verified), %.1f virtual "
                 "minutes total, %d KB lookups skipped by feedback, "
-                "%.0f ms wall clock\n\n",
+                "%.0f ms wall clock\n",
                 report.pass_total(), cases.size(), report.exec_total(),
                 report.virtual_ms_total() / 60000.0, kb_skips, report.wall_ms);
+    std::printf("thinking policy: %d escalations, %d early stops\n\n",
+                escalations, early_stops);
 
     support::TextTable table({"winning strategy", "repairs"});
     for (const auto& [rule, count] : by_rule) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thinking_policy.hpp"
 #include "core/trace.hpp"
 #include "kb/knowledge_base.hpp"
 #include "llm/backend.hpp"
@@ -44,6 +45,11 @@ struct AgentContext {
     std::vector<std::string> preferred_rules;
     /// Extracted feature summary (empty when the feature stage is off).
     std::string feature_key;
+    /// Live per-case signal block the engine's ThinkingPolicy reads (owned
+    /// by the engine; may be null). The stages keep it current: fast
+    /// thinking fills the ranking/feature fields, slow thinking the
+    /// attempt-loop and trajectory fields.
+    core::PolicySignals* signals = nullptr;
 
     /// Calls issued so far in this backend session; stamped into each
     /// request as its sequence number (part of the call's deterministic

@@ -8,22 +8,30 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/repair_engine.hpp"
+#include "core/thinking_policy.hpp"
 #include "dataset/case.hpp"
 
 namespace rustbrain::baselines {
 
 class ExpertModelRepair final : public core::RepairEngine {
   public:
-    explicit ExpertModelRepair(std::uint64_t seed = 42) : seed_(seed) {}
+    /// `policy` is validated through core::PolicyRegistry so uniform
+    /// policy sweeps can include the expert column, but a human expert has
+    /// no fast/slow switch to drive — behavior never depends on it.
+    explicit ExpertModelRepair(std::uint64_t seed = 42,
+                               const std::string& policy = "paper")
+        : seed_(seed), policy_(core::parse_policy_spec(policy)) {}
 
     core::CaseResult repair(const dataset::UbCase& ub_case) override;
 
     [[nodiscard]] std::string name() const override { return "expert"; }
     [[nodiscard]] std::string config_summary() const override {
-        return "seed=" + std::to_string(seed_);
+        return "seed=" + std::to_string(seed_) +
+               " policy=" + policy_->descriptor();
     }
 
     /// Mean human repair time for a category, in virtual seconds.
@@ -31,6 +39,7 @@ class ExpertModelRepair final : public core::RepairEngine {
 
   private:
     std::uint64_t seed_;
+    std::shared_ptr<const core::ThinkingPolicy> policy_;
 };
 
 }  // namespace rustbrain::baselines

@@ -16,7 +16,8 @@ FixedPipelineRepair::FixedPipelineRepair(
     std::shared_ptr<const verify::Oracle> oracle)
     : config_(std::move(config)),
       backend_factory_(std::move(backend_factory)),
-      oracle_(std::move(oracle)) {
+      oracle_(std::move(oracle)),
+      policy_(core::parse_policy_spec(config_.policy)) {
     if (llm::find_profile(config_.model) == nullptr) {
         throw std::invalid_argument("unknown model profile: " + config_.model);
     }
@@ -27,6 +28,7 @@ std::string FixedPipelineRepair::config_summary() const {
     return "model=" + config_.model +
            " temperature=" + support::format_double(config_.temperature, 2) +
            " max_iterations=" + std::to_string(config_.max_iterations) +
+           " policy=" + policy_->descriptor() +
            " seed=" + std::to_string(config_.seed);
 }
 
@@ -76,11 +78,43 @@ core::CaseResult FixedPipelineRepair::repair(const dataset::UbCase& ub_case) {
         return result;
     }
 
+    // The decision seam the engines share: the policy sees the fixed step
+    // walk as the attempt loop.
+    core::PolicySignals signals;
+    signals.solution_count = fixed_steps.size();
+    signals.initial_error_count = initial_errors;
+    signals.error_trajectory = &stats.error_trajectory();
+    context.signals = &signals;
+
+    const core::ThinkingMode mode = policy_->choose_mode(signals);
+    context.emit(core::TraceEventKind::ThinkingSwitch,
+                 mode == core::ThinkingMode::FastOnly ? "fast-only" : "escalate");
+    const int max_iterations = mode == core::ThinkingMode::FastOnly
+                                   ? (config_.max_iterations > 0 ? 1 : 0)
+                                   : config_.max_iterations;
+    signals.attempts_planned = static_cast<std::size_t>(
+        max_iterations < 0 ? 0 : max_iterations);
+
     std::string current = ub_case.buggy_source;
     int iterations = 0;
     for (std::size_t step = 0;
-         step < fixed_steps.size() && iterations < config_.max_iterations;
+         step < fixed_steps.size() && iterations < max_iterations;
          ++step, ++iterations) {
+        signals.attempt_index = static_cast<std::size_t>(iterations);
+        signals.elapsed_ms = clock.now_ms();
+        if (mode == core::ThinkingMode::Escalate) {
+            const core::AttemptAction action = policy_->gate_attempt(signals);
+            if (action == core::AttemptAction::Skip) {
+                context.emit(core::TraceEventKind::ThinkingSwitch, "skip",
+                             static_cast<std::uint64_t>(step));
+                continue;
+            }
+            if (action == core::AttemptAction::Stop) {
+                context.emit(core::TraceEventKind::ThinkingSwitch, "stop",
+                             static_cast<std::uint64_t>(step));
+                break;
+            }
+        }
         llm::PromptSpec apply;
         apply.task = "apply_rule";
         apply.fields["rule"] = fixed_steps[step];
@@ -106,6 +140,7 @@ core::CaseResult FixedPipelineRepair::repair(const dataset::UbCase& ub_case) {
             break;
         }
         if (report.error_count() > initial_errors) {
+            signals.regression_seen = true;
             // Full rollback to the initial state (Fig 5a): every partial
             // correction is discarded and the restart is charged in full.
             clock.charge("rollback", 400.0);
@@ -120,6 +155,10 @@ core::CaseResult FixedPipelineRepair::repair(const dataset::UbCase& ub_case) {
     result.rollbacks = stats.rollbacks();
     result.error_trajectory = stats.error_trajectory();
     result.llm_calls = stats.llm_calls();
+    result.thinking_switches = stats.thinking_switches();
+    result.escalations = stats.escalations();
+    result.early_stops = stats.early_stops();
+    result.attempts_skipped = stats.attempts_skipped();
     result.time_ms = clock.now_ms();
     result.time_breakdown = clock.breakdown();
     return result;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/repair_engine.hpp"
+#include "core/thinking_policy.hpp"
 #include "dataset/case.hpp"
 #include "llm/backend.hpp"
 #include "verify/oracle.hpp"
@@ -26,6 +27,11 @@ struct FixedPipelineConfig {
     double temperature = 0.5;
     int max_iterations = 2;
     std::uint64_t seed = 42;
+    /// Thinking-policy spec (core::PolicyRegistry): the shared decision
+    /// seam gates the fixed step walk — FastOnly caps it at one step,
+    /// gate_attempt can stop or skip steps. "paper" (the default) is
+    /// bit-identical to the ungated walk.
+    std::string policy = "paper";
 };
 
 class FixedPipelineRepair final : public core::RepairEngine {
@@ -43,6 +49,7 @@ class FixedPipelineRepair final : public core::RepairEngine {
     FixedPipelineConfig config_;
     llm::BackendFactory backend_factory_;
     std::shared_ptr<const verify::Oracle> oracle_;
+    std::shared_ptr<const core::ThinkingPolicy> policy_;
 };
 
 }  // namespace rustbrain::baselines

@@ -15,7 +15,8 @@ StandaloneLlmRepair::StandaloneLlmRepair(
     std::shared_ptr<const verify::Oracle> oracle)
     : config_(std::move(config)),
       backend_factory_(std::move(backend_factory)),
-      oracle_(std::move(oracle)) {
+      oracle_(std::move(oracle)),
+      policy_(core::parse_policy_spec(config_.policy)) {
     if (llm::find_profile(config_.model) == nullptr) {
         throw std::invalid_argument("unknown model profile: " + config_.model);
     }
@@ -26,6 +27,7 @@ std::string StandaloneLlmRepair::config_summary() const {
     return "model=" + config_.model +
            " temperature=" + support::format_double(config_.temperature, 2) +
            " attempts=" + std::to_string(config_.attempts) +
+           " policy=" + policy_->descriptor() +
            " seed=" + std::to_string(config_.seed);
 }
 
@@ -55,9 +57,42 @@ core::CaseResult StandaloneLlmRepair::repair(const dataset::UbCase& ub_case) {
         return result;
     }
     const miri::Finding& finding = initial.findings.front();
+    const std::size_t initial_errors = initial.error_count();
+
+    // The decision seam the engines share: the policy sees the attempt
+    // loop as a one-solution-per-attempt ranking.
+    core::PolicySignals signals;
+    signals.solution_count = static_cast<std::size_t>(
+        config_.attempts < 0 ? 0 : config_.attempts);
+    signals.initial_error_count = initial_errors;
+    signals.error_trajectory = &stats.error_trajectory();
+    context.signals = &signals;
+
+    const core::ThinkingMode mode = policy_->choose_mode(signals);
+    context.emit(core::TraceEventKind::ThinkingSwitch,
+                 mode == core::ThinkingMode::FastOnly ? "fast-only" : "escalate");
+    const int attempts = mode == core::ThinkingMode::FastOnly
+                             ? (config_.attempts > 0 ? 1 : 0)
+                             : config_.attempts;
+    signals.attempts_planned = static_cast<std::size_t>(attempts < 0 ? 0 : attempts);
 
     std::string current = ub_case.buggy_source;
-    for (int attempt = 0; attempt < config_.attempts; ++attempt) {
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        signals.attempt_index = static_cast<std::size_t>(attempt);
+        signals.elapsed_ms = clock.now_ms();
+        if (mode == core::ThinkingMode::Escalate) {
+            const core::AttemptAction action = policy_->gate_attempt(signals);
+            if (action == core::AttemptAction::Skip) {
+                context.emit(core::TraceEventKind::ThinkingSwitch, "skip",
+                             static_cast<std::uint64_t>(attempt));
+                continue;
+            }
+            if (action == core::AttemptAction::Stop) {
+                context.emit(core::TraceEventKind::ThinkingSwitch, "stop",
+                             static_cast<std::uint64_t>(attempt));
+                break;
+            }
+        }
         // The bare model picks its own strategy (one candidate, no features,
         // no hints) and applies it in the same breath.
         llm::PromptSpec generate;
@@ -86,6 +121,7 @@ core::CaseResult StandaloneLlmRepair::repair(const dataset::UbCase& ub_case) {
         const miri::MiriReport report = context.verify(candidate);
         context.emit(core::TraceEventKind::StepVerified, rules.front(),
                      report.error_count());
+        if (report.error_count() > initial_errors) signals.regression_seen = true;
         if (report.passed()) {
             result.pass = true;
             result.exec =
@@ -102,6 +138,10 @@ core::CaseResult StandaloneLlmRepair::repair(const dataset::UbCase& ub_case) {
     result.steps_executed = stats.steps_executed();
     result.error_trajectory = stats.error_trajectory();
     result.llm_calls = stats.llm_calls();
+    result.thinking_switches = stats.thinking_switches();
+    result.escalations = stats.escalations();
+    result.early_stops = stats.early_stops();
+    result.attempts_skipped = stats.attempts_skipped();
     result.time_ms = clock.now_ms();
     result.time_breakdown = clock.breakdown();
     return result;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/repair_engine.hpp"
+#include "core/thinking_policy.hpp"
 #include "dataset/case.hpp"
 #include "llm/backend.hpp"
 #include "verify/oracle.hpp"
@@ -21,6 +22,11 @@ struct StandaloneConfig {
     double temperature = 0.5;
     int attempts = 2;  // common practice: re-prompt once on failure
     std::uint64_t seed = 42;
+    /// Thinking-policy spec (core::PolicyRegistry). The baseline has no
+    /// fast/slow split, but the same decision seam gates its attempt loop:
+    /// FastOnly caps it at one attempt, gate_attempt can stop it early.
+    /// "paper" (the default) is bit-identical to the ungated loop.
+    std::string policy = "paper";
 };
 
 class StandaloneLlmRepair final : public core::RepairEngine {
@@ -38,6 +44,7 @@ class StandaloneLlmRepair final : public core::RepairEngine {
     StandaloneConfig config_;
     llm::BackendFactory backend_factory_;
     std::shared_ptr<const verify::Oracle> oracle_;
+    std::shared_ptr<const core::ThinkingPolicy> policy_;
 };
 
 }  // namespace rustbrain::baselines

@@ -75,7 +75,7 @@ std::unique_ptr<RepairEngine> build_rustbrain(const EngineOptions& options,
                                               const EngineBuildContext& context) {
     options.check_known({"model", "temperature", "seed", "knowledge", "feedback",
                          "rollback", "features", "max_solutions", "max_steps",
-                         "judge_error"});
+                         "judge_error", "policy"});
     RustBrainConfig config;
     config.model = options.get("model", config.model);
     config.temperature = options.get_double("temperature", config.temperature);
@@ -92,6 +92,7 @@ std::unique_ptr<RepairEngine> build_rustbrain(const EngineOptions& options,
         options.get_int("max_steps", config.max_steps_per_solution);
     config.internal_judge_error =
         options.get_double("judge_error", config.internal_judge_error);
+    config.policy = options.get("policy", config.policy);
     return std::make_unique<RustBrain>(
         config, config.use_knowledge_base ? context.knowledge_base : nullptr,
         config.use_feedback ? context.feedback : nullptr,
@@ -100,25 +101,28 @@ std::unique_ptr<RepairEngine> build_rustbrain(const EngineOptions& options,
 
 std::unique_ptr<RepairEngine> build_standalone(const EngineOptions& options,
                                                const EngineBuildContext& context) {
-    options.check_known({"model", "temperature", "seed", "attempts"});
+    options.check_known({"model", "temperature", "seed", "attempts", "policy"});
     baselines::StandaloneConfig config;
     config.model = options.get("model", config.model);
     config.temperature = options.get_double("temperature", config.temperature);
     config.attempts = options.get_int("attempts", config.attempts);
     config.seed = options.get_u64("seed", config.seed);
+    config.policy = options.get("policy", config.policy);
     return std::make_unique<baselines::StandaloneLlmRepair>(
         config, context.backend_factory, context.oracle);
 }
 
 std::unique_ptr<RepairEngine> build_fixed_pipeline(
     const EngineOptions& options, const EngineBuildContext& context) {
-    options.check_known({"model", "temperature", "seed", "max_iterations"});
+    options.check_known({"model", "temperature", "seed", "max_iterations",
+                         "policy"});
     baselines::FixedPipelineConfig config;
     config.model = options.get("model", config.model);
     config.temperature = options.get_double("temperature", config.temperature);
     config.max_iterations =
         options.get_int("max_iterations", config.max_iterations);
     config.seed = options.get_u64("seed", config.seed);
+    config.policy = options.get("policy", config.policy);
     return std::make_unique<baselines::FixedPipelineRepair>(
         config, context.backend_factory, context.oracle);
 }
@@ -126,9 +130,9 @@ std::unique_ptr<RepairEngine> build_fixed_pipeline(
 std::unique_ptr<RepairEngine> build_expert(const EngineOptions& options,
                                            const EngineBuildContext& context) {
     (void)context;
-    options.check_known({"seed"});
+    options.check_known({"seed", "policy"});
     return std::make_unique<baselines::ExpertModelRepair>(
-        options.get_u64("seed", 42));
+        options.get_u64("seed", 42), options.get("policy", "paper"));
 }
 
 }  // namespace

@@ -79,6 +79,14 @@ FastThinkingResult FastThinking::run(const std::string& source, int difficulty,
     context.emit(TraceEventKind::SolutionsGenerated, "",
                  static_cast<std::uint64_t>(result.solutions.size()));
     context.emit(TraceEventKind::StageExit, "fast_thinking");
+
+    // Expose the ranking to the thinking policy (a KB-sharpened
+    // regeneration overwrites the first pass, like the reported count).
+    if (context.signals != nullptr) {
+        context.signals->solution_count = result.solutions.size();
+        context.signals->initial_error_count = result.initial_error_count;
+        context.signals->feature_key = result.feature_key;
+    }
     return result;
 }
 

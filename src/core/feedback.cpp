@@ -44,6 +44,16 @@ std::vector<std::string> FeedbackStore::preferred_rules(
     return out;
 }
 
+double FeedbackStore::best_score(const std::string& feature_key) const {
+    auto it = outcomes_.find(feature_key);
+    if (it == outcomes_.end()) return 0.0;
+    double best = 0.0;
+    for (const auto& [rule_id, outcome] : it->second) {
+        if (outcome.score() > best) best = outcome.score();
+    }
+    return best;
+}
+
 bool FeedbackStore::is_confident(const std::string& feature_key) const {
     auto it = outcomes_.find(feature_key);
     if (it == outcomes_.end()) return false;

@@ -47,6 +47,11 @@ class FeedbackStore {
     /// reduced-KB-dependence effect).
     [[nodiscard]] bool is_confident(const std::string& feature_key) const;
 
+    /// Best RuleOutcome score recorded for this key (0.0 when the key is
+    /// unknown or every rule scores non-positive). The confidence signal
+    /// thinking policies threshold on.
+    [[nodiscard]] double best_score(const std::string& feature_key) const;
+
     [[nodiscard]] std::size_t key_count() const { return outcomes_.size(); }
     [[nodiscard]] std::uint64_t records() const { return records_; }
 

@@ -33,6 +33,14 @@ struct CaseResult {
     std::uint64_t llm_calls = 0;
     bool kb_consulted = false;
     bool kb_skipped_by_feedback = false;
+    /// ThinkingPolicy decision tallies (core/thinking_policy.hpp): every
+    /// switch decision, plus the escalation / early-stop / skipped-attempt
+    /// subsets. Under the default `paper` policy each UB case records
+    /// exactly one escalation and nothing else.
+    int thinking_switches = 0;
+    int escalations = 0;
+    int early_stops = 0;
+    int attempts_skipped = 0;
     std::vector<std::size_t> error_trajectory;
     std::string winning_rule;
     std::string final_source;

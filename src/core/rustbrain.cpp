@@ -16,7 +16,8 @@ RustBrain::RustBrain(RustBrainConfig config, const kb::KnowledgeBase* knowledge_
       knowledge_base_(knowledge_base),
       feedback_(feedback),
       backend_factory_(std::move(backend_factory)),
-      oracle_(std::move(oracle)) {
+      oracle_(std::move(oracle)),
+      policy_(parse_policy_spec(config_.policy)) {
     if (llm::find_profile(config_.model) == nullptr) {
         throw std::invalid_argument("unknown model profile: " + config_.model);
     }
@@ -28,7 +29,7 @@ std::string RustBrain::config_summary() const {
     summary += " temperature=" + support::format_double(config_.temperature, 2);
     summary += std::string(" knowledge=") +
                (config_.use_knowledge_base && knowledge_base_ != nullptr ? "on"
-                                                                        : "off");
+                                                                         : "off");
     summary += std::string(" feedback=") +
                (config_.use_feedback && feedback_ != nullptr ? "on" : "off");
     summary +=
@@ -36,6 +37,7 @@ std::string RustBrain::config_summary() const {
     summary +=
         std::string(" features=") + (config_.use_feature_extraction ? "on" : "off");
     summary += " max_solutions=" + std::to_string(config_.max_solutions);
+    summary += " policy=" + policy_->descriptor();
     summary += " seed=" + std::to_string(config_.seed);
     return summary;
 }
@@ -53,6 +55,7 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
     TraceTee tee(&stats, trace_sink_);
 
     const verify::Oracle& verifier = this->oracle();
+    PolicySignals signals;
     agents::AgentContext context{*backend, clock};
     context.trace = &tee;
     context.temperature = config_.temperature;
@@ -61,11 +64,13 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
     context.knowledge_base =
         config_.use_knowledge_base ? knowledge_base_ : nullptr;
     context.case_hint = ub_case.id;
+    context.signals = &signals;
 
     FastThinking fast_stage(config_.use_feature_extraction, config_.max_solutions);
     SlowThinkingOptions slow_options;
     slow_options.use_adaptive_rollback = config_.use_adaptive_rollback;
     slow_options.max_steps_per_solution = config_.max_steps_per_solution;
+    slow_options.policy = policy_.get();
     SlowThinking slow_stage(slow_options);
 
     // --- Fast thinking (F1 + features) -------------------------------------
@@ -81,29 +86,45 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
         return result;
     }
 
-    // --- Abstract reasoning: knowledge-base consultation --------------------
+    // --- The thinking switch ------------------------------------------------
     // Self-learning shortcut: once feedback is confident about this error
     // signature, skip the (expensive) KB lookup — the paper's reduced-KB-
-    // dependence effect.
+    // dependence effect. The confidence also feeds the policy's signals.
     const bool feedback_confident =
         config_.use_feedback && feedback_ != nullptr &&
         !fast.feature_key.empty() && feedback_->is_confident(fast.feature_key);
-    if (context.knowledge_base != nullptr && !feedback_confident) {
-        agents::AbstractReasoningAgent reasoning;
-        const agents::ReasoningResult consult = reasoning.consult(
-            ub_case.buggy_source, fast.finding.category, context);
-        context.exemplar_rules = consult.exemplar_rules;
-        context.emit(TraceEventKind::KbConsult, "",
-                     static_cast<std::uint64_t>(consult.exemplar_rules.size()));
-        if (!consult.exemplar_rules.empty()) {
-            // Exemplars sharpen generation: regenerate solutions with them.
-            fast = fast_stage.run(ub_case.buggy_source, ub_case.difficulty,
-                                  config_.use_feedback ? feedback_ : nullptr,
-                                  context);
+    signals.feedback_confident = feedback_confident;
+    signals.feedback_score =
+        (config_.use_feedback && feedback_ != nullptr && !fast.feature_key.empty())
+            ? feedback_->best_score(fast.feature_key)
+            : 0.0;
+    signals.elapsed_ms = clock.now_ms();
+
+    const ThinkingMode mode = policy_->choose_mode(signals);
+    context.emit(TraceEventKind::ThinkingSwitch,
+                 mode == ThinkingMode::FastOnly ? "fast-only" : "escalate");
+
+    // --- Abstract reasoning: knowledge-base consultation --------------------
+    bool kb_skip_emitted = false;
+    const auto consult_knowledge_base = [&] {
+        if (context.knowledge_base != nullptr && !feedback_confident) {
+            agents::AbstractReasoningAgent reasoning;
+            const agents::ReasoningResult consult = reasoning.consult(
+                ub_case.buggy_source, fast.finding.category, context);
+            context.exemplar_rules = consult.exemplar_rules;
+            context.emit(TraceEventKind::KbConsult, "",
+                         static_cast<std::uint64_t>(consult.exemplar_rules.size()));
+            if (!consult.exemplar_rules.empty()) {
+                // Exemplars sharpen generation: regenerate solutions with them.
+                fast = fast_stage.run(ub_case.buggy_source, ub_case.difficulty,
+                                      config_.use_feedback ? feedback_ : nullptr,
+                                      context);
+            }
+        } else if (feedback_confident && !kb_skip_emitted) {
+            kb_skip_emitted = true;
+            context.emit(TraceEventKind::KbSkip);
         }
-    } else if (feedback_confident) {
-        context.emit(TraceEventKind::KbSkip);
-    }
+    };
 
     // --- Slow thinking --------------------------------------------------
     support::Rng judge_rng(
@@ -124,9 +145,48 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
                                  : config_.internal_judge_error * 0.85;
         return judge_rng.chance(error);
     };
-    const SlowThinkingResult slow =
-        slow_stage.run(ub_case.buggy_source, fast, oracle,
-                       config_.use_feedback ? feedback_ : nullptr, context);
+
+    SlowThinkingResult slow;
+    if (mode == ThinkingMode::Escalate) {
+        consult_knowledge_base();
+        slow = slow_stage.run(ub_case.buggy_source, fast, oracle,
+                              config_.use_feedback ? feedback_ : nullptr, context,
+                              ThinkingMode::Escalate);
+    } else {
+        // Trust the intuition: apply the top-ranked solution once. The
+        // intuition arm skips abstract reasoning entirely; when feedback
+        // confidence is what bought the shortcut, the skipped lookup is
+        // still recorded (the paper's reduced-KB-dependence stat).
+        if (feedback_confident) {
+            kb_skip_emitted = true;
+            context.emit(TraceEventKind::KbSkip);
+        }
+        // If the shortcut fails, the policy may escalate into the full
+        // loop after all (the guarded fast path of feedback-guided
+        // switching).
+        slow = slow_stage.run(ub_case.buggy_source, fast, oracle,
+                              config_.use_feedback ? feedback_ : nullptr, context,
+                              ThinkingMode::FastOnly);
+        if (!(slow.pass && slow.acceptable)) {
+            // The stage's result was moved into `slow`; repoint the
+            // trajectory signals at the live vectors before the policy
+            // reads them.
+            signals.error_trajectory = &slow.error_trajectory;
+            signals.attempt_triplets = &slow.attempt_triplets;
+            signals.elapsed_ms = clock.now_ms();
+            if (policy_->escalate_on_failure(signals)) {
+                context.emit(TraceEventKind::ThinkingSwitch, "escalate");
+                consult_knowledge_base();
+                const SlowThinkingResult full = slow_stage.run(
+                    ub_case.buggy_source, fast, oracle,
+                    config_.use_feedback ? feedback_ : nullptr, context,
+                    ThinkingMode::Escalate);
+                // Prefer the escalated outcome unless the probe already
+                // found a Miri-clean fallback the full loop could not.
+                if (full.pass || !slow.pass) slow = full;
+            }
+        }
+    }
 
     result.pass = slow.pass;
     // The harness's exact semantic verdict (the paper's exec metric).
@@ -145,6 +205,10 @@ CaseResult RustBrain::repair(const dataset::UbCase& ub_case) {
     result.llm_calls = stats.llm_calls();
     result.kb_consulted = stats.kb_consulted();
     result.kb_skipped_by_feedback = stats.kb_skipped();
+    result.thinking_switches = stats.thinking_switches();
+    result.escalations = stats.escalations();
+    result.early_stops = stats.early_stops();
+    result.attempts_skipped = stats.attempts_skipped();
     result.time_ms = clock.now_ms();
     result.time_breakdown = clock.breakdown();
     return result;

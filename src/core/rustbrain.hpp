@@ -22,6 +22,7 @@
 #include "core/feedback.hpp"
 #include "core/repair_engine.hpp"
 #include "core/slow_thinking.hpp"
+#include "core/thinking_policy.hpp"
 #include "dataset/case.hpp"
 #include "kb/knowledge_base.hpp"
 #include "llm/backend.hpp"
@@ -45,6 +46,11 @@ struct RustBrainConfig {
     /// this only controls when the pipeline stops refining.
     double internal_judge_error = 0.70;
     std::uint64_t seed = 42;
+    /// Thinking-policy spec ("paper", "budget;ms=1500", ...) resolved
+    /// through core::PolicyRegistry at construction; unknown ids and knobs
+    /// throw listing what exists. "paper" reproduces the pre-policy
+    /// orchestrator bit for bit.
+    std::string policy = "paper";
 };
 
 class RustBrain final : public RepairEngine {
@@ -64,6 +70,7 @@ class RustBrain final : public RepairEngine {
     [[nodiscard]] std::string config_summary() const override;
 
     [[nodiscard]] const RustBrainConfig& config() const { return config_; }
+    [[nodiscard]] const ThinkingPolicy& policy() const { return *policy_; }
 
   private:
     [[nodiscard]] const verify::Oracle& oracle() const {
@@ -75,6 +82,7 @@ class RustBrain final : public RepairEngine {
     FeedbackStore* feedback_;
     llm::BackendFactory backend_factory_;
     std::shared_ptr<const verify::Oracle> oracle_;
+    std::shared_ptr<const ThinkingPolicy> policy_;
 };
 
 }  // namespace rustbrain::core

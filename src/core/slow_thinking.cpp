@@ -9,13 +9,71 @@ SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
                                      const FastThinkingResult& fast,
                                      const SemanticOracle& oracle,
                                      FeedbackStore* feedback,
-                                     agents::AgentContext& context) const {
+                                     agents::AgentContext& context,
+                                     ThinkingMode mode) const {
     SlowThinkingResult result;
     context.emit(TraceEventKind::StageEnter, "slow_thinking");
     // Fallback candidate: passes Miri but failed the semantic benchmark.
     std::optional<std::pair<std::string, std::string>> pass_only;  // source, rule
 
-    for (const Solution& solution : fast.solutions) {
+    const ThinkingPolicy& policy =
+        options_.policy != nullptr ? *options_.policy : paper_thinking_policy();
+    // The engine owns the signal block; direct stage calls (tests) get a
+    // local one seeded from the fast result.
+    PolicySignals local_signals;
+    PolicySignals& signals =
+        context.signals != nullptr ? *context.signals : local_signals;
+    if (context.signals == nullptr) {
+        signals.solution_count = fast.solutions.size();
+        signals.initial_error_count = fast.initial_error_count;
+        signals.feature_key = fast.feature_key;
+    }
+    signals.error_trajectory = &result.error_trajectory;
+    signals.attempt_triplets = &result.attempt_triplets;
+
+    // The attempt plan: FastOnly trusts the intuition (top solution only);
+    // Escalate asks the policy, which defaults to the full ranking order.
+    std::vector<std::size_t> plan;
+    if (mode == ThinkingMode::FastOnly) {
+        if (!fast.solutions.empty()) plan.push_back(0);
+    } else {
+        signals.elapsed_ms = context.clock.now_ms();
+        for (std::size_t index : policy.plan_attempts(signals)) {
+            if (index < fast.solutions.size()) plan.push_back(index);
+        }
+    }
+    signals.attempts_planned = plan.size();
+
+    for (std::size_t k = 0; k < plan.size(); ++k) {
+        signals.attempt_index = k;
+        signals.elapsed_ms = context.clock.now_ms();
+        int max_steps = options_.max_steps_per_solution;
+        if (mode == ThinkingMode::FastOnly) {
+            // The intuition arm still honors the policy's refinement grant
+            // (fast-only pins it to one application; feedback-guided keeps
+            // the full grant so its shortcut matches the deliberate loop's
+            // first attempt).
+            max_steps = policy.refinement_steps(signals, max_steps);
+        } else {
+            const AttemptAction action = policy.gate_attempt(signals);
+            if (action == AttemptAction::Skip) {
+                context.emit(TraceEventKind::ThinkingSwitch, "skip", plan[k]);
+                continue;
+            }
+            if (action == AttemptAction::Stop) {
+                context.emit(TraceEventKind::ThinkingSwitch, "stop", plan[k]);
+                break;
+            }
+            const int granted =
+                policy.refinement_steps(signals, options_.max_steps_per_solution);
+            if (granted != options_.max_steps_per_solution) {
+                context.emit(TraceEventKind::ThinkingSwitch, "steps",
+                             static_cast<std::uint64_t>(granted < 0 ? 0 : granted));
+            }
+            max_steps = granted;
+        }
+
+        const Solution& solution = fast.solutions[plan[k]];
         const double attempt_start_ms = context.clock.now_ms();
         agents::RollbackAgent rollback;
         rollback.observe(buggy_source, fast.initial_error_count);
@@ -25,11 +83,19 @@ SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
         bool solution_acceptable = false;
 
         // S1: decomposition — the solution's rules form the step sequence;
-        // reasoning grants extra iterations up to the configured bound.
+        // the policy's refinement grant bounds the extra iterations.
         std::vector<std::string> steps = solution.rule_ids;
-        while (static_cast<int>(steps.size()) < options_.max_steps_per_solution &&
+        while (static_cast<int>(steps.size()) < max_steps &&
                !solution.rule_ids.empty()) {
             steps.push_back(solution.rule_ids.front());  // retry the strategy
+        }
+        // Truncation below the solution's own rule count only ever comes
+        // from a policy that deviated from the configured grant; when the
+        // grant IS the configured maximum (the paper behavior), the step
+        // list is pad-only, whatever the configured value.
+        if (max_steps != options_.max_steps_per_solution &&
+            static_cast<int>(steps.size()) > max_steps) {
+            steps.resize(static_cast<std::size_t>(max_steps < 0 ? 0 : max_steps));
         }
 
         for (const std::string& rule_id : steps) {
@@ -46,6 +112,7 @@ SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
             result.error_trajectory.push_back(errors);
             context.emit(TraceEventKind::StepVerified, rule_id, errors);
             rollback.observe(outcome.code, errors);
+            if (errors > fast.initial_error_count) signals.regression_seen = true;
 
             if (errors == 0) {
                 solution_passed = true;
@@ -96,26 +163,44 @@ SlowThinkingResult SlowThinking::run(const std::string& buggy_source,
         }
 
         if (solution_passed && solution_acceptable) {
-            result.pass = true;
-            result.acceptable = true;
-            result.final_source = current;
-            result.winning_rule = solution.rule_ids.empty()
-                                      ? ""
-                                      : solution.rule_ids.front();
-            context.emit(TraceEventKind::StageExit, "slow_thinking");
-            return result;
+            if (!result.pass) {
+                result.pass = true;
+                result.acceptable = true;
+                result.final_source = current;
+                result.winning_rule = solution.rule_ids.empty()
+                                          ? ""
+                                          : solution.rule_ids.front();
+            }
+            signals.success_found = true;
+            signals.elapsed_ms = context.clock.now_ms();
+            if (!policy.continue_after_success(signals)) {
+                context.emit(TraceEventKind::StageExit, "slow_thinking");
+                // `result` is about to be moved out; the engine repoints
+                // the trajectory signals at the returned object if a later
+                // hook needs them.
+                signals.error_trajectory = nullptr;
+                signals.attempt_triplets = nullptr;
+                return result;
+            }
+            // The slow-all ablation: deliberate on anyway (the winner above
+            // is already locked in).
+            context.emit(TraceEventKind::ThinkingSwitch, "continue", plan[k]);
         }
     }
 
-    if (pass_only) {
-        result.pass = true;
-        result.acceptable = false;
-        result.final_source = pass_only->first;
-        result.winning_rule = pass_only->second;
-    } else {
-        result.final_source = buggy_source;
+    if (!result.pass) {
+        if (pass_only) {
+            result.pass = true;
+            result.acceptable = false;
+            result.final_source = pass_only->first;
+            result.winning_rule = pass_only->second;
+        } else {
+            result.final_source = buggy_source;
+        }
     }
     context.emit(TraceEventKind::StageExit, "slow_thinking");
+    signals.error_trajectory = nullptr;
+    signals.attempt_triplets = nullptr;
     return result;
 }
 

@@ -13,6 +13,7 @@
 #include "agents/agent_context.hpp"
 #include "core/fast_thinking.hpp"
 #include "core/feedback.hpp"
+#include "core/thinking_policy.hpp"
 
 namespace rustbrain::core {
 
@@ -37,6 +38,10 @@ struct SlowThinkingOptions {
     /// progress (the paper's "fine-tune through reasoning": adjust iteration
     /// count / execution path).
     int max_steps_per_solution = 3;
+    /// Decision seam for the attempt loop (ordering, gating, refinement
+    /// budget, early stop). Null falls back to paper_thinking_policy() —
+    /// the paper's fixed order.
+    const ThinkingPolicy* policy = nullptr;
 };
 
 class SlowThinking {
@@ -45,12 +50,16 @@ class SlowThinking {
 
     /// Execute & verify the candidate solutions against the buggy source.
     /// Records every attempt into `feedback` (when non-null) keyed by
-    /// `feature_key`.
+    /// `feature_key`. In FastOnly mode only the top-ranked solution is
+    /// attempted — the policy's refinement grant still applies, but there
+    /// is no per-attempt gating and no further solutions — the "trust the
+    /// intuition" arm of the thinking switch.
     SlowThinkingResult run(const std::string& buggy_source,
                            const FastThinkingResult& fast,
                            const SemanticOracle& oracle,
                            FeedbackStore* feedback,
-                           agents::AgentContext& context) const;
+                           agents::AgentContext& context,
+                           ThinkingMode mode = ThinkingMode::Escalate) const;
 
   private:
     SlowThinkingOptions options_;

@@ -14,6 +14,7 @@ const char* trace_event_kind_name(TraceEventKind kind) {
         case TraceEventKind::KbSkip: return "kb_skip";
         case TraceEventKind::Rollback: return "rollback";
         case TraceEventKind::SolutionsGenerated: return "solutions_generated";
+        case TraceEventKind::ThinkingSwitch: return "thinking_switch";
     }
     return "?";
 }
@@ -40,6 +41,12 @@ void TraceStats::on_event(const TraceEvent& event) {
             break;
         case TraceEventKind::SolutionsGenerated:
             solutions_ = static_cast<int>(event.value);
+            break;
+        case TraceEventKind::ThinkingSwitch:
+            ++thinking_switches_;
+            if (event.label == "escalate") ++escalations_;
+            if (event.label == "stop") ++early_stops_;
+            if (event.label == "skip") ++attempts_skipped_;
             break;
         case TraceEventKind::StageEnter:
         case TraceEventKind::StageExit:

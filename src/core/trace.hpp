@@ -27,6 +27,10 @@ enum class TraceEventKind {
     KbSkip,              // consultation skipped (feedback confidence)
     Rollback,            // a rollback was performed
     SolutionsGenerated,  // value = candidate solution count
+    ThinkingSwitch,      // a ThinkingPolicy decision; label = decision
+                         // ("fast-only", "escalate", "skip", "stop",
+                         // "continue", "steps"), value = attempt index or
+                         // granted steps
 };
 
 const char* trace_event_kind_name(TraceEventKind kind);
@@ -61,6 +65,12 @@ class TraceStats final : public TraceSink {
     [[nodiscard]] const std::vector<std::size_t>& error_trajectory() const {
         return trajectory_;
     }
+    /// ThinkingSwitch tallies: every policy decision, plus the escalation /
+    /// early-stop / skipped-attempt subsets (by event label).
+    [[nodiscard]] int thinking_switches() const { return thinking_switches_; }
+    [[nodiscard]] int escalations() const { return escalations_; }
+    [[nodiscard]] int early_stops() const { return early_stops_; }
+    [[nodiscard]] int attempts_skipped() const { return attempts_skipped_; }
 
   private:
     std::uint64_t llm_calls_ = 0;
@@ -69,6 +79,10 @@ class TraceStats final : public TraceSink {
     bool kb_consulted_ = false;
     bool kb_skipped_ = false;
     int solutions_ = 0;
+    int thinking_switches_ = 0;
+    int escalations_ = 0;
+    int early_stops_ = 0;
+    int attempts_skipped_ = 0;
     std::vector<std::size_t> trajectory_;
 };
 

@@ -51,6 +51,10 @@ void expect_identical(const BatchReport& serial, const BatchReport& parallel) {
         EXPECT_EQ(a.llm_calls, b.llm_calls) << a.case_id;
         EXPECT_EQ(a.kb_consulted, b.kb_consulted) << a.case_id;
         EXPECT_EQ(a.kb_skipped_by_feedback, b.kb_skipped_by_feedback) << a.case_id;
+        EXPECT_EQ(a.thinking_switches, b.thinking_switches) << a.case_id;
+        EXPECT_EQ(a.escalations, b.escalations) << a.case_id;
+        EXPECT_EQ(a.early_stops, b.early_stops) << a.case_id;
+        EXPECT_EQ(a.attempts_skipped, b.attempts_skipped) << a.case_id;
         EXPECT_EQ(a.error_trajectory, b.error_trajectory) << a.case_id;
         EXPECT_EQ(a.winning_rule, b.winning_rule) << a.case_id;
         EXPECT_EQ(a.final_source, b.final_source) << a.case_id;

@@ -46,6 +46,10 @@ void expect_same_result(const CaseResult& a, const CaseResult& b) {
     EXPECT_EQ(a.llm_calls, b.llm_calls);
     EXPECT_EQ(a.kb_consulted, b.kb_consulted);
     EXPECT_EQ(a.kb_skipped_by_feedback, b.kb_skipped_by_feedback);
+    EXPECT_EQ(a.thinking_switches, b.thinking_switches);
+    EXPECT_EQ(a.escalations, b.escalations);
+    EXPECT_EQ(a.early_stops, b.early_stops);
+    EXPECT_EQ(a.attempts_skipped, b.attempts_skipped);
     EXPECT_EQ(a.error_trajectory, b.error_trajectory);
     EXPECT_EQ(a.winning_rule, b.winning_rule);
     EXPECT_EQ(a.final_source, b.final_source);

@@ -54,6 +54,10 @@ void expect_identical(const core::BatchReport& a, const core::BatchReport& b) {
         EXPECT_EQ(x.kb_consulted, y.kb_consulted) << x.case_id;
         EXPECT_EQ(x.kb_skipped_by_feedback, y.kb_skipped_by_feedback)
             << x.case_id;
+        EXPECT_EQ(x.thinking_switches, y.thinking_switches) << x.case_id;
+        EXPECT_EQ(x.escalations, y.escalations) << x.case_id;
+        EXPECT_EQ(x.early_stops, y.early_stops) << x.case_id;
+        EXPECT_EQ(x.attempts_skipped, y.attempts_skipped) << x.case_id;
         EXPECT_EQ(x.error_trajectory, y.error_trajectory) << x.case_id;
         EXPECT_EQ(x.winning_rule, y.winning_rule) << x.case_id;
         EXPECT_EQ(x.final_source, y.final_source) << x.case_id;

@@ -61,6 +61,10 @@ void expect_identical(const core::BatchReport& a, const core::BatchReport& b) {
         EXPECT_EQ(x.solutions_generated, y.solutions_generated) << x.case_id;
         EXPECT_EQ(x.steps_executed, y.steps_executed) << x.case_id;
         EXPECT_EQ(x.rollbacks, y.rollbacks) << x.case_id;
+        EXPECT_EQ(x.thinking_switches, y.thinking_switches) << x.case_id;
+        EXPECT_EQ(x.escalations, y.escalations) << x.case_id;
+        EXPECT_EQ(x.early_stops, y.early_stops) << x.case_id;
+        EXPECT_EQ(x.attempts_skipped, y.attempts_skipped) << x.case_id;
         EXPECT_EQ(x.error_trajectory, y.error_trajectory) << x.case_id;
     }
     EXPECT_EQ(a.clock.now_ms(), b.clock.now_ms());
