@@ -15,6 +15,7 @@
 #include "miri/interp.hpp"
 #include "miri/lower.hpp"
 #include "miri/mirilite.hpp"
+#include "screen/screen.hpp"
 #include "verify/oracle.hpp"
 
 namespace {
@@ -80,9 +81,10 @@ void BM_MiriThreadedRun(benchmark::State& state) {
 BENCHMARK(BM_MiriThreadedRun);
 
 // The verification-oracle ladder over the same workload as BM_MiriRun:
-// tree-walk interpretation only, slot-lowered interpretation only, a fully
-// uncached Oracle call (front end + lowering + interpretation), and a
-// memoized Oracle call (report served from cache).
+// tree-walk interpretation only, slot-lowered interpretation only, the
+// static pre-screener only, a fully uncached Oracle call (front end +
+// lowering + interpretation), and a memoized Oracle call (report served
+// from cache).
 void BM_InterpTreeWalk(benchmark::State& state) {
     const auto* ub_case = corpus().find("uninit/partial_init_0");
     auto program = lang::try_parse(ub_case->reference_fix);
@@ -111,6 +113,22 @@ void BM_InterpSlotLowered(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_InterpSlotLowered);
+
+void BM_ScreenOnly(benchmark::State& state) {
+    // The screening rung of the ladder: abstract interpretation over the
+    // already-compiled program, no MiriLite run (this workload screens
+    // ProvenSafe, the case where the Oracle skips interpretation entirely).
+    const auto* ub_case = corpus().find("uninit/partial_init_0");
+    auto program = lang::try_parse(ub_case->reference_fix);
+    lang::type_check(*program);
+    const miri::LoweredProgram lowered = miri::lower_program(*program);
+    for (auto _ : state) {
+        auto result =
+            screen::screen_program(*program, lowered, ub_case->inputs, {});
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_ScreenOnly);
 
 void BM_OracleUncached(benchmark::State& state) {
     const auto* ub_case = corpus().find("uninit/partial_init_0");

@@ -53,6 +53,10 @@ core::CaseResult FixedPipelineRepair::repair(const dataset::UbCase& ub_case) {
     if (initial.passed()) {
         result.pass = true;
         result.exec = true;
+        result.screens = stats.screens();
+        result.screen_proven_safe = stats.screen_proven_safe();
+        result.screen_likely_ub = stats.screen_likely_ub();
+        result.screen_unknown = stats.screen_unknown();
         result.time_ms = clock.now_ms();
         result.time_breakdown = clock.breakdown();
         return result;
@@ -73,6 +77,10 @@ core::CaseResult FixedPipelineRepair::repair(const dataset::UbCase& ub_case) {
         fixed_steps.insert(fixed_steps.begin(), rule->id);
     }
     if (fixed_steps.empty()) {
+        result.screens = stats.screens();
+        result.screen_proven_safe = stats.screen_proven_safe();
+        result.screen_likely_ub = stats.screen_likely_ub();
+        result.screen_unknown = stats.screen_unknown();
         result.time_ms = clock.now_ms();
         result.time_breakdown = clock.breakdown();
         return result;
@@ -159,6 +167,10 @@ core::CaseResult FixedPipelineRepair::repair(const dataset::UbCase& ub_case) {
     result.escalations = stats.escalations();
     result.early_stops = stats.early_stops();
     result.attempts_skipped = stats.attempts_skipped();
+    result.screens = stats.screens();
+    result.screen_proven_safe = stats.screen_proven_safe();
+    result.screen_likely_ub = stats.screen_likely_ub();
+    result.screen_unknown = stats.screen_unknown();
     result.time_ms = clock.now_ms();
     result.time_breakdown = clock.breakdown();
     return result;

@@ -41,6 +41,14 @@ struct CaseResult {
     int escalations = 0;
     int early_stops = 0;
     int attempts_skipped = 0;
+    /// Static pre-screening tallies (screen/screen.hpp). Observability
+    /// only: these are the one set of CaseResult fields that legitimately
+    /// differ screen-on vs screen-off, so bit-identity comparisons must
+    /// (and do) exclude them.
+    int screens = 0;
+    int screen_proven_safe = 0;
+    int screen_likely_ub = 0;
+    int screen_unknown = 0;
     std::vector<std::size_t> error_trajectory;
     std::string winning_rule;
     std::string final_source;

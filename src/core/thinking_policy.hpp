@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "core/feedback.hpp"
+#include "miri/finding.hpp"
+#include "screen/screen.hpp"
 #include "support/options.hpp"
 
 namespace rustbrain::core {
@@ -60,6 +62,21 @@ struct PolicySignals {
     // Feedback-store signals for feature_key (false/0 without a store).
     bool feedback_confident = false;  // FeedbackStore::is_confident
     double feedback_score = 0.0;      // best rule score for the key
+
+    // Static pre-screening verdict from the Oracle's screening tier,
+    // stamped by AgentContext::verify on every verification (most recent
+    // wins; screened stays false when screening is off or the source never
+    // reached the screener).
+    bool screened = false;
+    screen::VerdictKind screen_verdict = screen::VerdictKind::Unknown;
+    double screen_confidence = 0.0;
+    // Pinned category; meaningful only when screen_verdict == LikelyUB.
+    miri::UbCategory screen_category = miri::UbCategory::Panic;
+
+    // UB categories each fast-thinking solution repairs, parallel to the
+    // ranking (filled from the rule library by fast thinking; empty inner
+    // vectors for rules without category tags).
+    std::vector<std::vector<miri::UbCategory>> solution_categories;
 
     // Attempt-loop position.
     std::size_t attempt_index = 0;    // 0-based position in the plan
@@ -172,8 +189,8 @@ class PolicyRegistry {
     [[nodiscard]] std::shared_ptr<const ThinkingPolicy> build(
         const std::string& id, const support::OptionMap& options = {}) const;
 
-    /// The five built-in strategies: paper (default), feedback-guided,
-    /// budget, fast-only, slow-all.
+    /// The six built-in strategies: paper (default), feedback-guided,
+    /// screened, budget, fast-only, slow-all.
     static const PolicyRegistry& builtin();
 
   private:

@@ -19,6 +19,10 @@ std::optional<ChatResponse> PromptCache::lookup(std::uint64_t key) {
 void PromptCache::insert(std::uint64_t key, const ChatResponse& response) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.entries.size() >= kMaxEntriesPerShard) {
+        shard.entries.clear();
+        flushes_.fetch_add(1, std::memory_order_relaxed);
+    }
     shard.entries.emplace(key, response);
 }
 
@@ -26,6 +30,7 @@ PromptCacheStats PromptCache::stats() const {
     PromptCacheStats stats;
     stats.hits = hits_.load(std::memory_order_relaxed);
     stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.flushes = flushes_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         stats.entries += shard.entries.size();

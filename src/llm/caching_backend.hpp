@@ -32,6 +32,10 @@ struct PromptCacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::size_t entries = 0;
+    /// Flush-on-cap events: how many times a full shard was dropped.
+    /// Non-zero means the workload outgrew the cache; bit-identity makes
+    /// every flush safe (only speed is lost), same contract as VerifyCache.
+    std::uint64_t flushes = 0;
 
     [[nodiscard]] double hit_rate() const {
         const std::uint64_t total = hits + misses;
@@ -49,6 +53,8 @@ class PromptCache {
 
   private:
     static constexpr std::size_t kShards = 16;
+    /// Per-shard cap (flush-on-cap): ~512k responses total.
+    static constexpr std::size_t kMaxEntriesPerShard = 32768;
     struct Shard {
         mutable std::mutex mutex;
         std::unordered_map<std::uint64_t, ChatResponse> entries;
@@ -58,6 +64,7 @@ class PromptCache {
     std::array<Shard, kShards> shards_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> flushes_{0};
 };
 
 class CachingBackend final : public LlmBackend {

@@ -35,6 +35,7 @@ std::shared_ptr<const CompiledProgram> VerifyCache::insert_program(
     if (it == shard.programs.end()) {
         if (shard.programs.size() >= kMaxProgramsPerShard) {
             shard.programs.clear();
+            program_flushes_.fetch_add(1, std::memory_order_relaxed);
         }
         shard.programs.emplace(key, compiled);
         return compiled;
@@ -47,7 +48,7 @@ std::shared_ptr<const CompiledProgram> VerifyCache::insert_program(
 }
 
 std::optional<miri::MiriReport> VerifyCache::lookup_report(
-    const ReportKeyView& key) {
+    const ReportKeyView& key, ScreenVerdictRecord* verdict) {
     Shard& shard = shard_for(key.hash);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.reports.find(key.hash);
@@ -56,11 +57,13 @@ std::optional<miri::MiriReport> VerifyCache::lookup_report(
         return std::nullopt;
     }
     report_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (verdict != nullptr) *verdict = it->second.verdict;
     return it->second.report;
 }
 
 void VerifyCache::insert_report(const ReportKeyView& key,
-                                const miri::MiriReport& report) {
+                                const miri::MiriReport& report,
+                                const ScreenVerdictRecord* verdict) {
     Shard& shard = shard_for(key.hash);
     std::lock_guard<std::mutex> lock(shard.mutex);
     if (shard.reports.count(key.hash) != 0) {
@@ -68,6 +71,7 @@ void VerifyCache::insert_report(const ReportKeyView& key,
     }
     if (shard.reports.size() >= kMaxReportsPerShard) {
         shard.reports.clear();
+        report_flushes_.fetch_add(1, std::memory_order_relaxed);
     }
     ReportEntry entry;
     entry.fingerprint = key.fingerprint;
@@ -75,6 +79,7 @@ void VerifyCache::insert_report(const ReportKeyView& key,
     entry.limits = key.limits;
     entry.input_sets = *key.input_sets;
     entry.report = report;
+    if (verdict != nullptr) entry.verdict = *verdict;
     shard.reports.emplace(key.hash, std::move(entry));
 }
 
@@ -84,6 +89,8 @@ VerifyCacheStats VerifyCache::stats() const {
     stats.program_misses = program_misses_.load(std::memory_order_relaxed);
     stats.report_hits = report_hits_.load(std::memory_order_relaxed);
     stats.report_misses = report_misses_.load(std::memory_order_relaxed);
+    stats.program_flushes = program_flushes_.load(std::memory_order_relaxed);
+    stats.report_flushes = report_flushes_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         stats.programs += shard.programs.size();
@@ -106,6 +113,13 @@ namespace {
 
 bool cache_enabled_from_env() {
     const char* value = std::getenv("RUSTBRAIN_VERIFY_CACHE");
+    if (value == nullptr) return true;
+    const std::string text = value;
+    return !(text == "off" || text == "0" || text == "false");
+}
+
+bool screen_enabled_from_env() {
+    const char* value = std::getenv("RUSTBRAIN_SCREEN");
     if (value == nullptr) return true;
     const std::string text = value;
     return !(text == "off" || text == "0" || text == "false");
@@ -143,7 +157,9 @@ Oracle::Oracle(OracleOptions options)
     : limits_(options.limits),
       cache_(options.cache != nullptr ? std::move(options.cache)
                                       : VerifyCache::process_wide()),
-      caching_(options.caching.value_or(cache_enabled_from_env())) {}
+      caching_(options.caching.value_or(cache_enabled_from_env())),
+      screening_(options.screening.value_or(screen_enabled_from_env())),
+      screen_options_(options.screen) {}
 
 const Oracle& Oracle::shared_default() {
     static const Oracle oracle;
@@ -229,6 +245,47 @@ miri::MiriReport Oracle::interpret(
     return report;
 }
 
+miri::MiriReport Oracle::screen_or_interpret(
+    const CompiledProgram& compiled,
+    const std::vector<std::vector<std::int64_t>>& input_sets,
+    VerifyOutcome* outcome, ScreenVerdictRecord* record) const {
+    if (screening_) {
+        const screen::ScreenResult screened = screen::screen_program(
+            compiled.program, compiled.lowering, input_sets, limits_,
+            screen_options_);
+        screens_.fetch_add(1, std::memory_order_relaxed);
+        screen_ops_.fetch_add(screened.verdict.ops, std::memory_order_relaxed);
+        switch (screened.verdict.kind) {
+            case screen::VerdictKind::ProvenSafe:
+                screen_proven_.fetch_add(1, std::memory_order_relaxed);
+                break;
+            case screen::VerdictKind::LikelyUB:
+                screen_likely_.fetch_add(1, std::memory_order_relaxed);
+                break;
+            case screen::VerdictKind::Unknown:
+                screen_unknown_.fetch_add(1, std::memory_order_relaxed);
+                break;
+        }
+        if (outcome != nullptr) {
+            outcome->screened = true;
+            outcome->screen_verdict = screened.verdict;
+        }
+        if (record != nullptr) {
+            record->screened = true;
+            record->verdict = screened.verdict;
+        }
+        if (screened.verdict.kind == screen::VerdictKind::ProvenSafe) {
+            // The synthesized report is exact (outputs + steps), so the
+            // interpreter run is pure redundancy — skip it.
+            screen_synthesized_.fetch_add(1, std::memory_order_relaxed);
+            if (outcome != nullptr) outcome->screen_synthesized = true;
+            return screened.report;
+        }
+        // LikelyUB / Unknown: advisory only — MiriLite stays the authority.
+    }
+    return interpret(compiled, input_sets);
+}
+
 miri::MiriReport Oracle::test_source(
     const std::string& source,
     const std::vector<std::vector<std::int64_t>>& input_sets,
@@ -237,22 +294,36 @@ miri::MiriReport Oracle::test_source(
     const std::shared_ptr<const CompiledProgram> compiled =
         compile_guarded(source, outcome, &canonical);
     if (!compiled->ok()) {
-        // Byte-identical to MiriLite's front-end failure reports.
+        // Byte-identical to MiriLite's front-end failure reports. Never
+        // screened: there is no program to screen.
         miri::MiriReport report;
         report.findings.push_back(
             miri::Finding{miri::UbCategory::CompileError, compiled->error, {}});
         return report;
     }
     if (!caching_ || !canonical) {
-        return interpret(*compiled, input_sets);
+        return screen_or_interpret(*compiled, input_sets, outcome, nullptr);
     }
     const ReportKeyView key = report_key(*compiled, input_sets, limits_);
-    if (auto cached = cache_->lookup_report(key)) {
-        if (outcome != nullptr) outcome->report_cached = true;
+    ScreenVerdictRecord cached_verdict;
+    if (auto cached = cache_->lookup_report(key, &cached_verdict)) {
+        if (outcome != nullptr) {
+            outcome->report_cached = true;
+            // Replay the verdict stored with the entry so policies see the
+            // same signal they would on a live screen. Never on a
+            // screening-off oracle: the cache may be shared with screen-on
+            // oracles, and "off" must stay fully inert.
+            outcome->screened = screening_ && cached_verdict.screened;
+            if (outcome->screened) {
+                outcome->screen_verdict = cached_verdict.verdict;
+            }
+        }
         return *cached;
     }
-    const miri::MiriReport report = interpret(*compiled, input_sets);
-    cache_->insert_report(key, report);
+    ScreenVerdictRecord record;
+    const miri::MiriReport report =
+        screen_or_interpret(*compiled, input_sets, outcome, &record);
+    cache_->insert_report(key, report, &record);
     return report;
 }
 
@@ -261,8 +332,31 @@ std::string Oracle::stats_summary() const {
     return std::to_string(s.programs) + " compiled programs, " +
            std::to_string(s.reports) + " memoized reports, " +
            std::to_string(s.report_hits) + " report hits / " +
-           std::to_string(s.report_misses) + " misses" +
-           (caching_ ? "" : " (RUSTBRAIN_VERIFY_CACHE=off)");
+           std::to_string(s.report_misses) + " misses, " +
+           std::to_string(s.program_flushes + s.report_flushes) +
+           " shard flushes" + (caching_ ? "" : " (RUSTBRAIN_VERIFY_CACHE=off)");
+}
+
+ScreenStats Oracle::screen_stats() const {
+    ScreenStats s;
+    s.screens = screens_.load(std::memory_order_relaxed);
+    s.proven_safe = screen_proven_.load(std::memory_order_relaxed);
+    s.likely_ub = screen_likely_.load(std::memory_order_relaxed);
+    s.unknown = screen_unknown_.load(std::memory_order_relaxed);
+    s.synthesized = screen_synthesized_.load(std::memory_order_relaxed);
+    s.ops = screen_ops_.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::string Oracle::screen_summary() const {
+    if (!screening_) return "screening off (RUSTBRAIN_SCREEN=off)";
+    const ScreenStats s = screen_stats();
+    return std::to_string(s.screens) + " screened: " +
+           std::to_string(s.proven_safe) + " proven-safe (" +
+           std::to_string(s.synthesized) + " interpretations skipped), " +
+           std::to_string(s.likely_ub) + " likely-ub, " +
+           std::to_string(s.unknown) + " unknown, " + std::to_string(s.ops) +
+           " abstract ops";
 }
 
 }  // namespace rustbrain::verify

@@ -29,6 +29,17 @@
 // caches for Oracles that don't pin the behavior explicitly — useful for
 // flushing out cache-coherence bugs (CI runs the whole suite once in this
 // mode).
+//
+// Screening tier: before interpreting, the Oracle runs the static
+// pre-screener (screen/screen.hpp). A ProvenSafe verdict carries the exact
+// MiriReport the interpreter would produce (outputs + step count,
+// synthesized by the screener's mirror semantics), so interpretation is
+// skipped entirely; LikelyUB and Unknown verdicts are advisory — MiriLite
+// still runs and stays the authority. Bit-identity is preserved either
+// way, asserted screen-on vs screen-off across every registry engine in
+// tests/screen_soundness_test.cpp and the screen-smoke CI job. Escape
+// hatch: RUSTBRAIN_SCREEN=off (or 0/false), same contract as the cache
+// knob.
 #pragma once
 
 #include <array>
@@ -45,6 +56,7 @@
 #include "miri/interp.hpp"
 #include "miri/lower.hpp"
 #include "miri/mirilite.hpp"
+#include "screen/screen.hpp"
 
 namespace rustbrain::verify {
 
@@ -73,11 +85,24 @@ struct VerifyCacheStats {
     std::uint64_t report_misses = 0;
     std::size_t programs = 0;  // distinct compiled sources held
     std::size_t reports = 0;   // distinct memoized reports held
+    /// Flush-on-cap events: how many times a full shard was dropped. A
+    /// non-zero count means the workload outgrew the cache (the ROADMAP's
+    /// LRU item is the fix); bit-identity makes every flush safe.
+    std::uint64_t program_flushes = 0;
+    std::uint64_t report_flushes = 0;
 
     [[nodiscard]] double report_hit_rate() const {
         const std::uint64_t total = report_hits + report_misses;
         return total == 0 ? 0.0 : static_cast<double>(report_hits) / total;
     }
+};
+
+/// A screening verdict remembered alongside a memoized report, so a report
+/// cache hit still surfaces the verdict to thinking policies. `screened`
+/// is false for entries inserted by a screen-off Oracle.
+struct ScreenVerdictRecord {
+    bool screened = false;
+    screen::ScreenVerdict verdict;
 };
 
 /// Identity of a memoized report, borrowed from the caller for lookups so
@@ -118,9 +143,13 @@ class VerifyCache {
     std::shared_ptr<const CompiledProgram> insert_program(
         std::uint64_t key, std::shared_ptr<const CompiledProgram> compiled);
 
-    std::optional<miri::MiriReport> lookup_report(const ReportKeyView& key);
+    /// `verdict` (optional) receives the screening record stored with the
+    /// entry on a hit.
+    std::optional<miri::MiriReport> lookup_report(
+        const ReportKeyView& key, ScreenVerdictRecord* verdict = nullptr);
     /// Copies the key material (including the input vectors) into the entry.
-    void insert_report(const ReportKeyView& key, const miri::MiriReport& report);
+    void insert_report(const ReportKeyView& key, const miri::MiriReport& report,
+                       const ScreenVerdictRecord* verdict = nullptr);
 
     [[nodiscard]] VerifyCacheStats stats() const;
 
@@ -138,6 +167,7 @@ class VerifyCache {
         miri::InterpLimits limits;
         std::vector<std::vector<std::int64_t>> input_sets;
         miri::MiriReport report;
+        ScreenVerdictRecord verdict;
 
         [[nodiscard]] bool matches(const ReportKeyView& key) const {
             return fingerprint == key.fingerprint && check == key.check &&
@@ -159,6 +189,8 @@ class VerifyCache {
     std::atomic<std::uint64_t> program_misses_{0};
     std::atomic<std::uint64_t> report_hits_{0};
     std::atomic<std::uint64_t> report_misses_{0};
+    std::atomic<std::uint64_t> program_flushes_{0};
+    std::atomic<std::uint64_t> report_flushes_{0};
 };
 
 struct OracleOptions {
@@ -168,6 +200,22 @@ struct OracleOptions {
     /// Explicit cache on/off; unset => honour RUSTBRAIN_VERIFY_CACHE
     /// (anything but "off"/"0"/"false" means on).
     std::optional<bool> caching;
+    /// Explicit screening on/off; unset => honour RUSTBRAIN_SCREEN (same
+    /// convention as the cache knob).
+    std::optional<bool> screening;
+    /// Screener budget (per-candidate abstract-op cap).
+    screen::ScreenOptions screen;
+};
+
+/// Counters for the Oracle's screening tier (process- or oracle-lifetime,
+/// like VerifyCacheStats).
+struct ScreenStats {
+    std::uint64_t screens = 0;      // screenings actually run
+    std::uint64_t proven_safe = 0;  // => interpretation skipped
+    std::uint64_t likely_ub = 0;    // advisory: category statically pinned
+    std::uint64_t unknown = 0;      // screener degraded; MiriLite decided
+    std::uint64_t synthesized = 0;  // reports served from the screener
+    std::uint64_t ops = 0;          // total abstract ops spent screening
 };
 
 /// Per-call cache observation, for callers that surface hit/miss telemetry
@@ -175,6 +223,14 @@ struct OracleOptions {
 struct VerifyOutcome {
     bool program_cached = false;
     bool report_cached = false;
+    /// Screening verdict for this call — live from the screener, or
+    /// replayed from the report cache entry (screened == false when the
+    /// verdict never existed: screening off, or a front-end error).
+    bool screened = false;
+    screen::ScreenVerdict screen_verdict;
+    /// True when the report was synthesized from a ProvenSafe verdict and
+    /// interpretation was skipped (never true on cache-hit replays).
+    bool screen_synthesized = false;
 };
 
 class Oracle {
@@ -199,13 +255,17 @@ class Oracle {
         const std::string& source, VerifyOutcome* outcome = nullptr) const;
 
     [[nodiscard]] bool caching_enabled() const { return caching_; }
+    [[nodiscard]] bool screening_enabled() const { return screening_; }
     [[nodiscard]] const miri::InterpLimits& limits() const { return limits_; }
     [[nodiscard]] const std::shared_ptr<VerifyCache>& cache() const {
         return cache_;
     }
     [[nodiscard]] VerifyCacheStats stats() const { return cache_->stats(); }
+    [[nodiscard]] ScreenStats screen_stats() const;
     /// One-line human-readable stats (the summary examples print).
     [[nodiscard]] std::string stats_summary() const;
+    /// One-line screening stats, same audience as stats_summary().
+    [[nodiscard]] std::string screen_summary() const;
 
     /// The process-wide Oracle (default limits, process-wide cache) used by
     /// every call site that isn't wired to an explicit one.
@@ -229,10 +289,25 @@ class Oracle {
     [[nodiscard]] std::shared_ptr<const CompiledProgram> compile_guarded(
         const std::string& source, VerifyOutcome* outcome,
         bool* canonical) const;
+    /// The screening tier: run the pre-screener (when enabled), serve a
+    /// ProvenSafe synthesis directly, fall through to interpret() otherwise.
+    /// `record` (optional) receives the verdict for report-cache storage.
+    [[nodiscard]] miri::MiriReport screen_or_interpret(
+        const CompiledProgram& compiled,
+        const std::vector<std::vector<std::int64_t>>& input_sets,
+        VerifyOutcome* outcome, ScreenVerdictRecord* record) const;
 
     miri::InterpLimits limits_;
     std::shared_ptr<VerifyCache> cache_;
     bool caching_ = true;
+    bool screening_ = true;
+    screen::ScreenOptions screen_options_;
+    mutable std::atomic<std::uint64_t> screens_{0};
+    mutable std::atomic<std::uint64_t> screen_proven_{0};
+    mutable std::atomic<std::uint64_t> screen_likely_{0};
+    mutable std::atomic<std::uint64_t> screen_unknown_{0};
+    mutable std::atomic<std::uint64_t> screen_synthesized_{0};
+    mutable std::atomic<std::uint64_t> screen_ops_{0};
 };
 
 /// `oracle`, or the process-wide default when null — the fallback every

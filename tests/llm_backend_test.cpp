@@ -137,6 +137,28 @@ TEST(CachingBackendTest, HitsPreserveResponseBytes) {
     EXPECT_EQ(cache->stats().hits, 1u);
 }
 
+TEST(CachingBackendTest, FullShardFlushesAndCounts) {
+    // Keys are sharded key % 16; hammering one shard past its cap must
+    // flush it (bit-identity makes dropping entries safe) and count the
+    // event in stats — never grow without bound.
+    PromptCache cache;
+    ChatResponse response;
+    response.content = "cached";
+    constexpr std::uint64_t kShardStride = 16;
+    // 40k same-shard inserts comfortably exceeds the 32768 per-shard cap.
+    constexpr std::uint64_t kInserts = 40'000;
+    for (std::uint64_t i = 0; i < kInserts; ++i) {
+        cache.insert(i * kShardStride, response);
+    }
+    const PromptCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.flushes, 1u);
+    EXPECT_LT(stats.entries, kInserts);
+    // Survivors (inserted after the flush) still answer.
+    EXPECT_TRUE(cache.lookup((kInserts - 1) * kShardStride).has_value());
+    // Flushed entries miss and would be re-inserted, not corrupted.
+    EXPECT_FALSE(cache.lookup(0).has_value());
+}
+
 TEST(ReplayBackendTest, GoldenTranscriptReproducesCaseResults) {
     // Record a sweep over one category, then replay it with no model
     // behind the boundary at all: bit-identical CaseResults prove the
