@@ -1,0 +1,299 @@
+// traffic_replay: zipfian repair traffic through the persistent
+// RepairService — the regime the one-shot sweeps never measure.
+//
+//   $ ./bench/traffic_replay                  # full report
+//   $ ./bench/traffic_replay --requests 40    # smaller trace (CI smoke)
+//   $ ./bench/traffic_replay --deterministic-only
+//
+// Three experiments over one catalog (the standard corpus plus a slice of
+// freshly forged cases):
+//   1. skew sweep — replay a zipf(s)-sampled trace per skew through a
+//      fresh service each time: throughput, p50/p99 latency, and the
+//      cross-request prompt/verify cache hit-rates, which rise with skew
+//      (hotter traffic, warmer caches);
+//   2. cold vs warm — the identical trace replayed twice through one
+//      service; the repeat pass answers from the shared caches and must be
+//      measurably faster;
+//   3. deterministic mode — RepairService::run_batch over every catalog
+//      case, rendered with serve::render_case_result and byte-compared
+//      against a serial BatchRunner sweep over the same list (exit 1 on
+//      any divergence — CI runs this).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "gen/forge.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/zipf.hpp"
+
+using namespace rustbrain;
+
+namespace {
+
+struct ReplayOutcome {
+    double wall_ms = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double prompt_hit_rate = 0.0;
+    double report_hit_rate = 0.0;
+    std::size_t unique_cases = 0;
+    std::uint64_t steals = 0;
+};
+
+double percentile(std::vector<double> values, double fraction) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const auto index = static_cast<std::size_t>(
+        fraction * static_cast<double>(values.size() - 1));
+    return values[index];
+}
+
+/// The request trace for one skew: `requests` draws over the catalog from
+/// a deterministic zipf sampler (same seed => same trace).
+std::vector<std::size_t> make_trace(std::size_t catalog_size,
+                                    std::size_t requests, double skew) {
+    support::Rng rng(support::derive_seed(42, "traffic-replay"));
+    support::ZipfSampler sampler(catalog_size, skew);
+    std::vector<std::size_t> trace;
+    trace.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+        trace.push_back(sampler.sample(rng));
+    }
+    return trace;
+}
+
+ReplayOutcome replay(serve::RepairService& service,
+                     const std::vector<dataset::UbCase>& catalog,
+                     const std::vector<std::size_t>& trace,
+                     const std::string& engine,
+                     const std::string& option_spec) {
+    const serve::ServiceStats before = service.stats();
+    std::vector<serve::RepairRequest> requests;
+    requests.reserve(trace.size());
+    for (std::size_t index : trace) {
+        serve::RepairRequest request;
+        request.engine = engine;
+        request.options = option_spec;
+        request.ub_case = catalog[index];
+        requests.push_back(std::move(request));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<serve::RepairResponse> responses =
+        service.run_batch(std::move(requests));
+    const auto stop = std::chrono::steady_clock::now();
+
+    ReplayOutcome outcome;
+    outcome.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    std::vector<double> latencies;
+    latencies.reserve(responses.size());
+    for (const serve::RepairResponse& response : responses) {
+        if (!response.ok) {
+            std::printf("error: request failed: %s\n", response.error.c_str());
+            std::exit(1);
+        }
+        latencies.push_back(response.service_ms);
+    }
+    outcome.p50_ms = percentile(latencies, 0.50);
+    outcome.p99_ms = percentile(latencies, 0.99);
+
+    const serve::ServiceStats after = service.stats();
+    const std::uint64_t prompt_lookups =
+        (after.prompt_cache.hits - before.prompt_cache.hits) +
+        (after.prompt_cache.misses - before.prompt_cache.misses);
+    if (prompt_lookups > 0) {
+        outcome.prompt_hit_rate =
+            100.0 *
+            static_cast<double>(after.prompt_cache.hits -
+                                before.prompt_cache.hits) /
+            static_cast<double>(prompt_lookups);
+    }
+    const std::uint64_t report_lookups =
+        (after.verify_cache.report_hits - before.verify_cache.report_hits) +
+        (after.verify_cache.report_misses - before.verify_cache.report_misses);
+    if (report_lookups > 0) {
+        outcome.report_hit_rate =
+            100.0 *
+            static_cast<double>(after.verify_cache.report_hits -
+                                before.verify_cache.report_hits) /
+            static_cast<double>(report_lookups);
+    }
+    outcome.steals = after.scheduler.steals - before.scheduler.steals;
+    std::vector<std::size_t> unique(trace);
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    outcome.unique_cases = unique.size();
+    return outcome;
+}
+
+/// The catalog every experiment shares: the standard corpus plus freshly
+/// forged cases (the "new traffic" the service has never seen).
+std::vector<dataset::UbCase> build_catalog(std::size_t forged) {
+    std::vector<dataset::UbCase> catalog = bench::corpus().cases();
+    if (forged > 0) {
+        gen::ForgeOptions options;
+        options.seed = 2025;
+        options.count = forged;
+        const dataset::Corpus fresh = gen::forge_corpus(options);
+        catalog.insert(catalog.end(), fresh.cases().begin(),
+                       fresh.cases().end());
+    }
+    return catalog;
+}
+
+int deterministic_check(const std::vector<dataset::UbCase>& catalog,
+                        const std::string& engine,
+                        const std::string& option_spec) {
+    std::printf("== deterministic mode vs serial BatchRunner ==\n");
+    serve::ServiceOptions service_options;
+    service_options.knowledge_base = &bench::knowledge_base();
+    serve::RepairService service(service_options);
+    std::vector<serve::RepairRequest> requests;
+    for (const dataset::UbCase& ub_case : catalog) {
+        serve::RepairRequest request;
+        request.engine = engine;
+        request.options = option_spec;
+        request.ub_case = ub_case;
+        requests.push_back(std::move(request));
+    }
+    const std::vector<serve::RepairResponse> responses =
+        service.run_batch(std::move(requests));
+
+    core::EngineBuildContext context;
+    context.knowledge_base = &bench::knowledge_base();
+    const auto serial_engine = core::EngineRegistry::builtin().build(
+        engine, core::EngineOptions::parse(option_spec), context);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const std::string service_text =
+            serve::render_case_result(responses[i].result);
+        const std::string serial_text =
+            serve::render_case_result(serial_engine->repair(catalog[i]));
+        if (service_text != serial_text) {
+            ++mismatches;
+            if (mismatches == 1) {
+                std::printf("MISMATCH on case %s:\n-- service --\n%s\n"
+                            "-- serial --\n%s\n",
+                            catalog[i].id.c_str(), service_text.c_str(),
+                            serial_text.c_str());
+            }
+        }
+    }
+    if (mismatches > 0) {
+        std::printf("FAIL: %zu/%zu rendered results diverge\n", mismatches,
+                    catalog.size());
+        return 1;
+    }
+    std::printf("byte-identical: %zu/%zu rendered CaseResults match the "
+                "serial sweep (%zu workers)\n\n",
+                catalog.size(), catalog.size(), service.workers());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::size_t requests = 120;
+    std::size_t forged = 12;
+    bool deterministic_only = false;
+    std::string engine = "rustbrain";
+    std::string option_spec;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--requests" && i + 1 < argc) {
+            requests = static_cast<std::size_t>(std::strtoul(argv[++i],
+                                                             nullptr, 10));
+        } else if (arg == "--forged" && i + 1 < argc) {
+            forged = static_cast<std::size_t>(std::strtoul(argv[++i],
+                                                           nullptr, 10));
+        } else if (arg == "--engine" && i + 1 < argc) {
+            engine = argv[++i];
+        } else if (arg == "--options" && i + 1 < argc) {
+            option_spec = argv[++i];
+        } else if (arg == "--deterministic-only") {
+            deterministic_only = true;
+        } else {
+            std::printf("usage: %s [--requests N] [--forged N] "
+                        "[--engine <id>] [--options k=v,...] "
+                        "[--deterministic-only]\n",
+                        argv[0]);
+            return 2;
+        }
+    }
+
+    const std::vector<dataset::UbCase> catalog = build_catalog(forged);
+    std::printf("catalog: %zu cases (%zu standard + %zu forged), trace: %zu "
+                "requests, engine: %s\n\n",
+                catalog.size(), catalog.size() - forged, forged, requests,
+                engine.c_str());
+
+    const int deterministic_rc =
+        deterministic_check(catalog, engine, option_spec);
+    if (deterministic_only || deterministic_rc != 0) return deterministic_rc;
+
+    std::printf("== zipf skew sweep (%zu requests each, fresh service per "
+                "row) ==\n",
+                requests);
+    support::TextTable table({"skew", "unique", "wall ms", "req/s",
+                              "p50 ms", "p99 ms", "prompt hits",
+                              "verify hits", "steals"});
+    for (double skew : {0.0, 0.7, 1.4}) {
+        serve::ServiceOptions service_options;
+        service_options.knowledge_base = &bench::knowledge_base();
+        serve::RepairService service(service_options);
+        const std::vector<std::size_t> trace =
+            make_trace(catalog.size(), requests, skew);
+        const ReplayOutcome outcome =
+            replay(service, catalog, trace, engine, option_spec);
+        table.add_row(
+            {support::format_double(skew, 1),
+             std::to_string(outcome.unique_cases),
+             support::format_double(outcome.wall_ms, 0),
+             support::format_double(
+                 1000.0 * static_cast<double>(requests) / outcome.wall_ms, 1),
+             support::format_double(outcome.p50_ms, 1),
+             support::format_double(outcome.p99_ms, 1),
+             support::format_double(outcome.prompt_hit_rate, 1) + "%",
+             support::format_double(outcome.report_hit_rate, 1) + "%",
+             std::to_string(outcome.steals)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("== cold vs warm (identical trace, one service) ==\n");
+    {
+        serve::ServiceOptions service_options;
+        service_options.knowledge_base = &bench::knowledge_base();
+        serve::RepairService service(service_options);
+        const std::vector<std::size_t> trace =
+            make_trace(catalog.size(), requests, 1.0);
+        const ReplayOutcome cold =
+            replay(service, catalog, trace, engine, option_spec);
+        const ReplayOutcome warm =
+            replay(service, catalog, trace, engine, option_spec);
+        std::printf("cold: %.0f ms (prompt %.1f%%, verify %.1f%%)\n",
+                    cold.wall_ms, cold.prompt_hit_rate, cold.report_hit_rate);
+        std::printf("warm: %.0f ms (prompt %.1f%%, verify %.1f%%) — %.2fx\n",
+                    warm.wall_ms, warm.prompt_hit_rate, warm.report_hit_rate,
+                    warm.wall_ms > 0.0 ? cold.wall_ms / warm.wall_ms : 0.0);
+        const serve::ServiceStats stats = service.stats();
+        std::printf("service: %llu completed, queue p. wait avg %.2f ms "
+                    "(max %.2f), %llu steals across %zu workers\n\n",
+                    static_cast<unsigned long long>(stats.completed),
+                    stats.completed > 0
+                        ? stats.queue_ms_total /
+                              static_cast<double>(stats.completed)
+                        : 0.0,
+                    stats.queue_ms_max,
+                    static_cast<unsigned long long>(stats.scheduler.steals),
+                    service.workers());
+    }
+    return 0;
+}

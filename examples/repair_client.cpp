@@ -1,0 +1,138 @@
+// repair_client: send repair requests to a running repair_server.
+//
+//   $ ./examples/repair_client --port 7411 --case danglingpointer/use_after_free_0
+//   $ ./examples/repair_client --port 7411 --engine standalone --count 3
+//   $ ./examples/repair_client --port 7411 --dump-result   # raw wire render
+//   $ ./examples/repair_client --port 7411 --bad-request   # error-path probe
+//
+// Cases come from the standard corpus (or --corpus <file>); --case selects
+// by id, default is the first case. --dump-result prints the deterministic
+// serve::render_case_result rendering, which is what CI byte-compares
+// against a serial BatchRunner sweep. --bad-request ships a garbage frame
+// and expects a well-formed ok=0 error response back.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "core/engine_registry.hpp"
+#include "core/thinking_policy.hpp"
+#include "dataset/corpus.hpp"
+#include "gen/corpus_io.hpp"
+#include "serve/client.hpp"
+#include "serve/wire.hpp"
+
+using namespace rustbrain;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::printf("usage: %s --port N [--case <id>] [--corpus <file>]\n"
+                "          [--engine <id>] [--options k=v,...]\n"
+                "          [--policy <id>[,k=v...]] [--feedback]\n"
+                "          [--count N] [--dump-result] [--bad-request]\n\n"
+                "available engines:\n%s\navailable policies:\n%s",
+                argv0, core::EngineRegistry::builtin().help().c_str(),
+                core::PolicyRegistry::builtin().help().c_str());
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint16_t port = 0;
+    bool have_port = false;
+    std::string case_id;
+    std::string corpus_path;
+    serve::RepairRequest request;
+    std::size_t count = 1;
+    bool dump_result = false;
+    bool bad_request = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port" && i + 1 < argc) {
+            port = static_cast<std::uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+            have_port = true;
+        } else if (arg == "--case" && i + 1 < argc) {
+            case_id = argv[++i];
+        } else if (arg == "--corpus" && i + 1 < argc) {
+            corpus_path = argv[++i];
+        } else if (arg == "--engine" && i + 1 < argc) {
+            request.engine = argv[++i];
+        } else if (arg == "--options" && i + 1 < argc) {
+            request.options = argv[++i];
+        } else if (arg == "--policy" && i + 1 < argc) {
+            request.policy = argv[++i];
+        } else if (arg == "--feedback") {
+            request.use_feedback = true;
+        } else if (arg == "--count" && i + 1 < argc) {
+            count = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--dump-result") {
+            dump_result = true;
+        } else if (arg == "--bad-request") {
+            bad_request = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (!have_port) return usage(argv[0]);
+
+    try {
+        serve::RepairClient client(port);
+        if (bad_request) {
+            const std::string raw =
+                client.roundtrip_raw("this is not a rustbrain request");
+            const serve::RepairResponse response =
+                serve::parse_response(raw);
+            if (response.ok) {
+                std::printf("error: server accepted a garbage frame\n");
+                return 1;
+            }
+            std::printf("bad request rejected as expected: %s\n",
+                        response.error.c_str());
+            return 0;
+        }
+
+        dataset::Corpus corpus = corpus_path.empty()
+                                     ? dataset::Corpus::standard()
+                                     : gen::load_corpus(corpus_path);
+        const dataset::UbCase* ub_case =
+            case_id.empty() ? &corpus.cases().front() : corpus.find(case_id);
+        if (ub_case == nullptr) {
+            std::printf("error: no case '%s' in the corpus (%zu cases)\n",
+                        case_id.c_str(), corpus.size());
+            return 1;
+        }
+        request.ub_case = *ub_case;
+
+        for (std::size_t i = 0; i < count; ++i) {
+            request.ticket = "cli-" + std::to_string(i);
+            const serve::RepairResponse response = client.repair(request);
+            if (!response.ok) {
+                std::printf("error response: %s\n", response.error.c_str());
+                return 1;
+            }
+            if (dump_result) {
+                std::printf("%s",
+                            serve::render_case_result(response.result)
+                                .c_str());
+            } else {
+                std::printf("%s: %s/%s rule=%s %.1f virtual s "
+                            "(queue %.2f ms, service %.2f ms, worker %llu)\n",
+                            response.result.case_id.c_str(),
+                            response.result.pass ? "pass" : "FAIL",
+                            response.result.exec ? "exec" : "div ",
+                            response.result.winning_rule.c_str(),
+                            response.result.time_ms / 1000.0,
+                            response.queue_ms, response.service_ms,
+                            static_cast<unsigned long long>(response.worker));
+            }
+        }
+    } catch (const std::exception& error) {
+        std::printf("error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,118 @@
+// repair_server: stand up the persistent repair service on a loopback
+// socket and serve framed repair requests until stopped.
+//
+//   $ ./examples/repair_server --port 7411
+//   $ ./examples/repair_server --port 0 --port-file /tmp/port --serve-once 40
+//                                # CI shape: ephemeral port, bounded run
+//   $ ./examples/repair_server --engine fixed-pipeline --workers 4
+//
+// --engine/--policy set the defaults applied to requests that leave those
+// fields empty; both are validated against the registries at startup, so a
+// typo prints the help tables instead of failing every request later. The
+// knowledge base is seeded from the standard corpus (or --corpus <file>).
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "core/engine_registry.hpp"
+#include "core/thinking_policy.hpp"
+#include "dataset/corpus.hpp"
+#include "gen/corpus_io.hpp"
+#include "kb/seed.hpp"
+#include "serve/server.hpp"
+
+using namespace rustbrain;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::printf("usage: %s [--port N] [--port-file <path>] [--workers N]\n"
+                "          [--engine <id>] [--policy <id>[,k=v...]]\n"
+                "          [--serve-once N] [--corpus <file>]\n\n"
+                "available engines:\n%s\navailable policies:\n%s",
+                argv0, core::EngineRegistry::builtin().help().c_str(),
+                core::PolicyRegistry::builtin().help().c_str());
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    serve::ServerOptions options;
+    std::string port_file;
+    std::string corpus_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port" && i + 1 < argc) {
+            options.port = static_cast<std::uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--port-file" && i + 1 < argc) {
+            port_file = argv[++i];
+        } else if (arg == "--workers" && i + 1 < argc) {
+            options.service.workers = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--engine" && i + 1 < argc) {
+            options.service.default_engine = argv[++i];
+        } else if (arg == "--policy" && i + 1 < argc) {
+            options.service.default_policy = argv[++i];
+        } else if (arg == "--serve-once" && i + 1 < argc) {
+            options.max_requests = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--corpus" && i + 1 < argc) {
+            corpus_path = argv[++i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    dataset::Corpus corpus;
+    try {
+        corpus = corpus_path.empty() ? dataset::Corpus::standard()
+                                     : gen::load_corpus(corpus_path);
+    } catch (const std::exception& error) {
+        std::printf("error: %s\n", error.what());
+        return 1;
+    }
+    kb::KnowledgeBase kbase;
+    const kb::SeedStats seeded = kb::seed_from_corpus(corpus, kbase);
+    options.service.knowledge_base = &kbase;
+
+    try {
+        serve::RepairServer server(options);
+        std::printf("repair_server: listening on 127.0.0.1:%u (%zu workers, "
+                    "default engine %s, kb %zu entries)\n",
+                    server.port(), server.service().workers(),
+                    options.service.default_engine.c_str(),
+                    seeded.entries_added);
+        std::fflush(stdout);
+        if (!port_file.empty()) {
+            std::ofstream out(port_file);
+            out << server.port() << "\n";
+            if (!out) {
+                std::printf("error: cannot write port file %s\n",
+                            port_file.c_str());
+                return 1;
+            }
+        }
+        server.wait();
+        const serve::ServiceStats stats = server.service().stats();
+        std::printf("repair_server: served %llu requests (%llu repaired, "
+                    "%llu failed), prompt cache %.1f%% hits, "
+                    "%llu scheduler steals\n",
+                    static_cast<unsigned long long>(server.requests_served()),
+                    static_cast<unsigned long long>(stats.completed -
+                                                    stats.failed),
+                    static_cast<unsigned long long>(stats.failed),
+                    100.0 * stats.prompt_cache.hit_rate(),
+                    static_cast<unsigned long long>(stats.scheduler.steals));
+    } catch (const std::invalid_argument& error) {
+        // A bad --engine/--policy default: print the registry tables.
+        std::printf("error: %s\n\n", error.what());
+        return usage(argv[0]);
+    } catch (const std::exception& error) {
+        std::printf("error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

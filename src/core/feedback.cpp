@@ -21,7 +21,17 @@ void FeedbackStore::record(const std::string& feature_key,
         ++outcome.failures;
     }
     outcome.total_overhead_ms += triplet.overhead_ms;
+    journal_.push_back({feature_key, rule_id, triplet});
     ++records_;
+}
+
+void FeedbackStore::absorb(const FeedbackStore& other,
+                           std::uint64_t from_record) {
+    const std::vector<FeedbackRecord>& journal = other.journal();
+    for (std::size_t i = from_record; i < journal.size(); ++i) {
+        const FeedbackRecord& entry = journal[i];
+        record(entry.feature_key, entry.rule_id, entry.triplet);
+    }
 }
 
 std::vector<std::string> FeedbackStore::preferred_rules(

@@ -32,6 +32,14 @@ struct RuleOutcome {
     [[nodiscard]] double score() const;
 };
 
+/// One journaled record() call — enough to replay the outcome into
+/// another store.
+struct FeedbackRecord {
+    std::string feature_key;
+    std::string rule_id;
+    EvalTriplet triplet;
+};
+
 class FeedbackStore {
   public:
     void record(const std::string& feature_key, const std::string& rule_id,
@@ -55,8 +63,24 @@ class FeedbackStore {
     [[nodiscard]] std::size_t key_count() const { return outcomes_.size(); }
     [[nodiscard]] std::uint64_t records() const { return records_; }
 
+    /// Every record() call in order — `records() == journal().size()`.
+    /// Copying a store copies its journal, so a snapshot handed to a
+    /// request can later be merged back via absorb() without double
+    /// counting the shared prefix.
+    [[nodiscard]] const std::vector<FeedbackRecord>& journal() const {
+        return journal_;
+    }
+
+    /// Replays `other`'s journal entries starting at index `from_record`
+    /// into this store. The serve layer hands each request a snapshot copy
+    /// of the warm store, then absorbs only the delta the request added
+    /// (`from_record` = the snapshot's records()) — replay through
+    /// record() keeps outcomes_ and journal_ consistent.
+    void absorb(const FeedbackStore& other, std::uint64_t from_record = 0);
+
   private:
     std::map<std::string, std::map<std::string, RuleOutcome>> outcomes_;
+    std::vector<FeedbackRecord> journal_;
     std::uint64_t records_ = 0;
 };
 

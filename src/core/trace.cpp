@@ -16,6 +16,8 @@ const char* trace_event_kind_name(TraceEventKind kind) {
         case TraceEventKind::SolutionsGenerated: return "solutions_generated";
         case TraceEventKind::ThinkingSwitch: return "thinking_switch";
         case TraceEventKind::Screen: return "screen";
+        case TraceEventKind::ServiceQueue: return "service_queue";
+        case TraceEventKind::ServiceComplete: return "service_complete";
     }
     return "?";
 }
@@ -58,6 +60,8 @@ void TraceStats::on_event(const TraceEvent& event) {
         case TraceEventKind::StageEnter:
         case TraceEventKind::StageExit:
         case TraceEventKind::Verify:
+        case TraceEventKind::ServiceQueue:
+        case TraceEventKind::ServiceComplete:
             break;
     }
 }

@@ -34,6 +34,10 @@ enum class TraceEventKind {
     Screen,              // a static pre-screening verdict; label = verdict
                          // ("proven-safe", "likely-ub", "unknown"),
                          // value = abstract ops spent
+    ServiceQueue,        // serve::RepairService dequeued a request;
+                         // label = engine id, value = queue wait (us)
+    ServiceComplete,     // serve::RepairService finished a request;
+                         // label = case id, value = total service time (us)
 };
 
 const char* trace_event_kind_name(TraceEventKind kind);

@@ -4,36 +4,45 @@
 
 namespace rustbrain::llm {
 
+PromptCache::PromptCache(support::EvictionPolicy policy,
+                         std::size_t capacity_per_shard) {
+    for (Shard& shard : shards_) {
+        shard.entries.configure(policy, capacity_per_shard);
+    }
+}
+
 std::optional<ChatResponse> PromptCache::lookup(std::uint64_t key) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.entries.find(key);
-    if (it == shard.entries.end()) {
+    const ChatResponse* entry = shard.entries.find(key);
+    if (entry == nullptr) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
-    return it->second;
+    return *entry;
 }
 
 void PromptCache::insert(std::uint64_t key, const ChatResponse& response) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.entries.size() >= kMaxEntriesPerShard) {
-        shard.entries.clear();
-        flushes_.fetch_add(1, std::memory_order_relaxed);
+    if (shard.entries.find(key) != nullptr) {
+        return;  // a racing thread inserted the identical response first
     }
-    shard.entries.emplace(key, response);
+    shard.entries.insert(key, response);
 }
 
 PromptCacheStats PromptCache::stats() const {
     PromptCacheStats stats;
     stats.hits = hits_.load(std::memory_order_relaxed);
     stats.misses = misses_.load(std::memory_order_relaxed);
-    stats.flushes = flushes_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         stats.entries += shard.entries.size();
+        const support::LruStats& lru = shard.entries.stats();
+        stats.flushes += lru.flushes;
+        stats.evictions += lru.evictions;
+        stats.evicted_idle_ticks += lru.evicted_idle_ticks;
     }
     return stats;
 }

@@ -1,18 +1,25 @@
 // CachingBackend — deterministic prompt-keyed memoization.
 //
 // A PromptCache is shared across every session of a sweep (and across
-// repeated sweeps in the same process). The cache key is the full call
-// identity — (session tag, session seed, sequence, temperature, message
-// contents) — and backends are per-call deterministic in exactly those
-// inputs, so a cached answer is bit-identical to a live one: sweeps with
-// and without the cache produce the same CaseResults (asserted in
+// repeated sweeps — or, in service mode, across every request a
+// serve::RepairService handles). The cache key is the full call identity —
+// (session tag, session seed, sequence, temperature, message contents) —
+// and backends are per-call deterministic in exactly those inputs, so a
+// cached answer is bit-identical to a live one: sweeps with and without
+// the cache produce the same CaseResults (asserted in
 // tests/llm_backend_test.cpp). Repeated configurations — the same sweep at
-// several worker counts, re-runs of a config inside one bench — answer
-// almost entirely from cache, skipping the simulated model's parse/
-// mutate/print work on the hot path.
+// several worker counts, re-runs of a config inside one bench, zipfian
+// repeat traffic through the repair service — answer almost entirely from
+// cache, skipping the simulated model's parse/mutate/print work on the hot
+// path.
 //
 // The store is sharded 16 ways to keep lock contention negligible when a
-// BatchRunner fans a sweep out across workers.
+// BatchRunner or RepairService fans requests out across workers. Each
+// shard is bounded by a support::LruMap: under the default Lru policy a
+// full shard evicts its least-recently-used entry (hot entries survive
+// pressure), while EvictionPolicy::FlushOnCap keeps the legacy
+// drop-the-whole-shard behavior for comparison. Either way dropping
+// entries is always safe — bit-identity means only speed is at stake.
 #pragma once
 
 #include <array>
@@ -22,9 +29,9 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "llm/backend.hpp"
+#include "support/lru.hpp"
 
 namespace rustbrain::llm {
 
@@ -32,10 +39,14 @@ struct PromptCacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::size_t entries = 0;
-    /// Flush-on-cap events: how many times a full shard was dropped.
-    /// Non-zero means the workload outgrew the cache; bit-identity makes
-    /// every flush safe (only speed is lost), same contract as VerifyCache.
+    /// Legacy flush-on-cap events (EvictionPolicy::FlushOnCap only): how
+    /// many times a full shard was dropped wholesale.
     std::uint64_t flushes = 0;
+    /// LRU evictions (default policy): single entries dropped at capacity,
+    /// plus the summed idle age (in shard accesses) of the victims —
+    /// evicted_idle_ticks / evictions = how cold the dropped entries were.
+    std::uint64_t evictions = 0;
+    std::uint64_t evicted_idle_ticks = 0;
 
     [[nodiscard]] double hit_rate() const {
         const std::uint64_t total = hits + misses;
@@ -45,26 +56,33 @@ struct PromptCacheStats {
 
 class PromptCache {
   public:
+    /// Default: true LRU eviction at ~512k responses total. The legacy
+    /// flush-on-cap behavior stays available behind the policy knob;
+    /// `capacity_per_shard` is exposed so tests can exercise eviction
+    /// pressure without millions of inserts.
+    explicit PromptCache(
+        support::EvictionPolicy policy = support::EvictionPolicy::Lru,
+        std::size_t capacity_per_shard = kDefaultEntriesPerShard);
+
     /// Returns the cached response for a call identity, counting a hit or
-    /// a miss.
+    /// a miss (a hit promotes the entry to most-recently-used).
     std::optional<ChatResponse> lookup(std::uint64_t key);
     void insert(std::uint64_t key, const ChatResponse& response);
     [[nodiscard]] PromptCacheStats stats() const;
 
   private:
     static constexpr std::size_t kShards = 16;
-    /// Per-shard cap (flush-on-cap): ~512k responses total.
-    static constexpr std::size_t kMaxEntriesPerShard = 32768;
+    /// Per-shard cap: ~512k responses total.
+    static constexpr std::size_t kDefaultEntriesPerShard = 32768;
     struct Shard {
         mutable std::mutex mutex;
-        std::unordered_map<std::uint64_t, ChatResponse> entries;
+        support::LruMap<std::uint64_t, ChatResponse> entries;
     };
     Shard& shard_for(std::uint64_t key) { return shards_[key % kShards]; }
 
     std::array<Shard, kShards> shards_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
-    std::atomic<std::uint64_t> flushes_{0};
 };
 
 class CachingBackend final : public LlmBackend {

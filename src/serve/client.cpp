@@ -1,0 +1,53 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/wire.hpp"
+
+namespace rustbrain::serve {
+
+RepairClient::RepairClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("connect 127.0.0.1:" + std::to_string(port) +
+                                 ": " + std::strerror(saved));
+    }
+}
+
+RepairClient::~RepairClient() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+std::string RepairClient::roundtrip_raw(const std::string& payload) {
+    write_frame(fd_, payload);
+    std::string response;
+    if (!read_frame(fd_, response)) {
+        throw std::runtime_error("server closed the connection");
+    }
+    return response;
+}
+
+RepairResponse RepairClient::repair(const RepairRequest& request) {
+    return parse_response(roundtrip_raw(render_request(request)));
+}
+
+}  // namespace rustbrain::serve

@@ -1,0 +1,38 @@
+// RepairClient — blocking loopback connection to a RepairServer.
+//
+// One connection, synchronous request/response: repair() frames a
+// RepairRequest, writes it, and blocks for the framed RepairResponse.
+// roundtrip_raw() ships an arbitrary payload instead, which is how the
+// bad-request error path is exercised end to end (a garbage frame must
+// come back as an ok=0 response, not a dropped connection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace rustbrain::serve {
+
+class RepairClient {
+  public:
+    /// Connects to 127.0.0.1:<port>. Throws std::runtime_error when the
+    /// connection cannot be established.
+    explicit RepairClient(std::uint16_t port);
+    ~RepairClient();
+    RepairClient(const RepairClient&) = delete;
+    RepairClient& operator=(const RepairClient&) = delete;
+
+    /// Framed round trip. Throws std::runtime_error on I/O failure or an
+    /// unparseable response.
+    RepairResponse repair(const RepairRequest& request);
+
+    /// Ship a raw payload (not necessarily a valid request) and return the
+    /// server's raw response payload.
+    std::string roundtrip_raw(const std::string& payload);
+
+  private:
+    int fd_ = -1;
+};
+
+}  // namespace rustbrain::serve

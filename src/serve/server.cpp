@@ -1,0 +1,177 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/wire.hpp"
+
+namespace rustbrain::serve {
+
+namespace {
+
+[[noreturn]] void fail_errno(const char* what) {
+    throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+RepairServer::RepairServer(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) fail_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        const int saved = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        errno = saved;
+        fail_errno("bind 127.0.0.1");
+    }
+    socklen_t addr_len = sizeof addr;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &addr_len) != 0) {
+        const int saved = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        errno = saved;
+        fail_errno("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+    if (::listen(listen_fd_, 16) != 0) {
+        const int saved = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        errno = saved;
+        fail_errno("listen");
+    }
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+RepairServer::~RepairServer() { stop(); }
+
+void RepairServer::accept_loop() {
+    while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            // stop() shut the listener down — or it genuinely failed;
+            // either way the accept loop is over.
+            break;
+        }
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            ::close(fd);
+            continue;
+        }
+        open_connections_.push_back(fd);
+        handlers_.emplace_back([this, fd] { handle_connection(fd); });
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        accept_done_ = true;
+    }
+    stopped_cv_.notify_all();
+}
+
+void RepairServer::handle_connection(int fd) {
+    std::string payload;
+    while (true) {
+        try {
+            if (!read_frame(fd, payload)) break;  // client closed cleanly
+        } catch (const std::exception&) {
+            break;  // unframeable stream: nothing sane left to answer on
+        }
+        RepairResponse response;
+        try {
+            response = service_.repair(parse_request(payload));
+        } catch (const std::exception& error) {
+            // A frame that does not parse as a request still gets a framed
+            // answer — the bad-request error path CI exercises.
+            response.ok = false;
+            response.error = error.what();
+        }
+        try {
+            write_frame(fd, render_response(response));
+        } catch (const std::exception&) {
+            break;  // client went away mid-response
+        }
+        const std::uint64_t served = requests_served_.fetch_add(1) + 1;
+        if (options_.max_requests != 0 && served >= options_.max_requests) {
+            // Budget reached: close the front door. The joins happen in
+            // stop()/wait() on an external thread — never here, a handler
+            // cannot join itself.
+            bool already_stopping = false;
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                already_stopping = stopping_;
+                stopping_ = true;
+            }
+            if (!already_stopping && listen_fd_ >= 0) {
+                ::shutdown(listen_fd_, SHUT_RDWR);
+            }
+            stopped_cv_.notify_all();
+            break;
+        }
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        open_connections_.erase(std::remove(open_connections_.begin(),
+                                            open_connections_.end(), fd),
+                                open_connections_.end());
+    }
+    ::close(fd);
+}
+
+void RepairServer::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Wake handlers parked in read_frame on idle connections: their
+        // next read returns 0 and they exit, making the joins below safe
+        // even against a client that never closes.
+        for (int fd : open_connections_) ::shutdown(fd, SHUT_RDWR);
+    }
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    stopped_cv_.notify_all();
+    if (acceptor_.joinable()) acceptor_.join();
+    std::vector<std::thread> handlers;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        handlers.swap(handlers_);
+    }
+    for (std::thread& handler : handlers) {
+        if (handler.joinable()) handler.join();
+    }
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void RepairServer::wait() {
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopped_cv_.wait(lock, [this] { return stopping_ || accept_done_; });
+    }
+    stop();
+}
+
+}  // namespace rustbrain::serve

@@ -1,0 +1,73 @@
+// RepairServer — the loopback socket front-end over RepairService.
+//
+// Binds 127.0.0.1:<port> (port 0 = ephemeral, the bound port is queryable
+// for --port-file handoff), accepts connections on a background thread,
+// and serves each connection on its own handler thread: read one framed
+// request, hand it to the shared RepairService, write one framed response,
+// repeat until the client closes. A malformed frame gets an ok=0 error
+// response naming the parse failure — one bad client cannot take the
+// service down — and only an unframeable stream closes the connection.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace rustbrain::serve {
+
+struct ServerOptions {
+    ServiceOptions service;
+    /// 0 => ephemeral: bind whatever the kernel hands out, report it via
+    /// port().
+    std::uint16_t port = 0;
+    /// Stop accepting after serving this many requests (0 => serve until
+    /// stop()). The CI smoke job uses this for a clean, deterministic
+    /// shutdown.
+    std::uint64_t max_requests = 0;
+};
+
+class RepairServer {
+  public:
+    /// Binds and starts accepting. Throws std::runtime_error when the
+    /// socket cannot be created or bound.
+    explicit RepairServer(ServerOptions options = {});
+    ~RepairServer();
+    RepairServer(const RepairServer&) = delete;
+    RepairServer& operator=(const RepairServer&) = delete;
+
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+    [[nodiscard]] RepairService& service() { return service_; }
+    [[nodiscard]] std::uint64_t requests_served() const {
+        return requests_served_.load();
+    }
+
+    /// Stop accepting, close the listener, join every handler. Idempotent.
+    void stop();
+    /// Block until the server stopped (stop() called, or max_requests
+    /// reached and the last connection drained).
+    void wait();
+
+  private:
+    void accept_loop();
+    void handle_connection(int fd);
+
+    ServerOptions options_;
+    RepairService service_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptor_;
+    std::mutex mutex_;
+    std::condition_variable stopped_cv_;
+    std::vector<std::thread> handlers_;
+    std::vector<int> open_connections_;
+    bool stopping_ = false;
+    bool accept_done_ = false;
+    std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace rustbrain::serve

@@ -1,0 +1,138 @@
+#include "support/work_steal.hpp"
+
+#include <utility>
+
+namespace rustbrain::support {
+
+WorkStealScheduler::WorkStealScheduler(ThreadPool& pool) : pool_(pool) {
+    deques_.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        deques_.push_back(std::make_unique<WorkerDeque>());
+    }
+    // One driver per pool worker, pinned for the scheduler's lifetime. The
+    // drivers are plain pool jobs, so the pool's own exception/idle
+    // machinery stays untouched.
+    for (std::size_t i = 0; i < deques_.size(); ++i) {
+        pool_.submit([this, i] { worker_loop(i); });
+    }
+}
+
+WorkStealScheduler::~WorkStealScheduler() {
+    {
+        const std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    // Drivers drain their deques before exiting; once they return the pool
+    // is idle and the deques can be torn down safely.
+    pool_.wait_idle();
+}
+
+void WorkStealScheduler::submit(Task task) {
+    std::size_t target = 0;
+    {
+        const std::lock_guard<std::mutex> lock(sleep_mutex_);
+        target = next_target_++ % deques_.size();
+    }
+    {
+        WorkerDeque& deque = *deques_[target];
+        const std::lock_guard<std::mutex> lock(deque.mutex);
+        deque.tasks.push_back(std::move(task));
+    }
+    {
+        // Counters move only after the task is visible in a deque, so a
+        // woken worker always finds what the predicate promised.
+        const std::lock_guard<std::mutex> lock(sleep_mutex_);
+        ++queued_;
+        ++outstanding_;
+        ++submitted_;
+    }
+    work_ready_.notify_one();
+}
+
+bool WorkStealScheduler::try_take(std::size_t worker, Task& task, bool& stolen) {
+    {
+        WorkerDeque& own = *deques_[worker];
+        const std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.back());
+            own.tasks.pop_back();  // LIFO on our own deque
+            stolen = false;
+            return true;
+        }
+    }
+    for (std::size_t offset = 1; offset < deques_.size(); ++offset) {
+        WorkerDeque& victim = *deques_[(worker + offset) % deques_.size()];
+        const std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.front());
+            victim.tasks.pop_front();  // FIFO steal: take the oldest work
+            stolen = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+void WorkStealScheduler::worker_loop(std::size_t worker) {
+    while (true) {
+        Task task;
+        bool stolen = false;
+        if (try_take(worker, task, stolen)) {
+            {
+                const std::lock_guard<std::mutex> lock(sleep_mutex_);
+                --queued_;
+                if (stolen) ++steals_;
+            }
+            try {
+                task(worker);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(sleep_mutex_);
+                if (!first_error_) first_error_ = std::current_exception();
+            }
+            {
+                WorkerDeque& own = *deques_[worker];
+                const std::lock_guard<std::mutex> lock(own.mutex);
+                ++own.executed;
+            }
+            bool done = false;
+            {
+                const std::lock_guard<std::mutex> lock(sleep_mutex_);
+                --outstanding_;
+                done = outstanding_ == 0;
+            }
+            if (done) all_done_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+        if (stopping_ && queued_ == 0) return;
+    }
+}
+
+void WorkStealScheduler::wait_idle() {
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        all_done_.wait(lock, [this] { return outstanding_ == 0; });
+        error = std::exchange(first_error_, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+WorkStealScheduler::Stats WorkStealScheduler::stats() const {
+    Stats stats;
+    {
+        const std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stats.submitted = submitted_;
+        stats.steals = steals_;
+    }
+    stats.executed.reserve(deques_.size());
+    for (const auto& deque : deques_) {
+        const std::lock_guard<std::mutex> lock(deque->mutex);
+        stats.executed.push_back(deque->executed);
+    }
+    return stats;
+}
+
+}  // namespace rustbrain::support

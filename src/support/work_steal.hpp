@@ -1,0 +1,89 @@
+// WorkStealScheduler — per-worker deques with steal-on-idle, layered on
+// ThreadPool.
+//
+// ThreadPool::parallel_for load-balances a *closed* index range; a
+// long-lived service needs the open-ended shape: tasks trickle in forever,
+// and a worker that drains its own deque should take work from a loaded
+// sibling instead of sleeping. The scheduler pins one driver job per
+// ThreadPool worker for its whole lifetime; submissions land round-robin
+// on per-worker deques; owners pop newest-first (LIFO keeps a worker's
+// working set warm), thieves steal oldest-first (FIFO takes the work the
+// owner would reach last). Steal counts and per-worker execution tallies
+// are exposed so imbalance is measurable, not guessed.
+//
+// Exceptions thrown by tasks are captured and rethrown on the next
+// wait_idle() (first one wins), mirroring ThreadPool's contract; the
+// worker that caught one keeps serving.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace rustbrain::support {
+
+class WorkStealScheduler {
+  public:
+    /// Runs on the worker that executed it; `worker` is in [0, size()).
+    using Task = std::function<void(std::size_t worker)>;
+
+    struct Stats {
+        std::uint64_t submitted = 0;
+        std::uint64_t steals = 0;  // tasks executed off another worker's deque
+        std::vector<std::uint64_t> executed;  // per worker
+    };
+
+    /// Occupies every worker of `pool` for the scheduler's lifetime; the
+    /// pool must outlive the scheduler and must not be used for anything
+    /// else while it lives.
+    explicit WorkStealScheduler(ThreadPool& pool);
+    ~WorkStealScheduler();
+
+    WorkStealScheduler(const WorkStealScheduler&) = delete;
+    WorkStealScheduler& operator=(const WorkStealScheduler&) = delete;
+
+    /// Enqueue one task (thread-safe; round-robin over the worker deques).
+    void submit(Task task);
+
+    /// Block until every submitted task has finished, then rethrow the
+    /// first captured task exception (if any).
+    void wait_idle();
+
+    [[nodiscard]] std::size_t size() const { return deques_.size(); }
+    [[nodiscard]] Stats stats() const;
+
+  private:
+    struct WorkerDeque {
+        mutable std::mutex mutex;
+        std::deque<Task> tasks;
+        std::uint64_t executed = 0;
+    };
+
+    void worker_loop(std::size_t worker);
+    /// Pop from our own deque (back = newest), else steal from a sibling
+    /// (front = oldest). `stolen` reports which happened.
+    bool try_take(std::size_t worker, Task& task, bool& stolen);
+
+    ThreadPool& pool_;
+    std::vector<std::unique_ptr<WorkerDeque>> deques_;
+    mutable std::mutex sleep_mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable all_done_;
+    std::uint64_t queued_ = 0;       // submitted, not yet taken
+    std::uint64_t outstanding_ = 0;  // submitted, not yet finished
+    std::uint64_t submitted_ = 0;
+    std::uint64_t steals_ = 0;
+    std::uint64_t next_target_ = 0;  // round-robin submission cursor
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace rustbrain::support

@@ -1,0 +1,37 @@
+#include "support/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rustbrain::support {
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) : skew_(skew) {
+    if (n == 0) {
+        throw std::invalid_argument("ZipfSampler: n must be > 0");
+    }
+    if (!(skew >= 0.0) || !std::isfinite(skew)) {
+        throw std::invalid_argument("ZipfSampler: skew must be finite and >= 0");
+    }
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+        cdf_[k] = total;
+    }
+    for (double& value : cdf_) value /= total;
+    cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+    const double u = rng.next_double();  // in [0, 1)
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+    if (rank >= cdf_.size()) return 0.0;
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace rustbrain::support

@@ -1,0 +1,40 @@
+// ZipfSampler — deterministic zipfian rank sampling.
+//
+// Realistic repeated traffic is skewed: a few cases dominate while a long
+// tail appears once. The traffic-replay bench (and any forge workload that
+// wants realistic repetition) draws case indices from Zipf(s) over n ranks:
+// P(rank k) proportional to 1 / (k+1)^s. s = 0 degenerates to uniform;
+// larger s concentrates mass on the smallest ranks. Sampling inverts the
+// precomputed CDF with a binary search, so a draw is O(log n) and the
+// sequence is a pure function of (n, s, rng seed) — the same determinism
+// contract as every other stochastic component (support/rng.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rustbrain::support {
+
+class ZipfSampler {
+  public:
+    /// Distribution over ranks [0, n). `n` must be > 0; `skew` must be
+    /// >= 0 and finite. Throws std::invalid_argument otherwise.
+    ZipfSampler(std::size_t n, double skew);
+
+    /// Draw one rank using `rng` (callers own the stream, so the same
+    /// sampler can serve several independent deterministic sequences).
+    [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+    [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+    [[nodiscard]] double skew() const { return skew_; }
+    /// P(rank) — exposed for tests and for reporting expected repetition.
+    [[nodiscard]] double probability(std::size_t rank) const;
+
+  private:
+    double skew_ = 0.0;
+    std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); back() == 1.0
+};
+
+}  // namespace rustbrain::support

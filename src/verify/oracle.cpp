@@ -14,34 +14,39 @@ namespace rustbrain::verify {
 // VerifyCache
 // ---------------------------------------------------------------------------
 
+VerifyCache::VerifyCache(support::EvictionPolicy policy,
+                         std::size_t programs_per_shard,
+                         std::size_t reports_per_shard) {
+    for (Shard& shard : shards_) {
+        shard.programs.configure(policy, programs_per_shard);
+        shard.reports.configure(policy, reports_per_shard);
+    }
+}
+
 std::shared_ptr<const CompiledProgram> VerifyCache::lookup_program(
     std::uint64_t key, const std::string& source) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.programs.find(key);
-    if (it == shard.programs.end() || it->second->source != source) {
+    const auto* entry = shard.programs.find(key);
+    if (entry == nullptr || (*entry)->source != source) {
         program_misses_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
     }
     program_hits_.fetch_add(1, std::memory_order_relaxed);
-    return it->second;
+    return *entry;
 }
 
 std::shared_ptr<const CompiledProgram> VerifyCache::insert_program(
     std::uint64_t key, std::shared_ptr<const CompiledProgram> compiled) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.programs.find(key);
-    if (it == shard.programs.end()) {
-        if (shard.programs.size() >= kMaxProgramsPerShard) {
-            shard.programs.clear();
-            program_flushes_.fetch_add(1, std::memory_order_relaxed);
-        }
-        shard.programs.emplace(key, compiled);
+    const auto* entry = shard.programs.find(key);
+    if (entry == nullptr) {
+        shard.programs.insert(key, compiled);
         return compiled;
     }
-    if (it->second->source == compiled->source) {
-        return it->second;  // a racing thread's entry is just as canonical
+    if ((*entry)->source == compiled->source) {
+        return *entry;  // a racing thread's entry is just as canonical
     }
     // Hash collision: the slot belongs to a different source.
     return nullptr;
@@ -51,14 +56,14 @@ std::optional<miri::MiriReport> VerifyCache::lookup_report(
     const ReportKeyView& key, ScreenVerdictRecord* verdict) {
     Shard& shard = shard_for(key.hash);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.reports.find(key.hash);
-    if (it == shard.reports.end() || !it->second.matches(key)) {
+    const ReportEntry* entry = shard.reports.find(key.hash);
+    if (entry == nullptr || !entry->matches(key)) {
         report_misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
     report_hits_.fetch_add(1, std::memory_order_relaxed);
-    if (verdict != nullptr) *verdict = it->second.verdict;
-    return it->second.report;
+    if (verdict != nullptr) *verdict = entry->verdict;
+    return entry->report;
 }
 
 void VerifyCache::insert_report(const ReportKeyView& key,
@@ -66,12 +71,8 @@ void VerifyCache::insert_report(const ReportKeyView& key,
                                 const ScreenVerdictRecord* verdict) {
     Shard& shard = shard_for(key.hash);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.reports.count(key.hash) != 0) {
+    if (shard.reports.find(key.hash) != nullptr) {
         return;  // first entry wins; a colliding key simply stays uncached
-    }
-    if (shard.reports.size() >= kMaxReportsPerShard) {
-        shard.reports.clear();
-        report_flushes_.fetch_add(1, std::memory_order_relaxed);
     }
     ReportEntry entry;
     entry.fingerprint = key.fingerprint;
@@ -80,7 +81,7 @@ void VerifyCache::insert_report(const ReportKeyView& key,
     entry.input_sets = *key.input_sets;
     entry.report = report;
     if (verdict != nullptr) entry.verdict = *verdict;
-    shard.reports.emplace(key.hash, std::move(entry));
+    shard.reports.insert(key.hash, std::move(entry));
 }
 
 VerifyCacheStats VerifyCache::stats() const {
@@ -89,12 +90,18 @@ VerifyCacheStats VerifyCache::stats() const {
     stats.program_misses = program_misses_.load(std::memory_order_relaxed);
     stats.report_hits = report_hits_.load(std::memory_order_relaxed);
     stats.report_misses = report_misses_.load(std::memory_order_relaxed);
-    stats.program_flushes = program_flushes_.load(std::memory_order_relaxed);
-    stats.report_flushes = report_flushes_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         stats.programs += shard.programs.size();
         stats.reports += shard.reports.size();
+        const support::LruStats& programs = shard.programs.stats();
+        const support::LruStats& reports = shard.reports.stats();
+        stats.program_flushes += programs.flushes;
+        stats.report_flushes += reports.flushes;
+        stats.program_evictions += programs.evictions;
+        stats.report_evictions += reports.evictions;
+        stats.program_evicted_idle_ticks += programs.evicted_idle_ticks;
+        stats.report_evicted_idle_ticks += reports.evicted_idle_ticks;
     }
     return stats;
 }
@@ -333,6 +340,8 @@ std::string Oracle::stats_summary() const {
            std::to_string(s.reports) + " memoized reports, " +
            std::to_string(s.report_hits) + " report hits / " +
            std::to_string(s.report_misses) + " misses, " +
+           std::to_string(s.program_evictions + s.report_evictions) +
+           " evictions, " +
            std::to_string(s.program_flushes + s.report_flushes) +
            " shard flushes" + (caching_ ? "" : " (RUSTBRAIN_VERIFY_CACHE=off)");
 }

@@ -57,6 +57,7 @@
 #include "miri/lower.hpp"
 #include "miri/mirilite.hpp"
 #include "screen/screen.hpp"
+#include "support/lru.hpp"
 
 namespace rustbrain::verify {
 
@@ -85,11 +86,18 @@ struct VerifyCacheStats {
     std::uint64_t report_misses = 0;
     std::size_t programs = 0;  // distinct compiled sources held
     std::size_t reports = 0;   // distinct memoized reports held
-    /// Flush-on-cap events: how many times a full shard was dropped. A
-    /// non-zero count means the workload outgrew the cache (the ROADMAP's
-    /// LRU item is the fix); bit-identity makes every flush safe.
+    /// Legacy flush-on-cap events (EvictionPolicy::FlushOnCap only): how
+    /// many times a full shard was dropped wholesale; bit-identity makes
+    /// every flush safe.
     std::uint64_t program_flushes = 0;
     std::uint64_t report_flushes = 0;
+    /// LRU evictions (default policy): single least-recently-used entries
+    /// dropped at capacity, plus the summed idle age (in shard accesses)
+    /// of the victims — hot entries survive pressure under LRU.
+    std::uint64_t program_evictions = 0;
+    std::uint64_t report_evictions = 0;
+    std::uint64_t program_evicted_idle_ticks = 0;
+    std::uint64_t report_evicted_idle_ticks = 0;
 
     [[nodiscard]] double report_hit_rate() const {
         const std::uint64_t total = report_hits + report_misses;
@@ -128,10 +136,22 @@ struct ReportKeyView {
 /// Collision safety: entries keep their full key material (the source text
 /// for programs, ReportKey for reports) and verify it on every hit; a
 /// 64-bit hash collision is answered by recomputing, never by the wrong
-/// entry. Growth is bounded: a shard that reaches its entry cap is flushed
-/// (bit-identity makes dropping entries always safe — only speed is lost).
+/// entry. Growth is bounded: each shard is a support::LruMap — under the
+/// default Lru policy a full shard evicts its least-recently-used entry
+/// (hits promote, so hot programs and reports survive pressure), while
+/// EvictionPolicy::FlushOnCap keeps the legacy drop-the-whole-shard
+/// behavior. Bit-identity makes dropping entries always safe — only speed
+/// is lost.
 class VerifyCache {
   public:
+    /// Default: true LRU eviction at ~64k programs / ~128k reports total.
+    /// The capacities are exposed so tests can exercise eviction pressure
+    /// cheaply.
+    explicit VerifyCache(
+        support::EvictionPolicy policy = support::EvictionPolicy::Lru,
+        std::size_t programs_per_shard = kDefaultProgramsPerShard,
+        std::size_t reports_per_shard = kDefaultReportsPerShard);
+
     /// Returns the canonical compiled program for `key` if it was built
     /// from exactly `source`, counting a hit or a miss.
     std::shared_ptr<const CompiledProgram> lookup_program(
@@ -158,9 +178,9 @@ class VerifyCache {
 
   private:
     static constexpr std::size_t kShards = 16;
-    /// Per-shard caps (flush-on-cap): ~64k programs / ~128k reports total.
-    static constexpr std::size_t kMaxProgramsPerShard = 4096;
-    static constexpr std::size_t kMaxReportsPerShard = 8192;
+    /// Per-shard caps: ~64k programs / ~128k reports total.
+    static constexpr std::size_t kDefaultProgramsPerShard = 4096;
+    static constexpr std::size_t kDefaultReportsPerShard = 8192;
     struct ReportEntry {
         std::uint64_t fingerprint = 0;
         std::uint64_t check = 0;
@@ -178,9 +198,9 @@ class VerifyCache {
     };
     struct Shard {
         mutable std::mutex mutex;
-        std::unordered_map<std::uint64_t, std::shared_ptr<const CompiledProgram>>
+        support::LruMap<std::uint64_t, std::shared_ptr<const CompiledProgram>>
             programs;
-        std::unordered_map<std::uint64_t, ReportEntry> reports;
+        support::LruMap<std::uint64_t, ReportEntry> reports;
     };
     Shard& shard_for(std::uint64_t key) { return shards_[key % kShards]; }
 
@@ -189,8 +209,6 @@ class VerifyCache {
     std::atomic<std::uint64_t> program_misses_{0};
     std::atomic<std::uint64_t> report_hits_{0};
     std::atomic<std::uint64_t> report_misses_{0};
-    std::atomic<std::uint64_t> program_flushes_{0};
-    std::atomic<std::uint64_t> report_flushes_{0};
 };
 
 struct OracleOptions {

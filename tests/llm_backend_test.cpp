@@ -138,10 +138,10 @@ TEST(CachingBackendTest, HitsPreserveResponseBytes) {
 }
 
 TEST(CachingBackendTest, FullShardFlushesAndCounts) {
-    // Keys are sharded key % 16; hammering one shard past its cap must
-    // flush it (bit-identity makes dropping entries safe) and count the
-    // event in stats — never grow without bound.
-    PromptCache cache;
+    // Legacy policy knob: keys are sharded key % 16; hammering one shard
+    // past its cap must flush it (bit-identity makes dropping entries
+    // safe) and count the event in stats — never grow without bound.
+    PromptCache cache(support::EvictionPolicy::FlushOnCap);
     ChatResponse response;
     response.content = "cached";
     constexpr std::uint64_t kShardStride = 16;

@@ -1,0 +1,207 @@
+// serve/wire — the framed text protocol: render/parse round-trip every
+// field byte-exactly (hexfloat doubles included), malformed payloads fail
+// naming the offending line, and framed fd I/O survives binary payloads,
+// reports clean EOF, and rejects hostile length prefixes.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dataset/corpus.hpp"
+#include "serve/wire.hpp"
+
+namespace rustbrain::serve {
+namespace {
+
+core::CaseResult full_result() {
+    core::CaseResult result;
+    result.case_id = "alloc/double_free_0";
+    result.pass = true;
+    result.exec = true;
+    result.time_ms = 1234.5 + 1.0 / 3.0;  // not representable in decimal
+    result.time_breakdown["llm"] = 0.1;
+    result.time_breakdown["verify"] = 7.0 / 11.0;
+    result.solutions_generated = 3;
+    result.steps_executed = 5;
+    result.rollbacks = 1;
+    result.llm_calls = 9;
+    result.kb_consulted = true;
+    result.kb_skipped_by_feedback = false;
+    result.thinking_switches = 2;
+    result.escalations = 1;
+    result.early_stops = 1;
+    result.attempts_skipped = 4;
+    result.screens = 6;
+    result.screen_proven_safe = 2;
+    result.screen_likely_ub = 3;
+    result.screen_unknown = 1;
+    result.error_trajectory = {3, 1, 0};
+    result.winning_rule = "use-after-free/guard";
+    // Multi-line source with a line that looks like the terminator — the
+    // byte-counted block must carry it through untouched.
+    result.final_source = "fn main() {\n    print_int(42);\n}\nend\n";
+    return result;
+}
+
+TEST(ServeWireTest, CaseResultRoundTripsByteExactly) {
+    const core::CaseResult original = full_result();
+    const std::string rendered = render_case_result(original);
+    const core::CaseResult parsed = parse_case_result(rendered);
+    // Byte-exactness of the rendering is the property deterministic mode
+    // byte-compares rest on: render(parse(render(x))) == render(x).
+    EXPECT_EQ(render_case_result(parsed), rendered);
+    EXPECT_EQ(parsed.case_id, original.case_id);
+    EXPECT_EQ(parsed.pass, original.pass);
+    EXPECT_EQ(parsed.exec, original.exec);
+    EXPECT_EQ(parsed.time_ms, original.time_ms);  // exact, not NEAR
+    EXPECT_EQ(parsed.time_breakdown, original.time_breakdown);
+    EXPECT_EQ(parsed.solutions_generated, original.solutions_generated);
+    EXPECT_EQ(parsed.steps_executed, original.steps_executed);
+    EXPECT_EQ(parsed.rollbacks, original.rollbacks);
+    EXPECT_EQ(parsed.llm_calls, original.llm_calls);
+    EXPECT_EQ(parsed.kb_consulted, original.kb_consulted);
+    EXPECT_EQ(parsed.kb_skipped_by_feedback, original.kb_skipped_by_feedback);
+    EXPECT_EQ(parsed.thinking_switches, original.thinking_switches);
+    EXPECT_EQ(parsed.escalations, original.escalations);
+    EXPECT_EQ(parsed.early_stops, original.early_stops);
+    EXPECT_EQ(parsed.attempts_skipped, original.attempts_skipped);
+    EXPECT_EQ(parsed.screens, original.screens);
+    EXPECT_EQ(parsed.screen_proven_safe, original.screen_proven_safe);
+    EXPECT_EQ(parsed.screen_likely_ub, original.screen_likely_ub);
+    EXPECT_EQ(parsed.screen_unknown, original.screen_unknown);
+    EXPECT_EQ(parsed.error_trajectory, original.error_trajectory);
+    EXPECT_EQ(parsed.winning_rule, original.winning_rule);
+    EXPECT_EQ(parsed.final_source, original.final_source);
+}
+
+TEST(ServeWireTest, RequestRoundTripsIncludingTheCase) {
+    const dataset::Corpus corpus = dataset::Corpus::standard();
+    RepairRequest request;
+    request.ticket = "ticket with spaces\nand a newline";
+    request.engine = "rustbrain";
+    request.options = "seed=7,temperature=0.25";
+    request.policy = "feedback-guided,threshold=2";
+    request.use_feedback = true;
+    request.ub_case = corpus.cases().front();
+
+    const std::string rendered = render_request(request);
+    const RepairRequest parsed = parse_request(rendered);
+    EXPECT_EQ(render_request(parsed), rendered);
+    EXPECT_EQ(parsed.ticket, request.ticket);
+    EXPECT_EQ(parsed.engine, request.engine);
+    EXPECT_EQ(parsed.options, request.options);
+    EXPECT_EQ(parsed.policy, request.policy);
+    EXPECT_EQ(parsed.use_feedback, request.use_feedback);
+    EXPECT_EQ(parsed.ub_case.id, request.ub_case.id);
+    EXPECT_EQ(parsed.ub_case.buggy_source, request.ub_case.buggy_source);
+    EXPECT_EQ(parsed.ub_case.reference_fix, request.ub_case.reference_fix);
+    EXPECT_EQ(parsed.ub_case.inputs, request.ub_case.inputs);
+    EXPECT_EQ(parsed.ub_case.category, request.ub_case.category);
+    EXPECT_EQ(parsed.ub_case.difficulty, request.ub_case.difficulty);
+}
+
+TEST(ServeWireTest, ResponseRoundTripsBothOutcomes) {
+    RepairResponse ok;
+    ok.ticket = "t-1";
+    ok.ok = true;
+    ok.result = full_result();
+    ok.worker = 3;
+    ok.queue_ms = 0.125;
+    ok.service_ms = 17.375;
+    const std::string ok_rendered = render_response(ok);
+    const RepairResponse ok_parsed = parse_response(ok_rendered);
+    EXPECT_EQ(render_response(ok_parsed), ok_rendered);
+    EXPECT_TRUE(ok_parsed.ok);
+    EXPECT_EQ(ok_parsed.ticket, "t-1");
+    EXPECT_EQ(ok_parsed.worker, 3u);
+    EXPECT_EQ(ok_parsed.queue_ms, 0.125);
+    EXPECT_EQ(ok_parsed.service_ms, 17.375);
+    EXPECT_EQ(render_case_result(ok_parsed.result),
+              render_case_result(ok.result));
+
+    RepairResponse failed;
+    failed.ticket = "t-2";
+    failed.ok = false;
+    failed.error = "unknown engine 'nope'\navailable: rustbrain, ...";
+    const RepairResponse failed_parsed =
+        parse_response(render_response(failed));
+    EXPECT_FALSE(failed_parsed.ok);
+    EXPECT_EQ(failed_parsed.error, failed.error);
+    EXPECT_EQ(failed_parsed.result.case_id, "");
+}
+
+TEST(ServeWireTest, MalformedPayloadsThrowNamingTheLine) {
+    try {
+        (void)parse_case_result("this is not a case result\n");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& error) {
+        EXPECT_NE(std::string(error.what()).find("wire format error (line"),
+                  std::string::npos)
+            << error.what();
+    }
+    EXPECT_THROW((void)parse_request("garbage\n"), std::runtime_error);
+    EXPECT_THROW((void)parse_response(""), std::runtime_error);
+    // A truncated but well-prefixed rendering fails too.
+    const std::string rendered = render_case_result(full_result());
+    EXPECT_THROW((void)parse_case_result(
+                     rendered.substr(0, rendered.size() / 2)),
+                 std::runtime_error);
+}
+
+TEST(ServeWireTest, FramePrefixIsBigEndianAndBounded) {
+    const std::string framed = frame("abc");
+    ASSERT_EQ(framed.size(), 7u);
+    EXPECT_EQ(static_cast<unsigned char>(framed[0]), 0u);
+    EXPECT_EQ(static_cast<unsigned char>(framed[1]), 0u);
+    EXPECT_EQ(static_cast<unsigned char>(framed[2]), 0u);
+    EXPECT_EQ(static_cast<unsigned char>(framed[3]), 3u);
+    EXPECT_EQ(framed.substr(4), "abc");
+    EXPECT_THROW((void)frame(std::string(kMaxFramePayload + 1, 'x')),
+                 std::invalid_argument);
+}
+
+TEST(ServeWireTest, FramedFdIoRoundTripsBinaryAndReportsCleanEof) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::string binary("\x00\xff\x01\nnot a line\x00tail", 19);
+    write_frame(fds[1], binary);
+    write_frame(fds[1], "");  // empty payloads are legal frames
+    ::close(fds[1]);
+    std::string payload;
+    ASSERT_TRUE(read_frame(fds[0], payload));
+    EXPECT_EQ(payload, binary);
+    ASSERT_TRUE(read_frame(fds[0], payload));
+    EXPECT_EQ(payload, "");
+    EXPECT_FALSE(read_frame(fds[0], payload));  // clean EOF, no throw
+    ::close(fds[0]);
+}
+
+TEST(ServeWireTest, TruncatedFrameThrowsInsteadOfReturningEof) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    // Prefix promises 10 bytes; only 3 arrive before EOF.
+    const unsigned char prefix[4] = {0, 0, 0, 10};
+    ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+    ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+    ::close(fds[1]);
+    std::string payload;
+    EXPECT_THROW((void)read_frame(fds[0], payload), std::runtime_error);
+    ::close(fds[0]);
+}
+
+TEST(ServeWireTest, OversizedLengthPrefixIsRejectedBeforeAllocating) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};  // ~4 GiB
+    ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+    ::close(fds[1]);
+    std::string payload;
+    EXPECT_THROW((void)read_frame(fds[0], payload), std::runtime_error);
+    ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace rustbrain::serve

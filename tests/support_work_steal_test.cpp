@@ -1,0 +1,134 @@
+// support::WorkStealScheduler — per-worker deques over ThreadPool: every
+// submitted task runs exactly once, idle workers steal from loaded
+// siblings, task exceptions surface on wait_idle, and the scheduler stays
+// serviceable afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+#include "support/work_steal.hpp"
+
+namespace rustbrain::support {
+namespace {
+
+TEST(WorkStealSchedulerTest, EveryTaskRunsExactlyOnce) {
+    ThreadPool pool(4);
+    WorkStealScheduler scheduler(pool);
+    constexpr int kTasks = 500;
+    std::atomic<int> runs{0};
+    std::vector<std::atomic<int>> per_task(kTasks);
+    for (auto& counter : per_task) counter = 0;
+    for (int i = 0; i < kTasks; ++i) {
+        scheduler.submit([&, i](std::size_t) {
+            ++per_task[i];
+            ++runs;
+        });
+    }
+    scheduler.wait_idle();
+    EXPECT_EQ(runs.load(), kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(per_task[i].load(), 1) << "task " << i;
+    }
+    const WorkStealScheduler::Stats stats = scheduler.stats();
+    EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(std::accumulate(stats.executed.begin(), stats.executed.end(),
+                              std::uint64_t{0}),
+              static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(WorkStealSchedulerTest, IdleWorkerStealsFromALoadedSibling) {
+    ThreadPool pool(2);
+    WorkStealScheduler scheduler(pool);
+
+    // Occupy one worker with a gate; only once it is demonstrably running
+    // (not merely queued) pile tasks onto both deques: round-robin puts
+    // half the backlog on the blocked worker's deque, which the free
+    // worker can only reach by stealing.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    std::atomic<bool> gate_entered{false};
+    std::atomic<int> done{0};
+    scheduler.submit([&](std::size_t) {
+        gate_entered = true;
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+        ++done;
+    });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!gate_entered.load() &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(gate_entered.load());
+    for (int i = 0; i < 16; ++i) {
+        scheduler.submit([&](std::size_t) { ++done; });
+    }
+    // The 16 follow-up tasks can only run on the one unblocked worker, and
+    // half of them landed on the blocked worker's deque.
+    while (done.load() < 16 && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(done.load(), 16);
+    {
+        const std::lock_guard<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    scheduler.wait_idle();
+    EXPECT_EQ(done.load(), 17);
+    EXPECT_GT(scheduler.stats().steals, 0u);
+}
+
+TEST(WorkStealSchedulerTest, TaskExceptionSurfacesOnWaitIdle) {
+    ThreadPool pool(2);
+    WorkStealScheduler scheduler(pool);
+    std::atomic<int> survivors{0};
+    scheduler.submit(
+        [](std::size_t) { throw std::runtime_error("task failed"); });
+    for (int i = 0; i < 8; ++i) {
+        scheduler.submit([&](std::size_t) { ++survivors; });
+    }
+    EXPECT_THROW(scheduler.wait_idle(), std::runtime_error);
+    // The failure neither killed the workers nor wedged the queue.
+    EXPECT_EQ(survivors.load(), 8);
+    scheduler.submit([&](std::size_t) { ++survivors; });
+    scheduler.wait_idle();  // error already consumed: no rethrow
+    EXPECT_EQ(survivors.load(), 9);
+}
+
+TEST(WorkStealSchedulerTest, WorkerIdsAreWithinRange) {
+    ThreadPool pool(3);
+    WorkStealScheduler scheduler(pool);
+    std::mutex mutex;
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 64; ++i) {
+        scheduler.submit([&](std::size_t worker) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            seen.insert(worker);
+        });
+    }
+    scheduler.wait_idle();
+    ASSERT_FALSE(seen.empty());
+    EXPECT_LT(*seen.rbegin(), 3u);
+}
+
+TEST(WorkStealSchedulerTest, WaitIdleOnEmptySchedulerReturnsImmediately) {
+    ThreadPool pool(2);
+    WorkStealScheduler scheduler(pool);
+    scheduler.wait_idle();
+    EXPECT_EQ(scheduler.stats().submitted, 0u);
+}
+
+}  // namespace
+}  // namespace rustbrain::support
