@@ -26,7 +26,7 @@ std::optional<ChatResponse> PromptCache::lookup(std::uint64_t key) {
 void PromptCache::insert(std::uint64_t key, const ChatResponse& response) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.entries.find(key) != nullptr) {
+    if (shard.entries.peek(key) != nullptr) {
         return;  // a racing thread inserted the identical response first
     }
     shard.entries.insert(key, response);

@@ -73,13 +73,31 @@ void RepairServer::accept_loop() {
             // either way the accept loop is over.
             break;
         }
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_) {
-            ::close(fd);
-            continue;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) {
+                ::close(fd);
+                continue;
+            }
+            open_connections_.push_back(fd);
+            ++active_handlers_;
         }
-        open_connections_.push_back(fd);
-        handlers_.emplace_back([this, fd] { handle_connection(fd); });
+        try {
+            std::thread([this, fd] { handle_connection(fd); }).detach();
+        } catch (...) {
+            // Could not spawn a handler: undo the registration and drop
+            // the connection instead of leaking the liveness count.
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                open_connections_.erase(
+                    std::remove(open_connections_.begin(),
+                                open_connections_.end(), fd),
+                    open_connections_.end());
+                --active_handlers_;
+            }
+            stopped_cv_.notify_all();
+            ::close(fd);
+        }
     }
     {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -130,20 +148,29 @@ void RepairServer::handle_connection(int fd) {
     }
     ::shutdown(fd, SHUT_RDWR);
     {
+        // Self-reap: this detached thread's decrement (and the notify,
+        // made under the lock so stop() cannot miss it) is its last touch
+        // of `this` — after the unlock, stop() may return and the server
+        // may be destroyed. Only the local fd is used past this point.
         const std::lock_guard<std::mutex> lock(mutex_);
         open_connections_.erase(std::remove(open_connections_.begin(),
                                             open_connections_.end(), fd),
                                 open_connections_.end());
+        --active_handlers_;
+        stopped_cv_.notify_all();
     }
     ::close(fd);
 }
 
 void RepairServer::stop() {
+    // One stop at a time: wait() and the destructor may call this
+    // concurrently, and only one caller may join the acceptor.
+    const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
         // Wake handlers parked in read_frame on idle connections: their
-        // next read returns 0 and they exit, making the joins below safe
+        // next read returns 0 and they exit, so the drain below finishes
         // even against a client that never closes.
         for (int fd : open_connections_) ::shutdown(fd, SHUT_RDWR);
     }
@@ -152,13 +179,11 @@ void RepairServer::stop() {
     }
     stopped_cv_.notify_all();
     if (acceptor_.joinable()) acceptor_.join();
-    std::vector<std::thread> handlers;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        handlers.swap(handlers_);
-    }
-    for (std::thread& handler : handlers) {
-        if (handler.joinable()) handler.join();
+        // Handlers are detached; wait for every one to self-reap before
+        // the server (and the RepairService they call into) goes away.
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopped_cv_.wait(lock, [this] { return active_handlers_ == 0; });
     }
     if (listen_fd_ >= 0) {
         ::close(listen_fd_);

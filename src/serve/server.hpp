@@ -46,7 +46,8 @@ class RepairServer {
         return requests_served_.load();
     }
 
-    /// Stop accepting, close the listener, join every handler. Idempotent.
+    /// Stop accepting, close the listener, drain every handler.
+    /// Idempotent, including against concurrent callers.
     void stop();
     /// Block until the server stopped (stop() called, or max_requests
     /// reached and the last connection drained).
@@ -62,8 +63,14 @@ class RepairServer {
     std::uint16_t port_ = 0;
     std::thread acceptor_;
     std::mutex mutex_;
+    /// Serializes stop() bodies: wait() and the destructor may race, and
+    /// only one of them may join the acceptor.
+    std::mutex stop_mutex_;
     std::condition_variable stopped_cv_;
-    std::vector<std::thread> handlers_;
+    /// Handlers are detached and self-reaping (a long-lived server must
+    /// not accumulate one dead std::thread per finished connection); this
+    /// count is how stop() knows every handler has drained.
+    std::size_t active_handlers_ = 0;
     std::vector<int> open_connections_;
     bool stopping_ = false;
     bool accept_done_ = false;

@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -70,13 +71,20 @@ class Reader {
     }
 
     std::uint64_t parse_u64(const std::string& text, const char* what) {
-        try {
-            std::size_t consumed = 0;
-            const unsigned long long value = std::stoull(text, &consumed);
-            if (consumed == text.size() && !text.empty() && text[0] != '-') {
-                return value;
+        // All-digits only: stoull alone would also accept leading
+        // whitespace and '+'/'-' signs, which are not canonical wire form.
+        bool digits = !text.empty();
+        for (const char c : text) {
+            if (c < '0' || c > '9') {
+                digits = false;
+                break;
             }
-        } catch (...) {
+        }
+        if (digits) {
+            try {
+                return std::stoull(text);
+            } catch (...) {  // out of range
+            }
         }
         fail(std::string(what) + " is not an unsigned integer: '" + text +
              "'");
@@ -350,8 +358,15 @@ void write_frame(int fd, const std::string& payload) {
     const std::string framed = frame(payload);
     std::size_t written = 0;
     while (written < framed.size()) {
-        const ssize_t n =
-            ::write(fd, framed.data() + written, framed.size() - written);
+        // MSG_NOSIGNAL: a peer that disconnects before the response lands
+        // must surface as EPIPE (an exception the handler catches), not as
+        // a SIGPIPE that kills the whole process.
+        ssize_t n = ::send(fd, framed.data() + written,
+                           framed.size() - written, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK) {
+            // Not a socket (the wire tests frame over plain pipes).
+            n = ::write(fd, framed.data() + written, framed.size() - written);
+        }
         if (n < 0) {
             if (errno == EINTR) continue;
             throw std::runtime_error(std::string("frame write failed: ") +

@@ -61,6 +61,15 @@ class LruMap {
         return &it->second->value;
     }
 
+    /// The entry for `key` with no LRU promotion — for callers that must
+    /// validate the entry first (hash-collision checks): a mismatching
+    /// probe is a miss and must not refresh the colliding owner's slot.
+    /// Promote with find() once the match check succeeds.
+    Value* peek(const Key& key) {
+        auto it = index_.find(key);
+        return it == index_.end() ? nullptr : &it->second->value;
+    }
+
     /// Insert a fresh entry as most-recently-used, evicting (or flushing)
     /// first when at capacity. Precondition: `key` is absent (callers
     /// always find() first under the same lock).

@@ -27,26 +27,30 @@ std::shared_ptr<const CompiledProgram> VerifyCache::lookup_program(
     std::uint64_t key, const std::string& source) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto* entry = shard.programs.find(key);
+    // peek + find: a fingerprint collision (source mismatch) is a miss
+    // and must not promote the colliding owner's entry to MRU.
+    const auto* entry = shard.programs.peek(key);
     if (entry == nullptr || (*entry)->source != source) {
         program_misses_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
     }
     program_hits_.fetch_add(1, std::memory_order_relaxed);
-    return *entry;
+    return *shard.programs.find(key);
 }
 
 std::shared_ptr<const CompiledProgram> VerifyCache::insert_program(
     std::uint64_t key, std::shared_ptr<const CompiledProgram> compiled) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto* entry = shard.programs.find(key);
+    const auto* entry = shard.programs.peek(key);
     if (entry == nullptr) {
         shard.programs.insert(key, compiled);
         return compiled;
     }
     if ((*entry)->source == compiled->source) {
-        return *entry;  // a racing thread's entry is just as canonical
+        // A racing thread's entry is just as canonical; promote it — this
+        // was a genuine access to that program.
+        return *shard.programs.find(key);
     }
     // Hash collision: the slot belongs to a different source.
     return nullptr;
@@ -56,12 +60,15 @@ std::optional<miri::MiriReport> VerifyCache::lookup_report(
     const ReportKeyView& key, ScreenVerdictRecord* verdict) {
     Shard& shard = shard_for(key.hash);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    const ReportEntry* entry = shard.reports.find(key.hash);
+    // peek + find: a hash collision (key mismatch) is a miss and must not
+    // promote the colliding owner's entry to MRU.
+    const ReportEntry* entry = shard.reports.peek(key.hash);
     if (entry == nullptr || !entry->matches(key)) {
         report_misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
     }
     report_hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.reports.find(key.hash);  // promote the validated hit
     if (verdict != nullptr) *verdict = entry->verdict;
     return entry->report;
 }
@@ -71,7 +78,7 @@ void VerifyCache::insert_report(const ReportKeyView& key,
                                 const ScreenVerdictRecord* verdict) {
     Shard& shard = shard_for(key.hash);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.reports.find(key.hash) != nullptr) {
+    if (shard.reports.peek(key.hash) != nullptr) {
         return;  // first entry wins; a colliding key simply stays uncached
     }
     ReportEntry entry;

@@ -46,6 +46,22 @@ TEST(LruMapTest, HotKeySurvivesSustainedEvictionPressure) {
     EXPECT_EQ(map.stats().evictions, 97u);  // 101 inserts into capacity 4
 }
 
+TEST(LruMapTest, PeekDoesNotPromote) {
+    // The collision-check probe: VerifyCache peeks, validates the source,
+    // and only a validated hit may refresh the entry's LRU position. A
+    // mismatching probe (counted as a miss) must leave the order alone.
+    LruMap<int, std::string> map;
+    map.configure(EvictionPolicy::Lru, 2);
+    map.insert(1, "one");
+    map.insert(2, "two");
+    // 1 is the LRU victim; repeated peeks must not rescue it.
+    for (int i = 0; i < 5; ++i) ASSERT_NE(map.peek(1), nullptr);
+    map.insert(3, "three");
+    EXPECT_EQ(map.peek(1), nullptr);  // evicted: peeks were not accesses
+    EXPECT_NE(map.peek(2), nullptr);
+    EXPECT_NE(map.peek(3), nullptr);
+}
+
 TEST(LruMapTest, FlushOnCapDropsEverythingAndCounts) {
     LruMap<int, int> map;
     map.configure(EvictionPolicy::FlushOnCap, 3);

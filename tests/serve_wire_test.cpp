@@ -4,6 +4,7 @@
 // reports clean EOF, and rejects hostile length prefixes.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -151,6 +152,21 @@ TEST(ServeWireTest, MalformedPayloadsThrowNamingTheLine) {
                  std::runtime_error);
 }
 
+TEST(ServeWireTest, NonCanonicalIntegersAreRejected) {
+    // std::stoull would happily take leading whitespace and '+'; the wire
+    // format is strict-canonical, so both must fail to parse.
+    const std::string rendered = render_case_result(full_result());
+    const std::string canonical = "solutions 3";
+    for (const std::string lenient : {"solutions +3", "solutions  3"}) {
+        std::string mutated = rendered;
+        const std::size_t pos = mutated.find(canonical);
+        ASSERT_NE(pos, std::string::npos);
+        mutated.replace(pos, canonical.size(), lenient);
+        EXPECT_THROW((void)parse_case_result(mutated), std::runtime_error)
+            << "accepted '" << lenient << "'";
+    }
+}
+
 TEST(ServeWireTest, FramePrefixIsBigEndianAndBounded) {
     const std::string framed = frame("abc");
     ASSERT_EQ(framed.size(), 7u);
@@ -177,6 +193,22 @@ TEST(ServeWireTest, FramedFdIoRoundTripsBinaryAndReportsCleanEof) {
     EXPECT_EQ(payload, "");
     EXPECT_FALSE(read_frame(fds[0], payload));  // clean EOF, no throw
     ::close(fds[0]);
+}
+
+TEST(ServeWireTest, WriteToDisconnectedPeerThrowsInsteadOfSigpipe) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[0]);  // client gone before the response is written
+    // Without MSG_NOSIGNAL this raises SIGPIPE and kills the whole test
+    // binary; the contract is a catchable exception instead. Two writes:
+    // the first may be absorbed by the send buffer.
+    EXPECT_THROW(
+        {
+            write_frame(fds[1], std::string(1 << 20, 'x'));
+            write_frame(fds[1], std::string(1 << 20, 'x'));
+        },
+        std::runtime_error);
+    ::close(fds[1]);
 }
 
 TEST(ServeWireTest, TruncatedFrameThrowsInsteadOfReturningEof) {
