@@ -116,12 +116,6 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    std::printf("== BatchRunner scaling: %zu-case sweep, gpt-4 + knowledge "
-                "base ==\n",
-                big_corpus.size());
-    std::printf("hardware threads: %zu\n\n",
-                support::ThreadPool::hardware_threads());
-
     // The knowledge base is seeded from the generated corpus itself —
     // seeding takes an arbitrary corpus, not just the standard one.
     kb::KnowledgeBase kbase;
@@ -142,6 +136,16 @@ int main(int argc, char** argv) {
         uncached_context.oracle =
             std::make_shared<verify::Oracle>(std::move(oracle_options));
     }
+
+    std::printf("== BatchRunner scaling: %zu-case sweep, gpt-4 + knowledge "
+                "base ==\n",
+                big_corpus.size());
+    // Which interpreter executes uncached verifications (RUSTBRAIN_INTERP
+    // selects it; every run below uses the same tier, so the speedups stay
+    // comparable).
+    std::printf("hardware threads: %zu, interpreter tier: %s\n\n",
+                support::ThreadPool::hardware_threads(),
+                verify::to_string(uncached_context.oracle->interp_tier()));
     const core::BatchRunner serial_runner(engine_id, options, uncached_context,
                                           core::BatchOptions{1});
     const core::BatchReport serial = serial_runner.run(big_corpus);

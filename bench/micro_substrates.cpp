@@ -17,6 +17,7 @@
 #include "miri/mirilite.hpp"
 #include "screen/screen.hpp"
 #include "verify/oracle.hpp"
+#include "vm/vm.hpp"
 
 namespace {
 
@@ -80,39 +81,109 @@ void BM_MiriThreadedRun(benchmark::State& state) {
 }
 BENCHMARK(BM_MiriThreadedRun);
 
-// The verification-oracle ladder over the same workload as BM_MiriRun:
-// tree-walk interpretation only, slot-lowered interpretation only, the
-// static pre-screener only, a fully uncached Oracle call (front end +
-// lowering + interpretation), and a memoized Oracle call (report served
-// from cache).
+// Workload for the interpreter ladder. The corpus fixes are a few
+// statements each, so a run through them measures allocation setup and
+// teardown — identical across execution tiers — rather than the cost of
+// interpreting code. This program is the opposite shape: one hot loop,
+// sixteen named locals referenced from a wide arithmetic expression, so
+// the ladder exposes the actual per-tier difference (tree-walk resolves
+// every name at runtime by scanning the environment and recurses through
+// the expression tree; the slot interpreter and the VM resolve names to
+// slots at lower/compile time, and the VM additionally replaces tree
+// recursion with flat bytecode dispatch).
+const char* interp_ladder_source() {
+    return R"(
+fn main() {
+    let mut value_00: i64 = 3;
+    let mut value_01: i64 = 10;
+    let mut value_02: i64 = 17;
+    let mut value_03: i64 = 24;
+    let mut value_04: i64 = 31;
+    let mut value_05: i64 = 38;
+    let mut value_06: i64 = 45;
+    let mut value_07: i64 = 52;
+    let mut value_08: i64 = 59;
+    let mut value_09: i64 = 66;
+    let mut value_10: i64 = 73;
+    let mut value_11: i64 = 80;
+    let mut value_12: i64 = 87;
+    let mut value_13: i64 = 94;
+    let mut value_14: i64 = 101;
+    let mut value_15: i64 = 108;
+    let mut acc: i64 = 1;
+    let mut i: i64 = 0;
+    while i < 400 {
+        acc = (acc * 31 + value_00 * 2 + value_01 * 3 + value_02 * 4 +
+               value_03 * 5 + value_04 * 6 + value_05 * 7 + value_06 * 8 +
+               value_07 * 9 + value_08 * 10 + value_09 * 11 + value_10 * 12 +
+               value_11 * 13 + value_12 * 14 + value_13 * 15 + value_14 * 16 +
+               value_15 * 17) % 1000003;
+        value_00 = (value_00 + value_01) % 65521;
+        value_04 = (value_04 + value_05) % 65521;
+        value_08 = (value_08 + value_09) % 65521;
+        value_12 = (value_12 + value_13) % 65521;
+        i = i + 1;
+    }
+    print_int(acc);
+}
+)";
+}
+
+// The execution-tier ladder, all rungs over interp_ladder_source():
+// tree-walk interpretation, slot-lowered interpretation, bytecode-VM
+// interpretation, and the VM's one-time compile cost.
 void BM_InterpTreeWalk(benchmark::State& state) {
-    const auto* ub_case = corpus().find("uninit/partial_init_0");
-    auto program = lang::try_parse(ub_case->reference_fix);
+    auto program = lang::try_parse(interp_ladder_source());
     lang::type_check(*program);
     for (auto _ : state) {
-        for (const auto& inputs : ub_case->inputs) {
-            miri::Interpreter interp(*program, inputs);
-            auto result = interp.run();
-            benchmark::DoNotOptimize(result);
-        }
+        miri::Interpreter interp(*program, {});
+        auto result = interp.run();
+        benchmark::DoNotOptimize(result);
     }
 }
 BENCHMARK(BM_InterpTreeWalk);
 
 void BM_InterpSlotLowered(benchmark::State& state) {
-    const auto* ub_case = corpus().find("uninit/partial_init_0");
-    auto program = lang::try_parse(ub_case->reference_fix);
+    auto program = lang::try_parse(interp_ladder_source());
     lang::type_check(*program);
     const miri::LoweredProgram lowered = miri::lower_program(*program);
     for (auto _ : state) {
-        for (const auto& inputs : ub_case->inputs) {
-            miri::Interpreter interp(*program, inputs, {}, &lowered);
-            auto result = interp.run();
-            benchmark::DoNotOptimize(result);
-        }
+        miri::Interpreter interp(*program, {}, {}, &lowered);
+        auto result = interp.run();
+        benchmark::DoNotOptimize(result);
     }
 }
 BENCHMARK(BM_InterpSlotLowered);
+
+void BM_InterpVm(benchmark::State& state) {
+    // Bytecode-VM rung of the interp ladder: same workload, bytecode
+    // compiled once up front (the Oracle's program cache amortizes it the
+    // same way), each iteration pays dispatch + memory model only.
+    auto program = lang::try_parse(interp_ladder_source());
+    lang::type_check(*program);
+    const miri::LoweredProgram lowered = miri::lower_program(*program);
+    const vm::VmProgram bytecode = vm::compile(*program, lowered);
+    for (auto _ : state) {
+        vm::Vm machine(*program, bytecode, {});
+        auto result = machine.run();
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_InterpVm);
+
+void BM_VmCompile(benchmark::State& state) {
+    // The bytecode-compile-cost column: AST -> flat instruction array.
+    // Paid once per distinct source (compile-once cache), so it amortizes
+    // across every later vm interpretation.
+    auto program = lang::try_parse(interp_ladder_source());
+    lang::type_check(*program);
+    const miri::LoweredProgram lowered = miri::lower_program(*program);
+    for (auto _ : state) {
+        vm::VmProgram bytecode = vm::compile(*program, lowered);
+        benchmark::DoNotOptimize(bytecode);
+    }
+}
+BENCHMARK(BM_VmCompile);
 
 void BM_ScreenOnly(benchmark::State& state) {
     // The screening rung of the ladder: abstract interpretation over the
@@ -142,6 +213,23 @@ void BM_OracleUncached(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_OracleUncached);
+
+void BM_OracleUncachedVm(benchmark::State& state) {
+    // vm-under-oracle, fully uncached: front end + slot lowering +
+    // bytecode compile + VM execution every iteration (the worst case the
+    // compile-once cache exists to avoid).
+    const auto* ub_case = corpus().find("uninit/partial_init_0");
+    verify::OracleOptions options;
+    options.caching = false;
+    options.interp = verify::InterpTier::Vm;
+    const verify::Oracle oracle(std::move(options));
+    for (auto _ : state) {
+        auto report =
+            oracle.test_source(ub_case->reference_fix, ub_case->inputs);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_OracleUncachedVm);
 
 void BM_OracleMemoized(benchmark::State& state) {
     const auto* ub_case = corpus().find("uninit/partial_init_0");

@@ -43,31 +43,6 @@ Type Type::fn_ptr(std::vector<Type> params, Type ret) {
     return t;
 }
 
-bool Type::is_integer() const {
-    if (!is_scalar()) return false;
-    switch (scalar_) {
-        case ScalarKind::Bool:
-        case ScalarKind::Unit:
-            return false;
-        default:
-            return true;
-    }
-}
-
-bool Type::is_signed_integer() const {
-    if (!is_scalar()) return false;
-    switch (scalar_) {
-        case ScalarKind::I8:
-        case ScalarKind::I16:
-        case ScalarKind::I32:
-        case ScalarKind::I64:
-        case ScalarKind::Isize:
-            return true;
-        default:
-            return false;
-    }
-}
-
 const Type& Type::element() const {
     if (!element_) {
         throw std::logic_error("Type::element on type without element: " + to_string());
@@ -87,59 +62,6 @@ const Type& Type::fn_return() const {
         throw std::logic_error("Type::fn_return on non-fn type");
     }
     return *ret_;
-}
-
-std::uint64_t scalar_size_bytes(ScalarKind kind) {
-    switch (kind) {
-        case ScalarKind::I8:
-        case ScalarKind::U8:
-        case ScalarKind::Bool:
-            return 1;
-        case ScalarKind::I16:
-        case ScalarKind::U16:
-            return 2;
-        case ScalarKind::I32:
-        case ScalarKind::U32:
-            return 4;
-        case ScalarKind::I64:
-        case ScalarKind::U64:
-        case ScalarKind::Isize:
-        case ScalarKind::Usize:
-            return 8;
-        case ScalarKind::Unit:
-            return 0;
-    }
-    return 0;
-}
-
-std::uint64_t Type::size_bytes() const {
-    switch (kind_) {
-        case Kind::Scalar:
-            return scalar_size_bytes(scalar_);
-        case Kind::RawPtr:
-        case Kind::Ref:
-        case Kind::FnPtr:
-            return 8;
-        case Kind::Array:
-            return array_len_ * element().size_bytes();
-    }
-    return 0;
-}
-
-std::uint64_t Type::align_bytes() const {
-    switch (kind_) {
-        case Kind::Scalar: {
-            const std::uint64_t size = scalar_size_bytes(scalar_);
-            return size == 0 ? 1 : size;
-        }
-        case Kind::RawPtr:
-        case Kind::Ref:
-        case Kind::FnPtr:
-            return 8;
-        case Kind::Array:
-            return element().align_bytes();
-    }
-    return 1;
 }
 
 const char* scalar_kind_name(ScalarKind kind) {

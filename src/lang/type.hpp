@@ -17,6 +17,29 @@ enum class ScalarKind {
     Unit,
 };
 
+inline std::uint64_t scalar_size_bytes(ScalarKind kind) {
+    switch (kind) {
+        case ScalarKind::I8:
+        case ScalarKind::U8:
+        case ScalarKind::Bool:
+            return 1;
+        case ScalarKind::I16:
+        case ScalarKind::U16:
+            return 2;
+        case ScalarKind::I32:
+        case ScalarKind::U32:
+            return 4;
+        case ScalarKind::I64:
+        case ScalarKind::U64:
+        case ScalarKind::Isize:
+        case ScalarKind::Usize:
+            return 8;
+        case ScalarKind::Unit:
+            return 0;
+    }
+    return 0;
+}
+
 class Type {
   public:
     enum class Kind { Scalar, RawPtr, Ref, Array, FnPtr };
@@ -45,8 +68,23 @@ class Type {
     [[nodiscard]] bool is_bool() const {
         return is_scalar() && scalar_ == ScalarKind::Bool;
     }
-    [[nodiscard]] bool is_integer() const;
-    [[nodiscard]] bool is_signed_integer() const;
+    [[nodiscard]] bool is_integer() const {
+        return is_scalar() && scalar_ != ScalarKind::Bool &&
+               scalar_ != ScalarKind::Unit;
+    }
+    [[nodiscard]] bool is_signed_integer() const {
+        if (!is_scalar()) return false;
+        switch (scalar_) {
+            case ScalarKind::I8:
+            case ScalarKind::I16:
+            case ScalarKind::I32:
+            case ScalarKind::I64:
+            case ScalarKind::Isize:
+                return true;
+            default:
+                return false;
+        }
+    }
     [[nodiscard]] bool is_raw_ptr() const { return kind_ == Kind::RawPtr; }
     [[nodiscard]] bool is_ref() const { return kind_ == Kind::Ref; }
     [[nodiscard]] bool is_any_pointer() const { return is_raw_ptr() || is_ref(); }
@@ -62,9 +100,35 @@ class Type {
     [[nodiscard]] const Type& fn_return() const;
 
     /// Byte size (unit = 0; pointers = 8).
-    [[nodiscard]] std::uint64_t size_bytes() const;
+    [[nodiscard]] std::uint64_t size_bytes() const {
+        switch (kind_) {
+            case Kind::Scalar:
+                return scalar_size_bytes(scalar_);
+            case Kind::RawPtr:
+            case Kind::Ref:
+            case Kind::FnPtr:
+                return 8;
+            case Kind::Array:
+                return array_len_ * element_->size_bytes();
+        }
+        return 0;
+    }
     /// Alignment requirement in bytes (>= 1 even for unit).
-    [[nodiscard]] std::uint64_t align_bytes() const;
+    [[nodiscard]] std::uint64_t align_bytes() const {
+        switch (kind_) {
+            case Kind::Scalar: {
+                const std::uint64_t size = scalar_size_bytes(scalar_);
+                return size == 0 ? 1 : size;
+            }
+            case Kind::RawPtr:
+            case Kind::Ref:
+            case Kind::FnPtr:
+                return 8;
+            case Kind::Array:
+                return element_->align_bytes();
+        }
+        return 1;
+    }
 
     [[nodiscard]] std::string to_string() const;
 
@@ -84,7 +148,5 @@ class Type {
 const char* scalar_kind_name(ScalarKind kind);
 /// Parse "i32" etc.; returns false if the name is not a scalar type.
 bool scalar_kind_from_name(const std::string& name, ScalarKind& out);
-
-std::uint64_t scalar_size_bytes(ScalarKind kind);
 
 }  // namespace rustbrain::lang

@@ -44,13 +44,13 @@ void MemoryModel::ub(UbCategory category, std::string message,
 
 BorrowTag MemoryModel::fresh_tag(TagOrigin origin) {
     const BorrowTag tag = next_tag_++;
-    tag_origins_[tag] = origin;
+    tag_origins_.push_back(origin);  // tags are dense from 1
     return tag;
 }
 
 TagOrigin MemoryModel::origin_of(BorrowTag tag) const {
-    auto it = tag_origins_.find(tag);
-    return it == tag_origins_.end() ? TagOrigin::Raw : it->second;
+    if (tag == kNoTag || tag > tag_origins_.size()) return TagOrigin::Raw;
+    return tag_origins_[tag - 1];
 }
 
 AllocId MemoryModel::allocate(std::uint64_t size, std::uint64_t align,
@@ -82,32 +82,20 @@ AllocId MemoryModel::allocate(std::uint64_t size, std::uint64_t align,
     alloc.align = align;
     alloc.label = std::move(label);
     alloc.base_tag = fresh_tag(TagOrigin::Base);
-    alloc.bytes.resize(alloc_size);
-    for (auto& byte : alloc.bytes) {
-        byte.borrows.push_back({alloc.base_tag, Permission::Unique});
+    alloc.bytes.assign(alloc_size, 0);
+    alloc.init.assign(alloc_size, 0);
+    alloc.uninit_count = alloc_size;
+    alloc.borrows.resize(alloc_size);
+    for (auto& stack : alloc.borrows) {
+        stack.push_back({alloc.base_tag, Permission::Unique});
     }
     bytes_allocated_ += alloc_size;
     allocs_.push_back(std::move(alloc));
     return allocs_.back().id;
 }
 
-Allocation& MemoryModel::get(AllocId id) {
-    if (id == kNoAlloc || id > allocs_.size()) {
-        throw std::logic_error("MemoryModel::get: bad allocation id");
-    }
-    return allocs_[id - 1];
-}
-
-const Allocation& MemoryModel::get(AllocId id) const {
-    if (id == kNoAlloc || id > allocs_.size()) {
-        throw std::logic_error("MemoryModel::get: bad allocation id");
-    }
-    return allocs_[id - 1];
-}
-
-Pointer MemoryModel::base_pointer(AllocId id) const {
-    const Allocation& alloc = get(id);
-    return Pointer{alloc.base, alloc.id, alloc.base_tag};
+void MemoryModel::throw_bad_alloc_id() {
+    throw std::logic_error("MemoryModel::get: bad allocation id");
 }
 
 void MemoryModel::deallocate(const Pointer& p, std::uint64_t size,
@@ -207,7 +195,7 @@ void MemoryModel::borrow_use(Allocation& alloc, std::uint64_t offset,
                                                     : UbCategory::StackBorrow;
     };
     for (std::uint64_t i = offset; i < offset + size; ++i) {
-        auto& stack = alloc.bytes[i].borrows;
+        BorrowStack& stack = alloc.borrows[i];
         // Find the topmost occurrence of the tag.
         std::ptrdiff_t found = -1;
         for (std::ptrdiff_t j = static_cast<std::ptrdiff_t>(stack.size()) - 1; j >= 0;
@@ -230,20 +218,17 @@ void MemoryModel::borrow_use(Allocation& alloc, std::uint64_t offset,
             ub(category_for(tag),
                "write through a read-only borrow of '" + alloc.label + "'", span);
         }
+        const std::size_t top = static_cast<std::size_t>(found) + 1;
+        if (top == stack.size()) {
+            continue;  // tag already topmost: nothing to invalidate
+        }
         if (write) {
             // A write invalidates everything above the used tag.
-            stack.resize(static_cast<std::size_t>(found) + 1);
+            stack.shrink_to(top);
         } else {
-            // A read invalidates Unique tags above but shared tags survive.
-            std::vector<BorrowEntry> kept(stack.begin(),
-                                          stack.begin() + found + 1);
-            for (std::size_t j = static_cast<std::size_t>(found) + 1;
-                 j < stack.size(); ++j) {
-                if (stack[j].perm != Permission::Unique) {
-                    kept.push_back(stack[j]);
-                }
-            }
-            stack = std::move(kept);
+            // A read invalidates Unique tags above but shared tags survive
+            // (in order) — compact in place, no temporary.
+            stack.remove_unique_above(top);
         }
     }
 }
@@ -251,23 +236,29 @@ void MemoryModel::borrow_use(Allocation& alloc, std::uint64_t offset,
 void MemoryModel::race_check(Allocation& alloc, std::uint64_t offset,
                              std::uint64_t size, bool write, const AccessCtx& ctx) {
     if (ctx.vc == nullptr) return;  // single-threaded fast path
+    if (alloc.last_write.empty()) {
+        // First clocked access: materialize the race-detection arrays.
+        alloc.last_write.resize(alloc.size);
+        alloc.reads.resize(alloc.size);
+    }
     auto unordered = [&](const AccessEpoch& epoch) {
         return epoch.valid && epoch.clock > ctx.vc->get(epoch.tid);
     };
     for (std::uint64_t i = offset; i < offset + size; ++i) {
-        ByteState& byte = alloc.bytes[i];
+        AccessEpoch& last_write = alloc.last_write[i];
+        std::vector<AccessEpoch>& reads = alloc.reads[i];
         // A racing pair needs at least one non-atomic access.
-        if (unordered(byte.last_write) && !(byte.last_write.atomic && ctx.atomic) &&
-            byte.last_write.tid != ctx.tid) {
+        if (unordered(last_write) && !(last_write.atomic && ctx.atomic) &&
+            last_write.tid != ctx.tid) {
             ub(UbCategory::DataRace,
                std::string(write ? "write" : "read") + "-after-write data race on '" +
                    alloc.label + "' between threads " +
-                   std::to_string(byte.last_write.tid) + " and " +
+                   std::to_string(last_write.tid) + " and " +
                    std::to_string(ctx.tid),
                ctx.span);
         }
         if (write) {
-            for (const AccessEpoch& read : byte.reads) {
+            for (const AccessEpoch& read : reads) {
                 if (unordered(read) && !(read.atomic && ctx.atomic) &&
                     read.tid != ctx.tid) {
                     ub(UbCategory::DataRace,
@@ -280,11 +271,11 @@ void MemoryModel::race_check(Allocation& alloc, std::uint64_t offset,
         }
         // Record this access.
         if (write) {
-            byte.last_write = {ctx.tid, ctx.vc->get(ctx.tid), ctx.atomic, true};
-            byte.reads.clear();
+            last_write = {ctx.tid, ctx.vc->get(ctx.tid), ctx.atomic, true};
+            reads.clear();
         } else {
             bool updated = false;
-            for (AccessEpoch& read : byte.reads) {
+            for (AccessEpoch& read : reads) {
                 if (read.tid == ctx.tid) {
                     read = {ctx.tid, ctx.vc->get(ctx.tid), ctx.atomic, true};
                     updated = true;
@@ -292,7 +283,7 @@ void MemoryModel::race_check(Allocation& alloc, std::uint64_t offset,
                 }
             }
             if (!updated) {
-                byte.reads.push_back({ctx.tid, ctx.vc->get(ctx.tid), ctx.atomic, true});
+                reads.push_back({ctx.tid, ctx.vc->get(ctx.tid), ctx.atomic, true});
             }
         }
     }
@@ -336,19 +327,31 @@ Value MemoryModel::load(const Pointer& p, const lang::Type& type,
     }
 
     std::uint64_t offset = 0;
-    Allocation& alloc = check_access(p, size, /*write=*/false, ctx, offset,
-                                     type.align_bytes());
-    for (std::uint64_t i = offset; i < offset + size; ++i) {
-        if (!alloc.bytes[i].init) {
-            ub(UbCategory::Uninit,
-               "reading uninitialized memory in '" + alloc.label + "' at offset " +
-                   std::to_string(i),
-               ctx.span);
+    Allocation* fast = try_fast_access(p, size, ctx, offset, type.align_bytes());
+    if (fast != nullptr && fast->uninit_count == 0) {
+        // Fully-initialized, never-retagged allocation read through its
+        // base tag: the init scan and borrow/race updates are no-ops.
+    } else {
+        fast = nullptr;
+    }
+    Allocation& alloc =
+        fast != nullptr
+            ? *fast
+            : check_access(p, size, /*write=*/false, ctx, offset,
+                           type.align_bytes());
+    if (fast == nullptr) {
+        for (std::uint64_t i = offset; i < offset + size; ++i) {
+            if (!alloc.init[i]) {
+                ub(UbCategory::Uninit,
+                   "reading uninitialized memory in '" + alloc.label +
+                       "' at offset " + std::to_string(i),
+                   ctx.span);
+            }
         }
     }
     std::uint64_t bits = 0;
     for (std::uint64_t i = 0; i < size; ++i) {
-        bits |= static_cast<std::uint64_t>(alloc.bytes[offset + i].value) << (8 * i);
+        bits |= static_cast<std::uint64_t>(alloc.bytes[offset + i]) << (8 * i);
     }
 
     if (type.is_bool()) {
@@ -402,14 +405,29 @@ void MemoryModel::store(const Pointer& p, const lang::Type& type,
     }
 
     std::uint64_t offset = 0;
+    Allocation* fast = try_fast_access(p, size, ctx, offset, type.align_bytes());
     Allocation& alloc =
-        check_access(p, size, /*write=*/true, ctx, offset, type.align_bytes());
-    clear_provenance_overlapping(alloc, offset, size);
+        fast != nullptr
+            ? *fast
+            : check_access(p, size, /*write=*/true, ctx, offset,
+                           type.align_bytes());
+    if (!alloc.ptr_prov.empty() || !alloc.fn_prov.empty()) {
+        clear_provenance_overlapping(alloc, offset, size);
+    }
 
     const std::uint64_t bits = truncate_to_type(value.bits(), type);
-    for (std::uint64_t i = 0; i < size; ++i) {
-        alloc.bytes[offset + i].value = static_cast<std::uint8_t>(bits >> (8 * i));
-        alloc.bytes[offset + i].init = true;
+    if (alloc.uninit_count == 0) {
+        for (std::uint64_t i = 0; i < size; ++i) {
+            alloc.bytes[offset + i] = static_cast<std::uint8_t>(bits >> (8 * i));
+        }
+    } else {
+        for (std::uint64_t i = 0; i < size; ++i) {
+            alloc.bytes[offset + i] = static_cast<std::uint8_t>(bits >> (8 * i));
+            if (!alloc.init[offset + i]) {
+                alloc.init[offset + i] = 1;
+                --alloc.uninit_count;
+            }
+        }
     }
     if ((type.is_raw_ptr() || type.is_ref()) && value.kind() == Value::Kind::Ptr) {
         alloc.ptr_prov[offset] = value.as_ptr();
@@ -446,9 +464,10 @@ Pointer MemoryModel::retag_ref(const Pointer& p, std::uint64_t size, bool is_mut
     borrow_use(alloc, offset, std::max<std::uint64_t>(size, 1), p.tag, is_mut, span);
     const BorrowTag tag = fresh_tag(TagOrigin::Ref);
     const Permission perm = is_mut ? Permission::Unique : Permission::SharedRO;
+    alloc.uniform_borrows = false;
     for (std::uint64_t i = offset; i < offset + std::max<std::uint64_t>(size, 1);
          ++i) {
-        alloc.bytes[i].borrows.push_back({tag, perm});
+        alloc.borrows[i].push_back({tag, perm});
     }
     return Pointer{p.addr, p.alloc, tag};
 }
@@ -469,9 +488,10 @@ Pointer MemoryModel::retag_raw(const Pointer& p, std::uint64_t size, bool writab
                span);
     const BorrowTag tag = fresh_tag(TagOrigin::Raw);
     const Permission perm = writable ? Permission::SharedRW : Permission::SharedRO;
+    alloc.uniform_borrows = false;
     for (std::uint64_t i = offset; i < offset + std::max<std::uint64_t>(size, 1);
          ++i) {
-        alloc.bytes[i].borrows.push_back({tag, perm});
+        alloc.borrows[i].push_back({tag, perm});
     }
     return Pointer{p.addr, p.alloc, tag};
 }

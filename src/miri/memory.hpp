@@ -73,12 +73,57 @@ struct AccessEpoch {
     bool valid = false;
 };
 
-struct ByteState {
-    std::uint8_t value = 0;
-    bool init = false;
-    std::vector<BorrowEntry> borrows;
-    AccessEpoch last_write;
-    std::vector<AccessEpoch> reads;  // most recent read per thread
+/// Per-byte borrow stack with inline storage for the common shapes (base
+/// tag alone, or base tag + one retag). Deeper retag chains spill into a
+/// heap vector. Keeping the first two entries inline removes a pointer
+/// chase per byte from every access-validation pass.
+class BorrowStack {
+  public:
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] const BorrowEntry& operator[](std::size_t i) const {
+        return i < kInline ? inline_[i] : spill_[i - kInline];
+    }
+    void push_back(BorrowEntry entry) {
+        if (size_ < kInline) {
+            inline_[size_] = entry;
+        } else {
+            spill_.push_back(entry);
+        }
+        ++size_;
+    }
+    /// Shrink to the first `n` entries (never grows).
+    void shrink_to(std::size_t n) {
+        if (n >= size_) return;
+        if (size_ > kInline) {
+            spill_.resize(n > kInline ? n - kInline : 0);
+        }
+        size_ = n;
+    }
+    /// Drop every Unique entry at index >= `from`, keeping the rest in order.
+    void remove_unique_above(std::size_t from) {
+        std::size_t write = from;
+        for (std::size_t read = from; read < size_; ++read) {
+            const BorrowEntry entry = (*this)[read];
+            if (entry.perm != Permission::Unique) {
+                set(write++, entry);
+            }
+        }
+        shrink_to(write);
+    }
+
+  private:
+    void set(std::size_t i, BorrowEntry entry) {
+        if (i < kInline) {
+            inline_[i] = entry;
+        } else {
+            spill_[i - kInline] = entry;
+        }
+    }
+
+    static constexpr std::size_t kInline = 2;
+    BorrowEntry inline_[kInline];
+    std::uint32_t size_ = 0;
+    std::vector<BorrowEntry> spill_;
 };
 
 struct Allocation {
@@ -92,8 +137,26 @@ struct Allocation {
     /// are reported under the TailCall category instead of DanglingPointer.
     bool tail_call_killed = false;
     BorrowTag base_tag = kNoTag;
+    /// True while every byte's borrow stack is exactly [base_tag/Unique] —
+    /// the state allocate() creates. Cleared by the first retag. While set,
+    /// an access through the base tag provably leaves every stack unchanged
+    /// (found at top, nothing above to invalidate), so validation can skip
+    /// the per-byte borrow walk entirely.
+    bool uniform_borrows = true;
+    /// Bytes not yet written. 0 means the whole allocation is initialized,
+    /// so reads need no per-byte init scan.
+    std::uint64_t uninit_count = 0;
     std::string label;  // variable/static name or "heap" — for diagnostics
-    std::vector<ByteState> bytes;
+    // Per-byte state, structure-of-arrays: the load/store hot loops touch
+    // `bytes`/`init` as dense arrays instead of striding over one big
+    // per-byte struct.
+    std::vector<std::uint8_t> bytes;   // raw byte values
+    std::vector<std::uint8_t> init;    // 0/1: byte has been written
+    std::vector<BorrowStack> borrows;  // per-byte borrow stacks
+    // Race-detection state, materialized lazily on the first access made
+    // with a vector clock — single-threaded programs never touch it.
+    std::vector<AccessEpoch> last_write;
+    std::vector<std::vector<AccessEpoch>> reads;  // most recent read per thread
     /// Pointer values stored in memory keep their provenance here, keyed by
     /// byte offset of the 8-byte pointer.
     std::map<std::uint64_t, Pointer> ptr_prov;
@@ -125,12 +188,21 @@ class MemoryModel {
     /// classified as TailCall UB.
     void kill_for_tail_call(AllocId id);
 
-    [[nodiscard]] Allocation& get(AllocId id);
-    [[nodiscard]] const Allocation& get(AllocId id) const;
+    [[nodiscard]] Allocation& get(AllocId id) {
+        if (id == kNoAlloc || id > allocs_.size()) throw_bad_alloc_id();
+        return allocs_[id - 1];
+    }
+    [[nodiscard]] const Allocation& get(AllocId id) const {
+        if (id == kNoAlloc || id > allocs_.size()) throw_bad_alloc_id();
+        return allocs_[id - 1];
+    }
     [[nodiscard]] std::size_t allocation_count() const { return allocs_.size(); }
 
     /// Pointer to an allocation's base carrying its base (Unique) tag.
-    [[nodiscard]] Pointer base_pointer(AllocId id) const;
+    [[nodiscard]] Pointer base_pointer(AllocId id) const {
+        const Allocation& alloc = get(id);
+        return Pointer{alloc.base, alloc.id, alloc.base_tag};
+    }
 
     // Typed access -------------------------------------------------------
     Value load(const Pointer& p, const lang::Type& type, const AccessCtx& ctx);
@@ -159,6 +231,28 @@ class MemoryModel {
     Allocation& check_access(const Pointer& p, std::uint64_t size, bool write,
                              const AccessCtx& ctx, std::uint64_t& offset_out,
                              std::uint64_t align = 1);
+    /// Fast path for the overwhelmingly common access shape: in-bounds,
+    /// aligned, through the base tag of a live allocation that has never
+    /// been retagged, with no vector clock in play. Under those conditions
+    /// the full pipeline is a provable no-op on the borrow/race state, so
+    /// this returns the allocation directly; nullptr means "take the slow
+    /// path" (which also produces every diagnostic).
+    Allocation* try_fast_access(const Pointer& p, std::uint64_t size,
+                                const AccessCtx& ctx, std::uint64_t& offset_out,
+                                std::uint64_t align) {
+        if (p.alloc == kNoAlloc || p.alloc > allocs_.size() ||
+            ctx.vc != nullptr) {
+            return nullptr;
+        }
+        Allocation& alloc = allocs_[p.alloc - 1];
+        if (!alloc.live || !alloc.uniform_borrows || p.tag != alloc.base_tag ||
+            p.addr < alloc.base || p.addr + size > alloc.base + alloc.size ||
+            (align > 1 && p.addr % align != 0)) {
+            return nullptr;
+        }
+        offset_out = p.addr - alloc.base;
+        return &alloc;
+    }
     void borrow_use(Allocation& alloc, std::uint64_t offset, std::uint64_t size,
                     BorrowTag tag, bool write, support::SourceSpan span);
     void race_check(Allocation& alloc, std::uint64_t offset, std::uint64_t size,
@@ -168,12 +262,15 @@ class MemoryModel {
 
     [[noreturn]] void ub(UbCategory category, std::string message,
                          support::SourceSpan span) const;
+    [[noreturn]] static void throw_bad_alloc_id();
 
     BorrowTag fresh_tag(TagOrigin origin);
     [[nodiscard]] TagOrigin origin_of(BorrowTag tag) const;
 
     std::vector<Allocation> allocs_;
-    std::map<BorrowTag, TagOrigin> tag_origins_;
+    /// Origin per tag, indexed by tag - 1 (fresh_tag hands them out densely
+    /// starting at 1).
+    std::vector<TagOrigin> tag_origins_;
     std::uint64_t next_addr_ = 0x10000;
     BorrowTag next_tag_ = 1;
     std::uint64_t bytes_allocated_ = 0;

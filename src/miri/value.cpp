@@ -4,16 +4,8 @@
 
 namespace rustbrain::miri {
 
-std::uint64_t Value::bits() const {
-    switch (kind_) {
-        case Kind::Unit: return 0;
-        case Kind::Scalar: return scalar_;
-        case Kind::Ptr: return ptr_.addr;
-        case Kind::Fn: return fn_index_to_addr(fn_.fn_index);
-        case Kind::Array:
-            throw std::logic_error("Value::bits on array value");
-    }
-    return 0;
+void Value::throw_bits_on_array() {
+    throw std::logic_error("Value::bits on array value");
 }
 
 const Pointer& Value::as_ptr() const {
@@ -37,17 +29,6 @@ const std::vector<Value>& Value::as_array() const {
     return *elements_;
 }
 
-std::int64_t Value::as_signed(std::uint64_t bytes) const {
-    const std::uint64_t raw = bits();
-    if (bytes >= 8) return static_cast<std::int64_t>(raw);
-    const std::uint64_t shift = 64 - bytes * 8;
-    return static_cast<std::int64_t>(raw << shift) >> shift;
-}
-
-std::uint64_t fn_index_to_addr(std::int32_t index) {
-    if (index < 0) return 0;
-    return kFnAddrBase + static_cast<std::uint64_t>(index) * kFnAddrStride;
-}
 
 std::int32_t fn_addr_to_index(std::uint64_t addr, std::size_t fn_count) {
     if (addr < kFnAddrBase) return FnPtrVal::kInvalidFn;
@@ -58,12 +39,5 @@ std::int32_t fn_addr_to_index(std::uint64_t addr, std::size_t fn_count) {
     return static_cast<std::int32_t>(index);
 }
 
-std::uint64_t truncate_to_type(std::uint64_t bits, const lang::Type& type) {
-    const std::uint64_t size = type.size_bytes();
-    if (size == 0) return 0;
-    if (size >= 8) return bits;
-    const std::uint64_t mask = (1ULL << (size * 8)) - 1;
-    return bits & mask;
-}
 
 }  // namespace rustbrain::miri

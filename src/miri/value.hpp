@@ -28,6 +28,16 @@ struct Pointer {
     [[nodiscard]] bool has_provenance() const { return alloc != kNoAlloc; }
 };
 
+/// Virtual code addresses for function pointers: fn i lives at
+/// kFnAddrBase + i * kFnAddrStride. Data allocations never overlap this.
+constexpr std::uint64_t kFnAddrBase = 0x7000'0000'0000ULL;
+constexpr std::uint64_t kFnAddrStride = 16;
+
+inline std::uint64_t fn_index_to_addr(std::int32_t index) {
+    if (index < 0) return 0;
+    return kFnAddrBase + static_cast<std::uint64_t>(index) * kFnAddrStride;
+}
+
 /// A function-pointer value. `fn_index` is an index into Program::functions,
 /// or kInvalidFn for pointers fabricated from non-function addresses.
 struct FnPtrVal {
@@ -77,16 +87,32 @@ class Value {
 
     /// Raw bits (zero-extended). For Ptr returns the address; for Fn the
     /// encoded code address.
-    [[nodiscard]] std::uint64_t bits() const;
+    [[nodiscard]] std::uint64_t bits() const {
+        switch (kind_) {
+            case Kind::Unit: return 0;
+            case Kind::Scalar: return scalar_;
+            case Kind::Ptr: return ptr_.addr;
+            case Kind::Fn: return fn_index_to_addr(fn_.fn_index);
+            case Kind::Array: throw_bits_on_array();
+        }
+        return 0;
+    }
     [[nodiscard]] bool as_bool() const { return bits() != 0; }
     [[nodiscard]] const Pointer& as_ptr() const;
     [[nodiscard]] const FnPtrVal& as_fn() const;
     [[nodiscard]] const std::vector<Value>& as_array() const;
 
     /// Sign-extend the low `bytes` of the scalar to 64-bit signed.
-    [[nodiscard]] std::int64_t as_signed(std::uint64_t bytes) const;
+    [[nodiscard]] std::int64_t as_signed(std::uint64_t bytes) const {
+        const std::uint64_t raw = bits();
+        if (bytes >= 8) return static_cast<std::int64_t>(raw);
+        const std::uint64_t shift = 64 - bytes * 8;
+        return static_cast<std::int64_t>(raw << shift) >> shift;
+    }
 
   private:
+    [[noreturn]] static void throw_bits_on_array();
+
     Kind kind_;
     std::uint64_t scalar_ = 0;
     Pointer ptr_;
@@ -94,16 +120,17 @@ class Value {
     std::shared_ptr<std::vector<Value>> elements_;
 };
 
-/// Virtual code addresses for function pointers: fn i lives at
-/// kFnAddrBase + i * kFnAddrStride. Data allocations never overlap this.
-constexpr std::uint64_t kFnAddrBase = 0x7000'0000'0000ULL;
-constexpr std::uint64_t kFnAddrStride = 16;
-
-std::uint64_t fn_index_to_addr(std::int32_t index);
 /// kInvalidFn when the address is not a valid function address.
 std::int32_t fn_addr_to_index(std::uint64_t addr, std::size_t fn_count);
 
 /// Truncate `bits` to the width of `type` (scalars; pointers unchanged).
-std::uint64_t truncate_to_type(std::uint64_t bits, const lang::Type& type);
+inline std::uint64_t truncate_to_type(std::uint64_t bits,
+                                      const lang::Type& type) {
+    const std::uint64_t size = type.size_bytes();
+    if (size == 0) return 0;
+    if (size >= 8) return bits;
+    const std::uint64_t mask = (1ULL << (size * 8)) - 1;
+    return bits & mask;
+}
 
 }  // namespace rustbrain::miri

@@ -7,8 +7,37 @@
 #include "lang/parser.hpp"
 #include "lang/typecheck.hpp"
 #include "support/hashing.hpp"
+#include "vm/vm.hpp"
 
 namespace rustbrain::verify {
+
+// ---------------------------------------------------------------------------
+// InterpTier
+// ---------------------------------------------------------------------------
+
+const char* to_string(InterpTier tier) {
+    switch (tier) {
+        case InterpTier::Tree: return "tree";
+        case InterpTier::Slot: return "slot";
+        case InterpTier::Vm: return "vm";
+    }
+    return "slot";
+}
+
+std::optional<InterpTier> parse_interp_tier(const std::string& name) {
+    if (name == "tree") return InterpTier::Tree;
+    if (name == "slot") return InterpTier::Slot;
+    if (name == "vm") return InterpTier::Vm;
+    return std::nullopt;
+}
+
+std::string interp_tier_names() { return "tree, slot, vm"; }
+
+const vm::VmProgram& CompiledProgram::bytecode() const {
+    std::call_once(vm_once_,
+                   [this] { vm_code_ = vm::compile(program, lowering); });
+    return vm_code_;
+}
 
 // ---------------------------------------------------------------------------
 // VerifyCache
@@ -139,6 +168,12 @@ bool screen_enabled_from_env() {
     return !(text == "off" || text == "0" || text == "false");
 }
 
+InterpTier interp_from_env() {
+    const char* value = std::getenv("RUSTBRAIN_INTERP");
+    if (value == nullptr) return InterpTier::Slot;
+    return parse_interp_tier(value).value_or(InterpTier::Slot);
+}
+
 /// Seed for the independent second source hash (an arbitrary odd constant
 /// distinct from the FNV offset basis).
 constexpr std::uint64_t kCheckSeed = 0x51ED270B8A2C1495ULL;
@@ -173,6 +208,7 @@ Oracle::Oracle(OracleOptions options)
                                       : VerifyCache::process_wide()),
       caching_(options.caching.value_or(cache_enabled_from_env())),
       screening_(options.screening.value_or(screen_enabled_from_env())),
+      interp_(options.interp.value_or(interp_from_env())),
       screen_options_(options.screen) {}
 
 const Oracle& Oracle::shared_default() {
@@ -247,9 +283,26 @@ miri::MiriReport Oracle::interpret(
                            : input_sets;
     std::set<std::string> seen;
     for (const auto& inputs : runs) {
-        miri::Interpreter interp(compiled.program, inputs, limits_,
-                                 &compiled.lowering);
-        miri::RunResult result = interp.run();
+        miri::RunResult result;
+        switch (interp_) {
+            case InterpTier::Tree: {
+                miri::Interpreter interp(compiled.program, inputs, limits_);
+                result = interp.run();
+                break;
+            }
+            case InterpTier::Slot: {
+                miri::Interpreter interp(compiled.program, inputs, limits_,
+                                         &compiled.lowering);
+                result = interp.run();
+                break;
+            }
+            case InterpTier::Vm: {
+                vm::Vm vm(compiled.program, compiled.bytecode(), inputs,
+                          limits_);
+                result = vm.run();
+                break;
+            }
+        }
         report.total_steps += result.steps;
         report.outputs.push_back(std::move(result.output));
         if (result.finding && seen.insert(result.finding->key()).second) {

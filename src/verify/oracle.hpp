@@ -58,8 +58,28 @@
 #include "miri/mirilite.hpp"
 #include "screen/screen.hpp"
 #include "support/lru.hpp"
+#include "vm/bytecode.hpp"
 
 namespace rustbrain::verify {
+
+/// Which interpreter executes uncached runs. All three tiers are
+/// observationally identical — byte-equal findings, outputs, and step
+/// counts (asserted corpus-wide in tests/miri_vm_test.cpp and the
+/// differential stress tests) — so the tier is a pure performance knob,
+/// exactly like the caches:
+///   Tree — PR 1's tree walk with name scans (the reference semantics);
+///   Slot — PR 4's slot-lowered tree walk (the long-time default);
+///   Vm   — PR 8's flat bytecode VM (dense instruction arrays over an
+///          explicit value stack; see src/vm/).
+enum class InterpTier { Tree, Slot, Vm };
+
+/// "tree" / "slot" / "vm".
+[[nodiscard]] const char* to_string(InterpTier tier);
+/// Parses the names above; nullopt for anything else.
+[[nodiscard]] std::optional<InterpTier> parse_interp_tier(
+    const std::string& name);
+/// "tree, slot, vm" — for error messages listing the valid set.
+[[nodiscard]] std::string interp_tier_names();
 
 /// A source text after the front end: parsed, typechecked and slot-lowered
 /// (when ok()), or the verbatim parse/typecheck error MiriLite would have
@@ -77,6 +97,16 @@ struct CompiledProgram {
     miri::LoweredProgram lowering;  // valid only when ok()
 
     [[nodiscard]] bool ok() const { return front_end == FrontEnd::Ok; }
+
+    /// Bytecode for the vm tier, built lazily (thread-safe, exactly once)
+    /// on first use — so tree/slot oracles never pay for it, and the
+    /// compile-once program cache amortizes the bytecode compile across
+    /// every later vm interpretation of this source. Only valid when ok().
+    [[nodiscard]] const vm::VmProgram& bytecode() const;
+
+  private:
+    mutable std::once_flag vm_once_;
+    mutable vm::VmProgram vm_code_;
 };
 
 struct VerifyCacheStats {
@@ -223,6 +253,11 @@ struct OracleOptions {
     std::optional<bool> screening;
     /// Screener budget (per-candidate abstract-op cap).
     screen::ScreenOptions screen;
+    /// Which interpreter runs uncached work; unset => honour
+    /// RUSTBRAIN_INTERP=tree|slot|vm (unset or unrecognized values fall
+    /// back to the slot default). Pure performance knob: reports are
+    /// byte-identical across tiers.
+    std::optional<InterpTier> interp;
 };
 
 /// Counters for the Oracle's screening tier (process- or oracle-lifetime,
@@ -274,6 +309,7 @@ class Oracle {
 
     [[nodiscard]] bool caching_enabled() const { return caching_; }
     [[nodiscard]] bool screening_enabled() const { return screening_; }
+    [[nodiscard]] InterpTier interp_tier() const { return interp_; }
     [[nodiscard]] const miri::InterpLimits& limits() const { return limits_; }
     [[nodiscard]] const std::shared_ptr<VerifyCache>& cache() const {
         return cache_;
@@ -319,6 +355,7 @@ class Oracle {
     std::shared_ptr<VerifyCache> cache_;
     bool caching_ = true;
     bool screening_ = true;
+    InterpTier interp_ = InterpTier::Slot;
     screen::ScreenOptions screen_options_;
     mutable std::atomic<std::uint64_t> screens_{0};
     mutable std::atomic<std::uint64_t> screen_proven_{0};

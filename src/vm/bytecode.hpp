@@ -1,0 +1,154 @@
+// Flat bytecode for MiriLite.
+//
+// vm::compile() takes a (type-checked, renumbered) program together with the
+// LoweredProgram slot tables one step further than PR 4's slot lowering: each
+// function body and each static initializer is flattened into a dense array
+// of fixed-width instructions. Jump targets are instruction indices, so
+// control flow is `pc = target` instead of recursive AST descent, and every
+// operand the tree walk recomputed per visit (slot indices, statically known
+// place types, truncated literals, overflow widths) is resolved once at
+// compile time and stored inline.
+//
+// The contract is *byte-identity* with miri::Interpreter: the compiler emits
+// one Step instruction (or folds one into the leading opcode) exactly where
+// the tree walk calls step(), preserves its evaluation and allocation
+// orders, and the VM reuses miri::MemoryModel unchanged — so findings,
+// messages, spans, outputs, and step counts reproduce rule for rule. A
+// VmProgram is a side structure like LoweredProgram: it borrows type and
+// name storage from the exact Program it was compiled from and is only
+// meaningful next to it (verify::Oracle owns such pairs immutably).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "miri/lower.hpp"
+
+namespace rustbrain::vm {
+
+enum class Op : std::uint8_t {
+    // Bookkeeping -------------------------------------------------------
+    Step,        // step(span): statement entry / while-iteration / expr entry
+    Jump,        // pc = a
+    JumpIfFalse, // pop cond; if !cond pc = a
+    AndJump,     // if !top: pc = a (keep top) else pop   (short-circuit &&)
+    OrJump,      // if top:  pc = a (keep top) else pop   (short-circuit ||)
+    BoolNorm,    // top = boolean(top.as_bool())
+    Pop,         // discard top (expression statements)
+
+    // Pushes (leading step folded in) ----------------------------------
+    PushUnit,    // no step: used for implicit unit results
+    PushInt,     // step; push scalar(imm) — literal pre-truncated to type
+    PushBool,    // step; push boolean(a)
+    PushFn,      // step; push function(a)
+    LoadLocal,   // step; slot a live ? push load : logic_error (name in aux)
+    LoadStatic,  // step; static a live ? push load : fn fallback b / throw
+    ThrowUnresolved, // step; throw logic_error("unresolved name '…'")
+
+    // Places (no step; mirror eval_place) ------------------------------
+    PlaceLocal,      // slot a live ? push base ptr : logic_error
+    PlaceStatic,     // static a live ? push base ptr : logic_error
+    PlaceUnresolved, // throw logic_error("eval_place: unresolved name '…'")
+    AsPtr,           // top.as_ptr() — force the tree walk's conversion point
+    IndexPlace,      // pop index, pop base; bounds-check (len=imm, elem=a)
+
+    // Memory ------------------------------------------------------------
+    LoadThrough, // pop ptr; push load(ptr, *type) at span
+    StorePlace,  // pop place ptr, pop value; store at span
+    RetagRef,    // pop place ptr; retag_ref(size=imm, is_mut=a); push
+    DeclLocal,   // pop value; allocate+store slot a (let) — name aux, type
+    DeclParam,   // declare slot a from caller arg b (or unit) at fn span
+    DropArgs,    // shrink value stack to the frame's args_base
+    KillSlot,    // scope exit: if slot a live, mem.kill + clear
+    KillSlotTail,// become: kill_for_tail_call + clear
+
+    // Arithmetic / casts -------------------------------------------------
+    Neg,         // a unused; type = result, aux = operand Type*
+    NotBool,
+    NotBits,     // type = result
+    Binary,      // a = lang::BinaryOp; type = result, aux = operand Type*
+    Cast,        // a = CastKind (below)
+    MakeArray,   // pop a elements; push array
+    MakeRepeat,  // pop element; push array of imm copies
+
+    // Calls --------------------------------------------------------------
+    CallDirect,   // a = fn index, b = nargs
+    CallLocalPtr, // a = slot, b = nargs, type = slot Type*, aux = name
+    CallPtr,      // b = nargs; callee value sits below the args
+    TailCall,     // b = nargs; become — frame reused in place
+    CallUnknown,  // args evaluated, then the tree walk's logic_error
+    Intrinsic,    // a = IntrinsicId, b = nargs
+    Ret,          // pop frame; result stays on the value stack
+    Halt,         // end of a static-initializer chunk
+};
+
+enum class CastKind : std::int32_t {
+    IntFromInt,  // b = source signed, c = source size; type = target
+    IntToRawPtr,
+    PtrToInt,    // type = target
+    RefToRaw,    // c = writable, imm = pointee size
+    FnToInt,     // type = target
+    IntToFn,
+    Unsupported, // aux = prebuilt logic_error message
+};
+
+enum class IntrinsicId : std::int32_t {
+    Alloc,
+    Dealloc,
+    Offset,     // c = count-arg size, imm = element size
+    PrintInt,   // c = signed, imm = arg size
+    PrintBool,
+    Input,
+    Assert,
+    Panic,
+    Spawn,
+    Join,
+    MutexNew,
+    MutexLock,
+    MutexUnlock,
+    AtomicLoad,
+    AtomicStore,
+    AtomicFetchAdd,
+    Unknown,    // aux = name; throws the tree walk's logic_error
+};
+
+/// One fixed-width instruction. `type`/`aux` alias storage owned by the AST
+/// (or by VmProgram::strings) — stable for the paired program's lifetime.
+struct Instr {
+    Op op = Op::Step;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    std::int32_t c = 0;
+    std::uint64_t imm = 0;
+    const lang::Type* type = nullptr;
+    const void* aux = nullptr;
+    support::SourceSpan span;
+};
+
+struct VmFunction {
+    std::int32_t entry = 0;
+    std::uint32_t slot_count = 0;
+    support::SourceSpan span;  // depth-check / param-declaration span
+};
+
+struct VmProgram {
+    std::vector<Instr> code;
+    std::vector<VmFunction> functions;
+    /// Entry pc per static initializer chunk (each ends with Halt).
+    std::vector<std::int32_t> static_entries;
+    /// Index of `main`, -1 when absent (the VM then reports the same
+    /// CompileError finding as the tree walk).
+    std::int32_t main_fn = -1;
+    /// Owns strings referenced by Instr::aux (deque: stable addresses).
+    std::deque<std::string> strings;
+};
+
+/// Flatten a lowered program into bytecode. `program` must be the exact
+/// (type-checked, renumbered) tree `lowering` was built from.
+[[nodiscard]] VmProgram compile(const lang::Program& program,
+                                const miri::LoweredProgram& lowering);
+
+}  // namespace rustbrain::vm

@@ -1,0 +1,973 @@
+// Bytecode dispatch loop. Every handler is a direct port of the matching
+// miri::Interpreter code path — same memory-model calls, same messages, same
+// spans, same step() points — so the two tiers stay byte-identical.
+#include "vm/vm.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace rustbrain::vm {
+
+using lang::Type;
+using miri::AccessCtx;
+using miri::AllocId;
+using miri::AllocKind;
+using miri::Finding;
+using miri::FnPtrVal;
+using miri::kNoAlloc;
+using miri::kNoTag;
+using miri::PanicException;
+using miri::Pointer;
+using miri::UbCategory;
+using miri::UbException;
+using miri::Value;
+using miri::VectorClock;
+
+namespace {
+const std::string& name_of(const Instr& in) {
+    return *static_cast<const std::string*>(in.aux);
+}
+
+Value arith_result(std::uint64_t bits, const Type& type) {
+    return Value::scalar(miri::truncate_to_type(bits, type));
+}
+
+std::int64_t signed_value(const Value& v, const Type& t) {
+    return v.as_signed(t.size_bytes());
+}
+}  // namespace
+
+Vm::Vm(const lang::Program& program, const VmProgram& code,
+       std::vector<std::int64_t> inputs, miri::InterpLimits limits)
+    : program_(program),
+      code_(code),
+      inputs_(std::move(inputs)),
+      limits_(limits) {
+    static_slots_.assign(program_.statics.size(), kNoAlloc);
+    stack_.reserve(256);
+    slots_.reserve(256);
+    frames_.reserve(64);
+}
+
+void Vm::panic(std::string message, support::SourceSpan span) const {
+    throw PanicException{std::move(message), span};
+}
+
+void Vm::step(const support::SourceSpan& span) {
+    if (++steps_ > limits_.max_steps) {
+        panic("step limit exceeded (possible infinite loop)", span);
+    }
+}
+
+VectorClock& Vm::current_vc() {
+    if (current_thread_ == 0) return main_vc_;
+    return threads_[current_thread_ - 1].vc;
+}
+
+AccessCtx Vm::access_ctx(support::SourceSpan span, bool atomic) const {
+    AccessCtx ctx;
+    ctx.tid = current_thread_;
+    ctx.vc = multithreaded_
+                 ? (current_thread_ == 0 ? &main_vc_
+                                         : &threads_[current_thread_ - 1].vc)
+                 : nullptr;
+    ctx.atomic = atomic;
+    ctx.span = span;
+    return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+miri::RunResult Vm::run() {
+    miri::RunResult result;
+    try {
+        setup_statics();
+        if (code_.main_fn < 0) {
+            throw UbException{Finding{UbCategory::CompileError,
+                                      "program has no 'main' function",
+                                      {}}};
+        }
+        run_function(code_.main_fn,
+                     code_.functions[static_cast<std::size_t>(code_.main_fn)]
+                         .span);
+
+        for (const ThreadState& thread : threads_) {
+            if (!thread.joined) {
+                throw UbException{Finding{
+                    UbCategory::Concurrency,
+                    "thread leaked: spawned thread was never joined before main exited",
+                    {}}};
+            }
+        }
+        for (std::size_t i = 0; i < mutexes_.size(); ++i) {
+            if (mutexes_[i].held_by.has_value()) {
+                throw UbException{Finding{
+                    UbCategory::Concurrency,
+                    "mutex " + std::to_string(i + 1) + " still held at main exit",
+                    {}}};
+            }
+        }
+        if (auto leak = mem_.check_leaks()) {
+            throw UbException{*leak};
+        }
+    } catch (const UbException& ub) {
+        result.finding = ub.finding;
+    } catch (const PanicException& p) {
+        result.finding = Finding{UbCategory::Panic, p.message, p.span};
+    }
+    result.output = output_;
+    result.steps = steps_;
+    return result;
+}
+
+void Vm::setup_statics() {
+    for (std::size_t i = 0; i < program_.statics.size(); ++i) {
+        const auto& item = program_.statics[i];
+        const AllocId alloc = mem_.allocate(item.type.size_bytes(),
+                                            item.type.align_bytes(),
+                                            AllocKind::Static, item.name,
+                                            item.span);
+        static_slots_[i] = alloc;
+        pc_ = code_.static_entries[i];
+        const Value init = dispatch(frames_.size());
+        mem_.store(mem_.base_pointer(alloc), item.type, init,
+                   access_ctx(item.span));
+    }
+}
+
+miri::Value Vm::run_function(std::int32_t fn_index, support::SourceSpan span) {
+    const std::size_t frame_floor = frames_.size();
+    enter_function(fn_index, 0, /*ret_pc=*/-1, span);
+    return dispatch(frame_floor);
+}
+
+void Vm::enter_function(std::int32_t fn_index, std::uint32_t nargs,
+                        std::int32_t ret_pc, support::SourceSpan span) {
+    if (fn_index < 0 ||
+        static_cast<std::size_t>(fn_index) >= code_.functions.size()) {
+        throw UbException{Finding{UbCategory::FuncCall,
+                                  "calling a pointer that is not a function",
+                                  span}};
+    }
+    if (++call_depth_ > limits_.max_call_depth) {
+        --call_depth_;
+        panic("stack overflow: call depth exceeded " +
+                  std::to_string(limits_.max_call_depth),
+              span);
+    }
+    const VmFunction& fn = code_.functions[static_cast<std::size_t>(fn_index)];
+    Frame frame;
+    frame.fn = fn_index;
+    frame.ret_pc = ret_pc;
+    frame.args_base = static_cast<std::uint32_t>(stack_.size() - nargs);
+    frame.nargs = nargs;
+    frame.slot_base = static_cast<std::uint32_t>(slots_.size());
+    frames_.push_back(frame);
+    slots_.resize(slots_.size() + fn.slot_count);
+    pc_ = fn.entry;
+}
+
+void Vm::run_thread(ThreadState& thread, support::SourceSpan span) {
+    // Exceptions terminate the whole run (run() converts them straight into
+    // the finding), so unlike the tree walk there is no state to restore on
+    // the unwind path — the restores below only matter on success.
+    const miri::ThreadId saved_thread = current_thread_;
+    current_thread_ = thread.id;
+    const std::uint32_t saved_depth = call_depth_;
+    call_depth_ = 0;
+    run_function(thread.entry_fn, span);
+    call_depth_ = saved_depth;
+    current_thread_ = saved_thread;
+    thread.executed = true;
+}
+
+std::int32_t Vm::resolve_fn_target(const FnPtrVal& fn, const Type& static_type,
+                                   support::SourceSpan span,
+                                   bool is_become) const {
+    if (!fn.valid() ||
+        static_cast<std::size_t>(fn.fn_index) >= program_.functions.size()) {
+        throw UbException{
+            Finding{is_become ? UbCategory::TailCall : UbCategory::FuncCall,
+                    is_become
+                        ? "tail call through a pointer that is not a function"
+                        : "calling a pointer that is not a function",
+                    span}};
+    }
+    const lang::FnItem& target =
+        program_.functions[static_cast<std::size_t>(fn.fn_index)];
+    if (static_type.is_fn_ptr() && !(target.fn_type() == static_type)) {
+        throw UbException{Finding{
+            is_become ? UbCategory::TailCall : UbCategory::FuncPointer,
+            std::string(is_become ? "tail call" : "call") +
+                " through a function pointer with the wrong signature: pointer says " +
+                static_type.to_string() + " but '" + target.name + "' is " +
+                target.fn_type().to_string(),
+            span}};
+    }
+    return fn.fn_index;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+miri::Value Vm::dispatch(std::size_t frame_floor) {
+    // The program counter lives in a local so the hot loop keeps it in a
+    // register; it is synced with pc_ only around calls that re-enter
+    // the dispatcher (enter_function sets pc_, Join saves/restores it).
+    std::int32_t pc = pc_;
+    while (true) {
+        const Instr& in = code_.code[static_cast<std::size_t>(pc)];
+        switch (in.op) {
+            case Op::Step:
+                step(in.span);
+                ++pc;
+                continue;
+            case Op::Jump:
+                pc = in.a;
+                continue;
+            case Op::JumpIfFalse: {
+                const bool taken = !stack_.back().as_bool();
+                stack_.pop_back();
+                pc = taken ? in.a : pc + 1;
+                continue;
+            }
+            case Op::AndJump:
+                if (!stack_.back().as_bool()) {
+                    pc = in.a;
+                } else {
+                    stack_.pop_back();
+                    ++pc;
+                }
+                continue;
+            case Op::OrJump:
+                if (stack_.back().as_bool()) {
+                    pc = in.a;
+                } else {
+                    stack_.pop_back();
+                    ++pc;
+                }
+                continue;
+            case Op::BoolNorm:
+                stack_.back() = Value::boolean(stack_.back().as_bool());
+                ++pc;
+                continue;
+            case Op::Pop:
+                stack_.pop_back();
+                ++pc;
+                continue;
+
+            case Op::PushUnit:
+                stack_.push_back(Value::unit());
+                ++pc;
+                continue;
+            case Op::PushInt:
+                step(in.span);
+                stack_.push_back(Value::scalar(in.imm));
+                ++pc;
+                continue;
+            case Op::PushBool:
+                step(in.span);
+                stack_.push_back(Value::boolean(in.a != 0));
+                ++pc;
+                continue;
+            case Op::PushFn:
+                step(in.span);
+                stack_.push_back(Value::function(FnPtrVal{in.a}));
+                ++pc;
+                continue;
+            case Op::LoadLocal: {
+                step(in.span);
+                const SlotState& slot =
+                    slots_[frames_.back().slot_base +
+                           static_cast<std::uint32_t>(in.a)];
+                if (slot.alloc == kNoAlloc) {
+                    throw std::logic_error("eval_place: unresolved name '" +
+                                           name_of(in) + "'");
+                }
+                stack_.push_back(mem_.load(mem_.base_pointer(slot.alloc),
+                                           *slot.type, access_ctx(in.span)));
+                ++pc;
+                continue;
+            }
+            case Op::LoadStatic: {
+                step(in.span);
+                const AllocId alloc =
+                    static_slots_[static_cast<std::size_t>(in.a)];
+                if (alloc != kNoAlloc) {
+                    stack_.push_back(mem_.load(mem_.base_pointer(alloc),
+                                               *in.type, access_ctx(in.span)));
+                } else if (in.b >= 0) {
+                    // Forward reference during static setup: fall through to
+                    // the same-named function item, like the tree walk.
+                    stack_.push_back(Value::function(FnPtrVal{in.b}));
+                } else {
+                    throw std::logic_error("unresolved name '" + name_of(in) +
+                                           "'");
+                }
+                ++pc;
+                continue;
+            }
+            case Op::ThrowUnresolved:
+                step(in.span);
+                throw std::logic_error("unresolved name '" + name_of(in) + "'");
+
+            case Op::PlaceLocal: {
+                const SlotState& slot =
+                    slots_[frames_.back().slot_base +
+                           static_cast<std::uint32_t>(in.a)];
+                if (slot.alloc == kNoAlloc) {
+                    throw std::logic_error("eval_place: unresolved name '" +
+                                           name_of(in) + "'");
+                }
+                stack_.push_back(Value::pointer(mem_.base_pointer(slot.alloc)));
+                ++pc;
+                continue;
+            }
+            case Op::PlaceStatic: {
+                const AllocId alloc =
+                    static_slots_[static_cast<std::size_t>(in.a)];
+                if (alloc == kNoAlloc) {
+                    throw std::logic_error("eval_place: unresolved name '" +
+                                           name_of(in) + "'");
+                }
+                stack_.push_back(Value::pointer(mem_.base_pointer(alloc)));
+                ++pc;
+                continue;
+            }
+            case Op::PlaceUnresolved:
+                throw std::logic_error("eval_place: unresolved name '" +
+                                       name_of(in) + "'");
+            case Op::AsPtr:
+                (void)stack_.back().as_ptr();
+                ++pc;
+                continue;
+            case Op::IndexPlace: {
+                const std::uint64_t i = stack_.back().bits();
+                stack_.pop_back();
+                Pointer element_ptr = stack_.back().as_ptr();
+                stack_.pop_back();
+                if (i >= in.imm) {
+                    panic("index out of bounds: the len is " +
+                              std::to_string(in.imm) + " but the index is " +
+                              std::to_string(i),
+                          in.span);
+                }
+                element_ptr.addr += i * static_cast<std::uint64_t>(in.a);
+                stack_.push_back(Value::pointer(element_ptr));
+                ++pc;
+                continue;
+            }
+
+            case Op::LoadThrough: {
+                const Pointer p = stack_.back().as_ptr();
+                stack_.pop_back();
+                stack_.push_back(mem_.load(p, *in.type, access_ctx(in.span)));
+                ++pc;
+                continue;
+            }
+            case Op::StorePlace: {
+                const Pointer p = stack_.back().as_ptr();
+                stack_.pop_back();
+                mem_.store(p, *in.type, stack_.back(), access_ctx(in.span));
+                stack_.pop_back();
+                ++pc;
+                continue;
+            }
+            case Op::RetagRef: {
+                const Pointer p = stack_.back().as_ptr();
+                stack_.pop_back();
+                stack_.push_back(Value::pointer(
+                    mem_.retag_ref(p, in.imm, in.a != 0, in.span)));
+                ++pc;
+                continue;
+            }
+            case Op::DeclLocal: {
+                const AllocId alloc =
+                    mem_.allocate(in.type->size_bytes(), in.type->align_bytes(),
+                                  AllocKind::Stack, name_of(in), in.span);
+                mem_.store(mem_.base_pointer(alloc), *in.type, stack_.back(),
+                           access_ctx(in.span));
+                stack_.pop_back();
+                slots_[frames_.back().slot_base +
+                       static_cast<std::uint32_t>(in.a)] = {alloc, in.type};
+                ++pc;
+                continue;
+            }
+            case Op::DeclParam: {
+                const Frame& frame = frames_.back();
+                const Value value =
+                    static_cast<std::uint32_t>(in.b) < frame.nargs
+                        ? stack_[frame.args_base +
+                                 static_cast<std::uint32_t>(in.b)]
+                        : Value::unit();
+                const AllocId alloc =
+                    mem_.allocate(in.type->size_bytes(), in.type->align_bytes(),
+                                  AllocKind::Stack, name_of(in), in.span);
+                mem_.store(mem_.base_pointer(alloc), *in.type, value,
+                           access_ctx(in.span));
+                slots_[frame.slot_base + static_cast<std::uint32_t>(in.a)] = {
+                    alloc, in.type};
+                ++pc;
+                continue;
+            }
+            case Op::DropArgs:
+                stack_.resize(frames_.back().args_base);
+                ++pc;
+                continue;
+            case Op::KillSlot: {
+                SlotState& slot = slots_[frames_.back().slot_base +
+                                         static_cast<std::uint32_t>(in.a)];
+                if (slot.alloc != kNoAlloc) {
+                    mem_.kill(slot.alloc);
+                    slot = {};
+                }
+                ++pc;
+                continue;
+            }
+            case Op::KillSlotTail: {
+                SlotState& slot = slots_[frames_.back().slot_base +
+                                         static_cast<std::uint32_t>(in.a)];
+                if (slot.alloc != kNoAlloc) {
+                    mem_.kill_for_tail_call(slot.alloc);
+                    slot = {};
+                }
+                ++pc;
+                continue;
+            }
+
+            case Op::Neg: {
+                const Value operand = stack_.back();
+                stack_.pop_back();
+                const Type& operand_type =
+                    *static_cast<const Type*>(in.aux);
+                const std::int64_t value = signed_value(operand, operand_type);
+                const std::uint64_t size = in.type->size_bytes();
+                const std::int64_t min_value =
+                    size >= 8 ? std::numeric_limits<std::int64_t>::min()
+                              : -(1LL << (size * 8 - 1));
+                if (value == min_value) {
+                    panic("attempt to negate with overflow", in.span);
+                }
+                stack_.push_back(arith_result(
+                    static_cast<std::uint64_t>(-value), *in.type));
+                ++pc;
+                continue;
+            }
+            case Op::NotBool:
+                stack_.back() = Value::boolean(!stack_.back().as_bool());
+                ++pc;
+                continue;
+            case Op::NotBits:
+                stack_.back() = arith_result(~stack_.back().bits(), *in.type);
+                ++pc;
+                continue;
+            case Op::Binary: {
+                const Value rhs = std::move(stack_.back());
+                stack_.pop_back();
+                const Value lhs = std::move(stack_.back());
+                stack_.pop_back();
+                stack_.push_back(eval_binary(in, lhs, rhs));
+                ++pc;
+                continue;
+            }
+            case Op::Cast: {
+                const Value operand = std::move(stack_.back());
+                stack_.pop_back();
+                stack_.push_back(eval_cast(in, operand));
+                ++pc;
+                continue;
+            }
+            case Op::MakeArray: {
+                const std::size_t n = static_cast<std::size_t>(in.a);
+                std::vector<Value> elements(stack_.end() -
+                                                static_cast<std::ptrdiff_t>(n),
+                                            stack_.end());
+                stack_.resize(stack_.size() - n);
+                stack_.push_back(Value::array(std::move(elements)));
+                ++pc;
+                continue;
+            }
+            case Op::MakeRepeat: {
+                const Value element = stack_.back();
+                stack_.pop_back();
+                stack_.push_back(Value::array(std::vector<Value>(
+                    static_cast<std::size_t>(in.imm), element)));
+                ++pc;
+                continue;
+            }
+
+            case Op::CallDirect:
+                enter_function(in.a, static_cast<std::uint32_t>(in.b), pc + 1,
+                               in.span);
+                pc = pc_;
+                continue;
+            case Op::CallLocalPtr: {
+                const SlotState& slot =
+                    slots_[frames_.back().slot_base +
+                           static_cast<std::uint32_t>(in.a)];
+                if (slot.alloc == kNoAlloc) {
+                    throw std::logic_error("call to unknown function '" +
+                                           name_of(in) + "'");
+                }
+                const Value callee =
+                    mem_.load(mem_.base_pointer(slot.alloc), *slot.type,
+                              access_ctx(in.span));
+                const std::int32_t target = resolve_fn_target(
+                    callee.as_fn(), *slot.type, in.span, /*is_become=*/false);
+                enter_function(target, static_cast<std::uint32_t>(in.b),
+                               pc + 1, in.span);
+                pc = pc_;
+                continue;
+            }
+            case Op::CallPtr: {
+                const std::size_t callee_at =
+                    stack_.size() - static_cast<std::size_t>(in.b) - 1;
+                const std::int32_t target = resolve_fn_target(
+                    stack_[callee_at].as_fn(), *in.type, in.span,
+                    /*is_become=*/false);
+                stack_.erase(stack_.begin() +
+                             static_cast<std::ptrdiff_t>(callee_at));
+                enter_function(target, static_cast<std::uint32_t>(in.b),
+                               pc + 1, in.span);
+                pc = pc_;
+                continue;
+            }
+            case Op::TailCall: {
+                const std::size_t callee_at =
+                    stack_.size() - static_cast<std::size_t>(in.b) - 1;
+                const std::int32_t target = resolve_fn_target(
+                    stack_[callee_at].as_fn(), *in.type, in.span,
+                    /*is_become=*/true);
+                stack_.erase(stack_.begin() +
+                             static_cast<std::ptrdiff_t>(callee_at));
+                // Reuse the frame in place: resize the slot window for the
+                // target, keep ret_pc, leave call_depth_ untouched.
+                Frame& frame = frames_.back();
+                const VmFunction& fn =
+                    code_.functions[static_cast<std::size_t>(target)];
+                slots_.resize(frame.slot_base);
+                slots_.resize(frame.slot_base + fn.slot_count);
+                frame.fn = target;
+                frame.nargs = static_cast<std::uint32_t>(in.b);
+                frame.args_base =
+                    static_cast<std::uint32_t>(stack_.size() - frame.nargs);
+                pc = fn.entry;
+                continue;
+            }
+            case Op::CallUnknown:
+                throw std::logic_error("call to unknown function '" +
+                                       name_of(in) + "'");
+            case Op::Intrinsic:
+                pc_ = pc;
+                do_intrinsic(in);
+                pc = pc_;
+                ++pc;
+                continue;
+
+            case Op::Ret: {
+                const Frame frame = frames_.back();
+                frames_.pop_back();
+                slots_.resize(frame.slot_base);
+                --call_depth_;
+                if (frames_.size() == frame_floor) {
+                    Value result = std::move(stack_.back());
+                    stack_.pop_back();
+                    return result;
+                }
+                pc = frame.ret_pc;
+                continue;
+            }
+            case Op::Halt: {
+                Value result = std::move(stack_.back());
+                stack_.pop_back();
+                return result;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary / cast helpers (ports of eval_binary / eval_cast)
+// ---------------------------------------------------------------------------
+
+miri::Value Vm::eval_binary(const Instr& in, const Value& lhs,
+                            const Value& rhs) {
+    using lang::BinaryOp;
+    const BinaryOp op = static_cast<BinaryOp>(in.a);
+    const Type& result_type = *in.type;
+    const Type& operand_type = *static_cast<const Type*>(in.aux);
+    const std::uint64_t size = operand_type.size_bytes();
+    const bool is_signed = operand_type.is_signed_integer();
+    const support::SourceSpan span = in.span;
+
+    auto check_overflow = [&](std::int64_t wide, const char* op_name) {
+        if (size >= 8) return;
+        if (is_signed) {
+            const std::int64_t min_value = -(1LL << (size * 8 - 1));
+            const std::int64_t max_value = (1LL << (size * 8 - 1)) - 1;
+            if (wide < min_value || wide > max_value) {
+                panic(std::string("attempt to ") + op_name + " with overflow",
+                      span);
+            }
+        } else {
+            const std::uint64_t max_value = (1ULL << (size * 8)) - 1;
+            if (static_cast<std::uint64_t>(wide) > max_value || wide < 0) {
+                panic(std::string("attempt to ") + op_name + " with overflow",
+                      span);
+            }
+        }
+    };
+
+    switch (op) {
+        case BinaryOp::Add:
+        case BinaryOp::Sub:
+        case BinaryOp::Mul: {
+            const char* name = op == BinaryOp::Add   ? "add"
+                               : op == BinaryOp::Sub ? "subtract"
+                                                     : "multiply";
+            if (size >= 8) {
+                if (is_signed) {
+                    const std::int64_t a = signed_value(lhs, operand_type);
+                    const std::int64_t b = signed_value(rhs, operand_type);
+                    std::int64_t out = 0;
+                    bool overflow = false;
+                    if (op == BinaryOp::Add) {
+                        overflow = __builtin_add_overflow(a, b, &out);
+                    } else if (op == BinaryOp::Sub) {
+                        overflow = __builtin_sub_overflow(a, b, &out);
+                    } else {
+                        overflow = __builtin_mul_overflow(a, b, &out);
+                    }
+                    if (overflow) {
+                        panic(std::string("attempt to ") + name +
+                                  " with overflow",
+                              span);
+                    }
+                    return arith_result(static_cast<std::uint64_t>(out),
+                                        result_type);
+                }
+                const std::uint64_t a = lhs.bits();
+                const std::uint64_t b = rhs.bits();
+                std::uint64_t out = 0;
+                bool overflow = false;
+                if (op == BinaryOp::Add) {
+                    overflow = __builtin_add_overflow(a, b, &out);
+                } else if (op == BinaryOp::Sub) {
+                    overflow = __builtin_sub_overflow(a, b, &out);
+                } else {
+                    overflow = __builtin_mul_overflow(a, b, &out);
+                }
+                if (overflow) {
+                    panic(std::string("attempt to ") + name + " with overflow",
+                          span);
+                }
+                return arith_result(out, result_type);
+            }
+            const std::int64_t a = is_signed
+                                       ? signed_value(lhs, operand_type)
+                                       : static_cast<std::int64_t>(lhs.bits());
+            const std::int64_t b = is_signed
+                                       ? signed_value(rhs, operand_type)
+                                       : static_cast<std::int64_t>(rhs.bits());
+            std::int64_t wide = 0;
+            if (op == BinaryOp::Add) wide = a + b;
+            if (op == BinaryOp::Sub) wide = a - b;
+            if (op == BinaryOp::Mul) wide = a * b;
+            check_overflow(wide, name);
+            return arith_result(static_cast<std::uint64_t>(wide), result_type);
+        }
+        case BinaryOp::Div:
+        case BinaryOp::Rem: {
+            const bool is_div = op == BinaryOp::Div;
+            if (rhs.bits() == 0) {
+                panic(is_div ? "attempt to divide by zero"
+                             : "attempt to calculate the remainder with a divisor of zero",
+                      span);
+            }
+            if (is_signed) {
+                const std::int64_t a = signed_value(lhs, operand_type);
+                const std::int64_t b = signed_value(rhs, operand_type);
+                const std::int64_t min_value =
+                    size >= 8 ? std::numeric_limits<std::int64_t>::min()
+                              : -(1LL << (size * 8 - 1));
+                if (a == min_value && b == -1) {
+                    panic(is_div ? "attempt to divide with overflow"
+                                 : "attempt to calculate the remainder with overflow",
+                          span);
+                }
+                const std::int64_t out = is_div ? a / b : a % b;
+                return arith_result(static_cast<std::uint64_t>(out),
+                                    result_type);
+            }
+            const std::uint64_t out =
+                is_div ? lhs.bits() / rhs.bits() : lhs.bits() % rhs.bits();
+            return arith_result(out, result_type);
+        }
+        case BinaryOp::Shl:
+        case BinaryOp::Shr: {
+            const std::uint64_t shift = rhs.bits();
+            if (shift >= size * 8) {
+                panic(op == BinaryOp::Shl
+                          ? "attempt to shift left with overflow"
+                          : "attempt to shift right with overflow",
+                      span);
+            }
+            if (op == BinaryOp::Shl) {
+                return arith_result(lhs.bits() << shift, result_type);
+            }
+            if (is_signed) {
+                return arith_result(static_cast<std::uint64_t>(
+                                        signed_value(lhs, operand_type) >>
+                                        static_cast<std::int64_t>(shift)),
+                                    result_type);
+            }
+            return arith_result(lhs.bits() >> shift, result_type);
+        }
+        case BinaryOp::BitAnd:
+            return arith_result(lhs.bits() & rhs.bits(), result_type);
+        case BinaryOp::BitOr:
+            return arith_result(lhs.bits() | rhs.bits(), result_type);
+        case BinaryOp::BitXor:
+            return arith_result(lhs.bits() ^ rhs.bits(), result_type);
+        case BinaryOp::Eq:
+            return Value::boolean(lhs.bits() == rhs.bits());
+        case BinaryOp::Ne:
+            return Value::boolean(lhs.bits() != rhs.bits());
+        case BinaryOp::Lt:
+        case BinaryOp::Le:
+        case BinaryOp::Gt:
+        case BinaryOp::Ge: {
+            bool result = false;
+            if (is_signed) {
+                const std::int64_t a = signed_value(lhs, operand_type);
+                const std::int64_t b = signed_value(rhs, operand_type);
+                result = op == BinaryOp::Lt   ? a < b
+                         : op == BinaryOp::Le ? a <= b
+                         : op == BinaryOp::Gt ? a > b
+                                              : a >= b;
+            } else {
+                const std::uint64_t a = lhs.bits();
+                const std::uint64_t b = rhs.bits();
+                result = op == BinaryOp::Lt   ? a < b
+                         : op == BinaryOp::Le ? a <= b
+                         : op == BinaryOp::Gt ? a > b
+                                              : a >= b;
+            }
+            return Value::boolean(result);
+        }
+        case BinaryOp::And:
+        case BinaryOp::Or:
+            break;  // compiled to AndJump/OrJump, never reach here
+    }
+    return Value::unit();
+}
+
+miri::Value Vm::eval_cast(const Instr& in, const Value& operand) {
+    switch (static_cast<CastKind>(in.a)) {
+        case CastKind::IntFromInt: {
+            const std::uint64_t wide =
+                in.b != 0 ? static_cast<std::uint64_t>(operand.as_signed(
+                                static_cast<std::uint64_t>(in.c)))
+                          : operand.bits();
+            return arith_result(wide, *in.type);
+        }
+        case CastKind::IntToRawPtr:
+            return Value::pointer(Pointer{operand.bits(), kNoAlloc, kNoTag});
+        case CastKind::PtrToInt:
+            return arith_result(operand.bits(), *in.type);
+        case CastKind::RefToRaw:
+            return Value::pointer(mem_.retag_raw(operand.as_ptr(), in.imm,
+                                                 in.c != 0, in.span));
+        case CastKind::FnToInt:
+            return arith_result(operand.bits(), *in.type);
+        case CastKind::IntToFn:
+            return Value::function(FnPtrVal{miri::fn_addr_to_index(
+                operand.bits(), program_.functions.size())});
+        case CastKind::Unsupported:
+            break;
+    }
+    throw std::logic_error(name_of(in));
+}
+
+// ---------------------------------------------------------------------------
+// Intrinsics (port of eval_intrinsic; arguments are already on the stack)
+// ---------------------------------------------------------------------------
+
+void Vm::do_intrinsic(const Instr& in) {
+    const std::size_t nargs = static_cast<std::size_t>(in.b);
+    std::vector<Value> args(stack_.end() - static_cast<std::ptrdiff_t>(nargs),
+                            stack_.end());
+    stack_.resize(stack_.size() - nargs);
+    auto arg_bits = [&](std::size_t i) {
+        return i < args.size() ? args[i].bits() : 0;
+    };
+    const support::SourceSpan span = in.span;
+
+    switch (static_cast<IntrinsicId>(in.a)) {
+        case IntrinsicId::Alloc: {
+            const std::uint64_t size = arg_bits(0);
+            const std::uint64_t align = arg_bits(1);
+            const AllocId id =
+                mem_.allocate(size, align, AllocKind::Heap, "heap", span);
+            stack_.push_back(Value::pointer(mem_.base_pointer(id)));
+            return;
+        }
+        case IntrinsicId::Dealloc:
+            mem_.deallocate(args[0].as_ptr(), arg_bits(1), arg_bits(2), span);
+            stack_.push_back(Value::unit());
+            return;
+        case IntrinsicId::Offset: {
+            const Pointer p = args[0].as_ptr();
+            const std::int64_t count =
+                args[1].as_signed(static_cast<std::uint64_t>(in.c));
+            const std::int64_t element_size = static_cast<std::int64_t>(in.imm);
+            stack_.push_back(Value::pointer(
+                mem_.offset_pointer(p, count * element_size, span)));
+            return;
+        }
+        case IntrinsicId::PrintInt:
+            if (in.c != 0) {
+                output_.push_back(std::to_string(args[0].as_signed(in.imm)));
+            } else {
+                output_.push_back(std::to_string(args[0].bits()));
+            }
+            stack_.push_back(Value::unit());
+            return;
+        case IntrinsicId::PrintBool:
+            output_.push_back(args[0].as_bool() ? "true" : "false");
+            stack_.push_back(Value::unit());
+            return;
+        case IntrinsicId::Input: {
+            const std::uint64_t index = arg_bits(0);
+            const std::int64_t value =
+                index < inputs_.size() ? inputs_[index] : 0;
+            stack_.push_back(
+                Value::scalar(static_cast<std::uint64_t>(value)));
+            return;
+        }
+        case IntrinsicId::Assert:
+            if (!args[0].as_bool()) {
+                panic("assertion failed", span);
+            }
+            stack_.push_back(Value::unit());
+            return;
+        case IntrinsicId::Panic:
+            panic("explicit panic", span);
+        case IntrinsicId::Spawn: {
+            multithreaded_ = true;
+            ThreadState thread;
+            thread.id = static_cast<miri::ThreadId>(threads_.size() + 1);
+            thread.entry_fn = args[0].as_fn().fn_index;
+            thread.vc = current_vc();
+            thread.vc.increment(thread.id);
+            current_vc().increment(current_thread_);
+            threads_.push_back(std::move(thread));
+            stack_.push_back(Value::scalar(threads_.size()));
+            return;
+        }
+        case IntrinsicId::Join: {
+            const std::uint64_t handle = arg_bits(0);
+            if (handle == 0 || handle > threads_.size()) {
+                throw UbException{Finding{UbCategory::Concurrency,
+                                          "joining an invalid thread handle",
+                                          span}};
+            }
+            ThreadState& thread = threads_[handle - 1];
+            if (thread.joined) {
+                throw UbException{
+                    Finding{UbCategory::Concurrency,
+                            "joining a thread that was already joined", span}};
+            }
+            if (!thread.executed) {
+                const std::int32_t saved_pc = pc_;
+                run_thread(thread, span);
+                pc_ = saved_pc;
+            }
+            thread.joined = true;
+            current_vc().merge(thread.vc);
+            current_vc().increment(current_thread_);
+            stack_.push_back(Value::unit());
+            return;
+        }
+        case IntrinsicId::MutexNew:
+            mutexes_.emplace_back();
+            stack_.push_back(Value::scalar(mutexes_.size()));
+            return;
+        case IntrinsicId::MutexLock:
+        case IntrinsicId::MutexUnlock: {
+            const std::uint64_t handle = arg_bits(0);
+            if (handle == 0 || handle > mutexes_.size()) {
+                throw UbException{Finding{UbCategory::Concurrency,
+                                          "invalid mutex handle", span}};
+            }
+            MutexState& mutex = mutexes_[handle - 1];
+            if (static_cast<IntrinsicId>(in.a) == IntrinsicId::MutexLock) {
+                if (mutex.held_by.has_value()) {
+                    throw UbException{Finding{
+                        UbCategory::Concurrency,
+                        *mutex.held_by == current_thread_
+                            ? "deadlock: thread re-locking a mutex it already holds"
+                            : "deadlock: locking a mutex held by a finished thread",
+                        span}};
+                }
+                mutex.held_by = current_thread_;
+                current_vc().merge(mutex.vc);  // acquire
+            } else {
+                if (!mutex.held_by.has_value() ||
+                    *mutex.held_by != current_thread_) {
+                    throw UbException{
+                        Finding{UbCategory::Concurrency,
+                                "unlocking a mutex not held by this thread",
+                                span}};
+                }
+                mutex.held_by.reset();
+                mutex.vc.merge(current_vc());  // release
+                current_vc().increment(current_thread_);
+            }
+            stack_.push_back(Value::unit());
+            return;
+        }
+        case IntrinsicId::AtomicLoad:
+        case IntrinsicId::AtomicStore:
+        case IntrinsicId::AtomicFetchAdd: {
+            const Pointer p = args[0].as_ptr();
+            const Type i64_type = Type::i64();
+            const IntrinsicId id = static_cast<IntrinsicId>(in.a);
+            const bool is_load = id == IntrinsicId::AtomicLoad;
+            const bool is_rmw = id == IntrinsicId::AtomicFetchAdd;
+            const std::pair<AllocId, std::uint64_t> key{p.alloc, p.addr};
+            VectorClock& loc_vc = atomic_vcs_[key];
+            current_vc().merge(loc_vc);  // acquire
+            Value result = Value::unit();
+            if (is_load) {
+                result =
+                    mem_.load(p, i64_type, access_ctx(span, /*atomic=*/true));
+            } else if (is_rmw) {
+                const Value old =
+                    mem_.load(p, i64_type, access_ctx(span, /*atomic=*/true));
+                const std::uint64_t updated = old.bits() + args[1].bits();
+                mem_.store(p, i64_type, Value::scalar(updated),
+                           access_ctx(span, /*atomic=*/true));
+                result = old;
+            } else {
+                mem_.store(p, i64_type, args[1],
+                           access_ctx(span, /*atomic=*/true));
+            }
+            if (!is_load) {
+                loc_vc.merge(current_vc());  // release
+                current_vc().increment(current_thread_);
+            }
+            stack_.push_back(result);
+            return;
+        }
+        case IntrinsicId::Unknown:
+            break;
+    }
+    throw std::logic_error("unhandled intrinsic '" + name_of(in) + "'");
+}
+
+}  // namespace rustbrain::vm

@@ -1,0 +1,115 @@
+// Bytecode VM for MiriLite — the third interpreter tier.
+//
+// Executes a vm::VmProgram over an explicit value stack and dense activation
+// records: one contiguous SlotState vector shared by every live frame, each
+// frame owning a [slot_base, slot_base + slot_count) window plus a base
+// pointer into the value stack for its arguments. `become` reuses the top
+// frame in place (resize the slot window, keep the return pc), so tail-call
+// chains use O(1) native stack and never grow call_depth_, exactly like the
+// tree walk's trampoline.
+//
+// The VM reuses miri::MemoryModel, the vector-clock race detector, and the
+// thread/mutex/atomic bookkeeping verbatim, and enforces InterpLimits at the
+// same program points, so RunResults are byte-identical to miri::Interpreter
+// — findings, messages, spans, outputs, and step counts. The three-way
+// equivalence is asserted corpus-wide by tests/miri_vm_test.cpp and the
+// differential stress tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "miri/interp.hpp"
+#include "miri/memory.hpp"
+#include "miri/value.hpp"
+#include "vm/bytecode.hpp"
+
+namespace rustbrain::vm {
+
+class Vm {
+  public:
+    /// `program` must be the exact tree `code` was compiled from (same
+    /// pairing contract as LoweredProgram).
+    Vm(const lang::Program& program, const VmProgram& code,
+       std::vector<std::int64_t> inputs, miri::InterpLimits limits = {});
+
+    /// Execute main (and all joined threads); UB and panics come back as
+    /// RunResult::finding, identical to miri::Interpreter::run().
+    miri::RunResult run();
+
+  private:
+    struct SlotState {
+        miri::AllocId alloc = miri::kNoAlloc;
+        const lang::Type* type = nullptr;
+    };
+
+    struct Frame {
+        std::int32_t fn = -1;
+        std::int32_t ret_pc = -1;        // -1: returns to native caller
+        std::uint32_t args_base = 0;     // value-stack index of arg 0
+        std::uint32_t nargs = 0;
+        std::uint32_t slot_base = 0;     // window start in slots_
+    };
+
+    struct ThreadState {
+        miri::ThreadId id = 0;
+        std::int32_t entry_fn = -1;
+        miri::VectorClock vc;
+        bool executed = false;
+        bool joined = false;
+    };
+
+    struct MutexState {
+        std::optional<miri::ThreadId> held_by;
+        miri::VectorClock vc;
+    };
+
+    void setup_statics();
+    miri::Value run_function(std::int32_t fn_index, support::SourceSpan span);
+    miri::Value dispatch(std::size_t frame_floor);
+    void enter_function(std::int32_t fn_index, std::uint32_t nargs,
+                        std::int32_t ret_pc, support::SourceSpan span);
+    void do_intrinsic(const Instr& in);
+    void run_thread(ThreadState& thread, support::SourceSpan span);
+    std::int32_t resolve_fn_target(const miri::FnPtrVal& fn,
+                                   const lang::Type& static_type,
+                                   support::SourceSpan span,
+                                   bool is_become) const;
+    miri::Value eval_binary(const Instr& in, const miri::Value& lhs,
+                            const miri::Value& rhs);
+    miri::Value eval_cast(const Instr& in, const miri::Value& operand);
+
+    void step(const support::SourceSpan& span);
+    [[noreturn]] void panic(std::string message, support::SourceSpan span) const;
+    [[nodiscard]] miri::AccessCtx access_ctx(support::SourceSpan span,
+                                             bool atomic = false) const;
+    miri::VectorClock& current_vc();
+
+    const lang::Program& program_;
+    const VmProgram& code_;
+    std::vector<std::int64_t> inputs_;
+    miri::InterpLimits limits_;
+
+    miri::MemoryModel mem_;
+    std::vector<miri::Value> stack_;
+    std::vector<SlotState> slots_;
+    std::vector<Frame> frames_;
+    std::vector<miri::AllocId> static_slots_;
+    std::int32_t pc_ = 0;
+
+    miri::ThreadId current_thread_ = 0;
+    std::vector<ThreadState> threads_;
+    miri::VectorClock main_vc_;
+    std::vector<MutexState> mutexes_;
+    std::map<std::pair<miri::AllocId, std::uint64_t>, miri::VectorClock>
+        atomic_vcs_;
+    bool multithreaded_ = false;
+
+    std::vector<std::string> output_;
+    std::uint64_t steps_ = 0;
+    std::uint32_t call_depth_ = 0;
+};
+
+}  // namespace rustbrain::vm
