@@ -18,16 +18,31 @@
 //      case, rendered with serve::render_case_result and byte-compared
 //      against a serial BatchRunner sweep over the same list (exit 1 on
 //      any divergence — CI runs this).
+//
+// --open-loop switches to the fourth experiment: arrivals follow a
+// deterministic seeded Poisson-plus-burst schedule (virtual arrival times,
+// independent of completions — the regime where queues actually build) and
+// the requests go over real sockets through the epoll reactor frontend,
+// pipelined across a few connections. Rows sweep worker counts x arrival
+// rates. Deterministic facts (schedule hash, ok/shed counts, a fingerprint
+// of every rendered result in request order) go to stdout so CI can run it
+// twice and `cmp`; measured facts (throughput, queue p50/p95/p99,
+// shed-rate, reactor loop stats) go to stderr.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "gen/forge.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
 #include "support/rng.hpp"
@@ -149,6 +164,195 @@ std::vector<dataset::UbCase> build_catalog(std::size_t forged) {
     return catalog;
 }
 
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+struct Arrival {
+    double at_ms = 0.0;  // virtual arrival time from the schedule start
+    std::size_t case_index = 0;
+};
+
+struct OpenLoopConfig {
+    std::size_t requests = 120;
+    std::uint64_t seed = 42;
+    double gap_ms = 2.0;  // mean Poisson interarrival at rate 1.0
+    std::size_t burst_every = 16;  // every Nth arrival brings a burst
+    std::size_t burst_size = 4;    // extra same-instant arrivals per burst
+    std::size_t connections = 4;
+    std::size_t max_inflight = 0;  // admission control (0 = off)
+    double max_queue_ms = 0.0;
+};
+
+/// Deterministic open-loop arrival schedule: exponential interarrival
+/// times (mean gap_ms / rate) with a same-instant burst injected every
+/// burst_every arrivals. Same seed => same schedule, bit for bit.
+std::vector<Arrival> make_schedule(std::size_t catalog_size,
+                                   const OpenLoopConfig& config,
+                                   double rate) {
+    support::Rng rng(support::derive_seed(config.seed, "open-loop"));
+    support::ZipfSampler sampler(catalog_size, 1.0);
+    std::vector<Arrival> schedule;
+    schedule.reserve(config.requests);
+    const double mean_gap = config.gap_ms / rate;
+    double clock = 0.0;
+    while (schedule.size() < config.requests) {
+        // next_double() is in [0, 1), so 1-u is in (0, 1] and log is safe.
+        clock += -mean_gap * std::log(1.0 - rng.next_double());
+        schedule.push_back({clock, sampler.sample(rng)});
+        if (config.burst_every > 0 &&
+            schedule.size() % config.burst_every == 0) {
+            for (std::size_t b = 0;
+                 b < config.burst_size && schedule.size() < config.requests;
+                 ++b) {
+                schedule.push_back({clock, sampler.sample(rng)});
+            }
+        }
+    }
+    return schedule;
+}
+
+std::uint64_t schedule_hash(const std::vector<Arrival>& schedule) {
+    std::uint64_t hash = kFnvOffset;
+    for (const Arrival& arrival : schedule) {
+        hash = fnv1a(hash, &arrival.at_ms, sizeof arrival.at_ms);
+        hash = fnv1a(hash, &arrival.case_index, sizeof arrival.case_index);
+    }
+    return hash;
+}
+
+int run_open_loop(const std::vector<dataset::UbCase>& catalog,
+                  const OpenLoopConfig& config, const std::string& engine,
+                  const std::string& option_spec) {
+    const bool admission =
+        config.max_inflight > 0 || config.max_queue_ms > 0.0;
+    std::printf("== open-loop replay (reactor frontend, seed %llu, "
+                "%zu connections) ==\n",
+                static_cast<unsigned long long>(config.seed),
+                config.connections);
+    for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+        for (double rate : {1.0, 4.0}) {
+            const std::vector<Arrival> schedule =
+                make_schedule(catalog.size(), config, rate);
+
+            serve::ServerOptions server_options;
+            server_options.service.workers = workers;
+            server_options.service.knowledge_base = &bench::knowledge_base();
+            server_options.service.max_inflight = config.max_inflight;
+            server_options.service.max_queue_ms = config.max_queue_ms;
+            server_options.frontend = serve::Frontend::Reactor;
+            serve::RepairServer server(server_options);
+
+            std::vector<std::unique_ptr<serve::RepairClient>> clients;
+            for (std::size_t i = 0; i < config.connections; ++i) {
+                clients.push_back(
+                    std::make_unique<serve::RepairClient>(server.port()));
+            }
+
+            // Open loop: send at the schedule's times regardless of how
+            // many responses are outstanding (round-robin across the
+            // connections), then collect. Per-connection response order
+            // matches per-connection send order, so reading round-robin
+            // yields response j for request j.
+            const auto start = std::chrono::steady_clock::now();
+            for (std::size_t j = 0; j < schedule.size(); ++j) {
+                std::this_thread::sleep_until(
+                    start + std::chrono::duration<double, std::milli>(
+                                schedule[j].at_ms));
+                serve::RepairRequest request;
+                request.ticket = std::to_string(j);
+                request.engine = engine;
+                request.options = option_spec;
+                request.ub_case = catalog[schedule[j].case_index];
+                clients[j % clients.size()]->send_async(request);
+            }
+            std::size_t ok = 0;
+            std::size_t shed = 0;
+            std::size_t failed = 0;
+            std::uint64_t fingerprint = kFnvOffset;
+            for (std::size_t j = 0; j < schedule.size(); ++j) {
+                const serve::RepairResponse response =
+                    clients[j % clients.size()]->recv_one();
+                if (response.shed) {
+                    ++shed;
+                } else if (response.ok) {
+                    ++ok;
+                    const std::string rendered =
+                        serve::render_case_result(response.result);
+                    fingerprint =
+                        fnv1a(fingerprint, rendered.data(), rendered.size());
+                } else {
+                    ++failed;
+                    std::fprintf(stderr, "request %zu failed: %s\n", j,
+                                 response.error.c_str());
+                }
+            }
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+            const serve::ServiceStats stats = server.service().stats();
+            const serve::ServerStats frontend = server.stats();
+            server.stop();
+
+            // Deterministic facts -> stdout (CI runs this twice and cmps);
+            // under admission control the ok/shed split and fingerprint
+            // are load-dependent, so they move to stderr with the timings.
+            if (admission) {
+                std::printf("row workers=%zu rate=%.1f requests=%zu "
+                            "schedule=%016llx results=load-dependent\n",
+                            workers, rate, schedule.size(),
+                            static_cast<unsigned long long>(
+                                schedule_hash(schedule)));
+                std::fprintf(stderr,
+                             "row workers=%zu rate=%.1f: ok=%zu shed=%zu "
+                             "failed=%zu fingerprint=%016llx\n",
+                             workers, rate, ok, shed, failed,
+                             static_cast<unsigned long long>(fingerprint));
+            } else {
+                std::printf("row workers=%zu rate=%.1f requests=%zu "
+                            "schedule=%016llx ok=%zu shed=%zu failed=%zu "
+                            "fingerprint=%016llx\n",
+                            workers, rate, schedule.size(),
+                            static_cast<unsigned long long>(
+                                schedule_hash(schedule)),
+                            ok, shed, failed,
+                            static_cast<unsigned long long>(fingerprint));
+            }
+            std::fprintf(
+                stderr,
+                "row workers=%zu rate=%.1f: wall %.0f ms, %.1f req/s, "
+                "queue p50 %.3f p95 %.3f p99 %.3f ms, shed %zu (%.1f%%), "
+                "loop_wakeups %llu, frames %llu/%llu, epollout_arms %llu, "
+                "max_pipeline_depth %llu\n",
+                workers, rate, wall_ms,
+                wall_ms > 0.0
+                    ? 1000.0 * static_cast<double>(schedule.size()) / wall_ms
+                    : 0.0,
+                stats.queue_ms_p50, stats.queue_ms_p95, stats.queue_ms_p99,
+                shed,
+                100.0 * static_cast<double>(shed) /
+                    static_cast<double>(schedule.size()),
+                static_cast<unsigned long long>(frontend.loop_wakeups),
+                static_cast<unsigned long long>(frontend.frames_read),
+                static_cast<unsigned long long>(frontend.frames_written),
+                static_cast<unsigned long long>(frontend.epollout_arms),
+                static_cast<unsigned long long>(
+                    frontend.max_pipeline_depth));
+            if (failed > 0) return 1;
+        }
+    }
+    return 0;
+}
+
 int deterministic_check(const std::vector<dataset::UbCase>& catalog,
                         const std::string& engine,
                         const std::string& option_spec) {
@@ -204,6 +408,8 @@ int main(int argc, char** argv) {
     std::size_t requests = 120;
     std::size_t forged = 12;
     bool deterministic_only = false;
+    bool open_loop = false;
+    OpenLoopConfig open_config;
     std::string engine = "rustbrain";
     std::string option_spec;
     for (int i = 1; i < argc; ++i) {
@@ -220,10 +426,34 @@ int main(int argc, char** argv) {
             option_spec = argv[++i];
         } else if (arg == "--deterministic-only") {
             deterministic_only = true;
+        } else if (arg == "--open-loop") {
+            open_loop = true;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            open_config.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--gap-ms" && i + 1 < argc) {
+            open_config.gap_ms = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--burst-every" && i + 1 < argc) {
+            open_config.burst_every = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--burst-size" && i + 1 < argc) {
+            open_config.burst_size = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--connections" && i + 1 < argc) {
+            open_config.connections = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--max-inflight" && i + 1 < argc) {
+            open_config.max_inflight = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--max-queue-ms" && i + 1 < argc) {
+            open_config.max_queue_ms = std::strtod(argv[++i], nullptr);
         } else {
             std::printf("usage: %s [--requests N] [--forged N] "
                         "[--engine <id>] [--options k=v,...] "
-                        "[--deterministic-only]\n",
+                        "[--deterministic-only]\n"
+                        "          [--open-loop] [--seed N] [--gap-ms X] "
+                        "[--burst-every N] [--burst-size N]\n"
+                        "          [--connections N] [--max-inflight N] "
+                        "[--max-queue-ms X]\n",
                         argv[0]);
             return 2;
         }
@@ -234,6 +464,12 @@ int main(int argc, char** argv) {
                 "requests, engine: %s\n\n",
                 catalog.size(), catalog.size() - forged, forged, requests,
                 engine.c_str());
+
+    if (open_loop) {
+        open_config.requests = requests;
+        if (open_config.connections == 0) open_config.connections = 1;
+        return run_open_loop(catalog, open_config, engine, option_spec);
+    }
 
     const int deterministic_rc =
         deterministic_check(catalog, engine, option_spec);

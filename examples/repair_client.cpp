@@ -2,6 +2,8 @@
 //
 //   $ ./examples/repair_client --port 7411 --case danglingpointer/use_after_free_0
 //   $ ./examples/repair_client --port 7411 --engine standalone --count 3
+//   $ ./examples/repair_client --port 7411 --count 8 --pipeline 4
+//                                # windowed pipelining: up to 4 in flight
 //   $ ./examples/repair_client --port 7411 --dump-result   # raw wire render
 //   $ ./examples/repair_client --port 7411 --bad-request   # error-path probe
 //
@@ -30,7 +32,8 @@ int usage(const char* argv0) {
     std::printf("usage: %s --port N [--case <id>] [--corpus <file>]\n"
                 "          [--engine <id>] [--options k=v,...]\n"
                 "          [--policy <id>[,k=v...]] [--feedback]\n"
-                "          [--count N] [--dump-result] [--bad-request]\n\n"
+                "          [--count N] [--pipeline N] [--dump-result]\n"
+                "          [--bad-request]\n\n"
                 "available engines:\n%s\navailable policies:\n%s",
                 argv0, core::EngineRegistry::builtin().help().c_str(),
                 core::PolicyRegistry::builtin().help().c_str());
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
     std::string corpus_path;
     serve::RepairRequest request;
     std::size_t count = 1;
+    std::size_t pipeline = 1;
     bool dump_result = false;
     bool bad_request = false;
     for (int i = 1; i < argc; ++i) {
@@ -68,6 +72,9 @@ int main(int argc, char** argv) {
             request.use_feedback = true;
         } else if (arg == "--count" && i + 1 < argc) {
             count = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--pipeline" && i + 1 < argc) {
+            pipeline = static_cast<std::size_t>(
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--dump-result") {
             dump_result = true;
@@ -107,9 +114,26 @@ int main(int argc, char** argv) {
         }
         request.ub_case = *ub_case;
 
+        // Pipelined: keep up to `pipeline` requests outstanding. The server
+        // answers in request order per connection, so response i belongs to
+        // ticket cli-i regardless of the window.
+        if (pipeline == 0) pipeline = 1;
+        std::size_t sent = 0;
         for (std::size_t i = 0; i < count; ++i) {
-            request.ticket = "cli-" + std::to_string(i);
-            const serve::RepairResponse response = client.repair(request);
+            while (sent < count && sent - i < pipeline) {
+                request.ticket = "cli-" + std::to_string(sent);
+                client.send_async(request);
+                ++sent;
+            }
+            const serve::RepairResponse response = client.recv_one();
+            if (response.shed) {
+                // Overload shedding is an expected answer under pipelined
+                // load, not a client failure: report and keep reading.
+                std::printf("%s: SHED retry_after %.1f ms (%s)\n",
+                            response.ticket.c_str(), response.retry_after_ms,
+                            response.error.c_str());
+                continue;
+            }
             if (!response.ok) {
                 std::printf("error response: %s\n", response.error.c_str());
                 return 1;

@@ -30,7 +30,10 @@ namespace {
 int usage(const char* argv0) {
     std::printf("usage: %s [--port N] [--port-file <path>] [--workers N]\n"
                 "          [--engine <id>] [--policy <id>[,k=v...]]\n"
-                "          [--serve-once N] [--corpus <file>]\n\n"
+                "          [--serve-once N] [--corpus <file>]\n"
+                "          [--frontend reactor|threads] [--max-inflight N]\n"
+                "          [--max-queue-ms X] [--max-connections N]\n"
+                "          [--stats]\n\n"
                 "available engines:\n%s\navailable policies:\n%s",
                 argv0, core::EngineRegistry::builtin().help().c_str(),
                 core::PolicyRegistry::builtin().help().c_str());
@@ -43,6 +46,7 @@ int main(int argc, char** argv) {
     serve::ServerOptions options;
     std::string port_file;
     std::string corpus_path;
+    bool print_stats = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--port" && i + 1 < argc) {
@@ -61,6 +65,25 @@ int main(int argc, char** argv) {
             options.max_requests = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--corpus" && i + 1 < argc) {
             corpus_path = argv[++i];
+        } else if (arg == "--frontend" && i + 1 < argc) {
+            const std::string name = argv[++i];
+            if (name == "reactor") {
+                options.frontend = serve::Frontend::Reactor;
+            } else if (name == "threads") {
+                options.frontend = serve::Frontend::Threads;
+            } else {
+                return usage(argv[0]);
+            }
+        } else if (arg == "--max-inflight" && i + 1 < argc) {
+            options.service.max_inflight = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--max-queue-ms" && i + 1 < argc) {
+            options.service.max_queue_ms = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--max-connections" && i + 1 < argc) {
+            options.max_connections = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--stats") {
+            print_stats = true;
         } else {
             return usage(argv[0]);
         }
@@ -106,6 +129,26 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(stats.failed),
                     100.0 * stats.prompt_cache.hit_rate(),
                     static_cast<unsigned long long>(stats.scheduler.steals));
+        if (print_stats) {
+            const serve::ServerStats frontend = server.stats();
+            std::printf(
+                "repair_server: queue_ms p50 %.3f p95 %.3f p99 %.3f, "
+                "shed %llu\n"
+                "repair_server: frontend accepted %llu rejected %llu "
+                "accept_retries %llu loop_wakeups %llu frames %llu/%llu "
+                "epollout_arms %llu max_pipeline_depth %llu\n",
+                stats.queue_ms_p50, stats.queue_ms_p95, stats.queue_ms_p99,
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(frontend.connections_accepted),
+                static_cast<unsigned long long>(frontend.connections_rejected),
+                static_cast<unsigned long long>(frontend.accept_retries),
+                static_cast<unsigned long long>(frontend.loop_wakeups),
+                static_cast<unsigned long long>(frontend.frames_read),
+                static_cast<unsigned long long>(frontend.frames_written),
+                static_cast<unsigned long long>(frontend.epollout_arms),
+                static_cast<unsigned long long>(
+                    frontend.max_pipeline_depth));
+        }
     } catch (const std::invalid_argument& error) {
         // A bad --engine/--policy default: print the registry tables.
         std::printf("error: %s\n\n", error.what());

@@ -46,8 +46,22 @@ std::string RepairClient::roundtrip_raw(const std::string& payload) {
     return response;
 }
 
+void RepairClient::send_async(const RepairRequest& request) {
+    write_frame(fd_, render_request(request));
+}
+
+RepairResponse RepairClient::recv_one() {
+    std::string payload;
+    if (!read_frame(fd_, payload)) {
+        throw std::runtime_error(
+            "server closed the connection with responses owed");
+    }
+    return parse_response(payload);
+}
+
 RepairResponse RepairClient::repair(const RepairRequest& request) {
-    return parse_response(roundtrip_raw(render_request(request)));
+    send_async(request);
+    return recv_one();
 }
 
 }  // namespace rustbrain::serve

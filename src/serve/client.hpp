@@ -5,6 +5,12 @@
 // roundtrip_raw() ships an arbitrary payload instead, which is how the
 // bad-request error path is exercised end to end (a garbage frame must
 // come back as an ok=0 response, not a dropped connection).
+//
+// Pipelining: send_async() writes a framed request without waiting for
+// its response; recv_one() blocks for the next framed response. The
+// server answers in request order per connection, so after N send_async
+// calls, N recv_one calls return response i for request i. repair() is
+// exactly send_async + recv_one.
 #pragma once
 
 #include <cstdint>
@@ -24,8 +30,18 @@ class RepairClient {
     RepairClient& operator=(const RepairClient&) = delete;
 
     /// Framed round trip. Throws std::runtime_error on I/O failure or an
-    /// unparseable response.
+    /// unparseable response. Equivalent to send_async + recv_one.
     RepairResponse repair(const RepairRequest& request);
+
+    /// Write one framed request and return immediately — the response is
+    /// owed and must be collected with recv_one(). Up to N requests may
+    /// be outstanding; responses come back in send order.
+    void send_async(const RepairRequest& request);
+
+    /// Block for the next framed response. Throws std::runtime_error on
+    /// I/O failure, an unparseable response, or a server-side close while
+    /// responses are still owed.
+    RepairResponse recv_one();
 
     /// Ship a raw payload (not necessarily a valid request) and return the
     /// server's raw response payload.

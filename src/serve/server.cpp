@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -59,28 +60,107 @@ RepairServer::RepairServer(ServerOptions options)
         errno = saved;
         fail_errno("listen");
     }
-    acceptor_ = std::thread([this] { accept_loop(); });
+    if (options_.frontend == Frontend::Reactor) {
+        Reactor::Options reactor_options;
+        reactor_options.max_requests = options_.max_requests;
+        reactor_options.max_connections = options_.max_connections;
+        // The reactor takes ownership of the listening fd.
+        const int fd = listen_fd_;
+        listen_fd_ = -1;
+        reactor_ =
+            std::make_unique<Reactor>(fd, service_, reactor_options);
+    } else {
+        acceptor_ = std::thread([this] { accept_loop(); });
+    }
 }
 
 RepairServer::~RepairServer() { stop(); }
 
+std::uint64_t RepairServer::requests_served() const {
+    if (reactor_ != nullptr) return reactor_->requests_served();
+    return requests_served_.load();
+}
+
+ServerStats RepairServer::stats() const {
+    if (reactor_ != nullptr) return reactor_->stats();
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return thread_stats_;
+}
+
+void RepairServer::reject_connection(int fd, std::size_t open) {
+    RepairResponse refusal;
+    refusal.ok = false;
+    refusal.shed = true;
+    refusal.retry_after_ms = 100.0;
+    refusal.error = "server connection cap reached (" + std::to_string(open) +
+                    " open); retry in ~100 ms";
+    try {
+        write_frame(fd, render_response(refusal));
+    } catch (const std::exception&) {
+        // Best effort only — the peer may already be gone.
+    }
+    ::close(fd);
+}
+
 void RepairServer::accept_loop() {
+    int backoff_ms = 0;
     while (true) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR) continue;
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            if (is_transient_accept_error(errno)) {
+                // EMFILE-class fd/buffer exhaustion is transient: back off
+                // and retry (capped exponential) instead of ending the
+                // accept loop while handlers are still draining fds.
+                {
+                    const std::lock_guard<std::mutex> lock(stats_mutex_);
+                    ++thread_stats_.accept_retries;
+                }
+                bool should_stop = false;
+                {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    should_stop = stopping_;
+                }
+                if (should_stop) break;
+                backoff_ms = backoff_ms == 0 ? 10
+                                             : std::min(backoff_ms * 2, 200);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff_ms));
+                continue;
+            }
             // stop() shut the listener down — or it genuinely failed;
             // either way the accept loop is over.
             break;
         }
+        backoff_ms = 0;
+        bool rejected = false;
+        std::size_t open = 0;
         {
             const std::lock_guard<std::mutex> lock(mutex_);
             if (stopping_) {
                 ::close(fd);
                 continue;
             }
-            open_connections_.push_back(fd);
-            ++active_handlers_;
+            open = open_connections_.size();
+            if (options_.max_connections > 0 &&
+                open >= options_.max_connections) {
+                rejected = true;
+            } else {
+                open_connections_.push_back(fd);
+                ++active_handlers_;
+            }
+        }
+        if (rejected) {
+            {
+                const std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++thread_stats_.connections_rejected;
+            }
+            reject_connection(fd, open);
+            continue;
+        }
+        {
+            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++thread_stats_.connections_accepted;
         }
         try {
             std::thread([this, fd] { handle_connection(fd); }).detach();
@@ -166,6 +246,10 @@ void RepairServer::stop() {
     // One stop at a time: wait() and the destructor may call this
     // concurrently, and only one caller may join the acceptor.
     const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+    if (reactor_ != nullptr) {
+        reactor_->stop();
+        return;
+    }
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -192,6 +276,11 @@ void RepairServer::stop() {
 }
 
 void RepairServer::wait() {
+    if (reactor_ != nullptr) {
+        reactor_->wait();
+        stop();
+        return;
+    }
     {
         std::unique_lock<std::mutex> lock(mutex_);
         stopped_cv_.wait(lock, [this] { return stopping_ || accept_done_; });

@@ -1,24 +1,43 @@
 // RepairServer — the loopback socket front-end over RepairService.
 //
 // Binds 127.0.0.1:<port> (port 0 = ephemeral, the bound port is queryable
-// for --port-file handoff), accepts connections on a background thread,
-// and serves each connection on its own handler thread: read one framed
-// request, hand it to the shared RepairService, write one framed response,
-// repeat until the client closes. A malformed frame gets an ok=0 error
-// response naming the parse failure — one bad client cannot take the
-// service down — and only an unframeable stream closes the connection.
+// for --port-file handoff) and serves framed repair requests through one
+// of two frontends:
+//
+//   Frontend::Reactor (default) — a single-threaded epoll loop
+//   (serve/reactor.hpp): nonblocking accepts, incremental per-connection
+//   frame decoding, pipelining with strictly in-request-order responses,
+//   and buffered writes so a slow reader never blocks anyone else.
+//
+//   Frontend::Threads — the original thread-per-connection path, kept as
+//   the reference oracle: read one framed request, hand it to the shared
+//   RepairService, write one framed response, repeat until the client
+//   closes.
+//
+// Under either frontend a malformed frame gets an ok=0 error response
+// naming the parse failure — one bad client cannot take the service
+// down — and only an unframeable stream closes the connection. Transient
+// accept() failures (EMFILE-class fd exhaustion) are retried with capped
+// exponential backoff and counted in stats(), never treated as fatal.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "serve/reactor.hpp"
 #include "serve/service.hpp"
 
 namespace rustbrain::serve {
+
+enum class Frontend {
+    Reactor,  // single-threaded epoll loop, pipelining-capable
+    Threads,  // thread-per-connection reference oracle
+};
 
 struct ServerOptions {
     ServiceOptions service;
@@ -29,6 +48,11 @@ struct ServerOptions {
     /// stop()). The CI smoke job uses this for a clean, deterministic
     /// shutdown.
     std::uint64_t max_requests = 0;
+    Frontend frontend = Frontend::Reactor;
+    /// Cap on concurrently open connections (0 = uncapped). Over-cap
+    /// connections are accepted, sent one framed shed response with retry
+    /// advice, and closed — never silently dropped.
+    std::size_t max_connections = 0;
 };
 
 class RepairServer {
@@ -42,9 +66,10 @@ class RepairServer {
 
     [[nodiscard]] std::uint16_t port() const { return port_; }
     [[nodiscard]] RepairService& service() { return service_; }
-    [[nodiscard]] std::uint64_t requests_served() const {
-        return requests_served_.load();
-    }
+    [[nodiscard]] std::uint64_t requests_served() const;
+    /// Frontend counters: the reactor fills everything; the threads
+    /// frontend reports only the accept-side fields.
+    [[nodiscard]] ServerStats stats() const;
 
     /// Stop accepting, close the listener, drain every handler.
     /// Idempotent, including against concurrent callers.
@@ -56,11 +81,17 @@ class RepairServer {
   private:
     void accept_loop();
     void handle_connection(int fd);
+    /// Threads-frontend connection cap: send one framed shed response and
+    /// close. Best effort — the refusal must not block the acceptor.
+    void reject_connection(int fd, std::size_t open);
 
     ServerOptions options_;
     RepairService service_;
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
+    /// Declared after service_ so it destructs first: the reactor drains
+    /// its outstanding service completions before the service goes away.
+    std::unique_ptr<Reactor> reactor_;
     std::thread acceptor_;
     std::mutex mutex_;
     /// Serializes stop() bodies: wait() and the destructor may race, and
@@ -75,6 +106,9 @@ class RepairServer {
     bool stopping_ = false;
     bool accept_done_ = false;
     std::atomic<std::uint64_t> requests_served_{0};
+    /// Threads-frontend accept-side counters (guarded by stats_mutex_).
+    mutable std::mutex stats_mutex_;
+    ServerStats thread_stats_;
 };
 
 }  // namespace rustbrain::serve

@@ -58,20 +58,66 @@ void RepairService::emit(const core::TraceEvent& event) {
     options_.trace->on_event(event);
 }
 
-std::future<RepairResponse> RepairService::submit(RepairRequest request) {
-    const auto submitted_at = std::chrono::steady_clock::now();
-    {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++totals_.submitted;
+bool RepairService::admit(RepairResponse& shed_response) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++totals_.submitted;
+    const std::uint64_t inflight =
+        totals_.submitted - totals_.completed - totals_.shed - 1;
+    const char* breach = nullptr;
+    if (options_.max_inflight > 0 && inflight >= options_.max_inflight) {
+        breach = "in-flight requests";
+    } else if (options_.max_queue_ms > 0.0 && inflight > pool_.size() &&
+               last_queue_ms_ > options_.max_queue_ms) {
+        breach = "queue latency";
     }
-    auto promise = std::make_shared<std::promise<RepairResponse>>();
-    std::future<RepairResponse> future = promise->get_future();
+    if (breach == nullptr) return true;
+    ++totals_.shed;
+    // Retry advice: the backlog divided across the workers, scaled by the
+    // average per-request execution time observed so far.
+    double avg_exec_ms = 1.0;
+    if (totals_.completed > 0) {
+        avg_exec_ms = (totals_.service_ms_total - totals_.queue_ms_total) /
+                      static_cast<double>(totals_.completed);
+        if (avg_exec_ms < 1.0) avg_exec_ms = 1.0;
+    }
+    shed_response.ok = false;
+    shed_response.shed = true;
+    shed_response.retry_after_ms = avg_exec_ms *
+                                   static_cast<double>(inflight) /
+                                   static_cast<double>(pool_.size());
+    if (shed_response.retry_after_ms < 1.0) shed_response.retry_after_ms = 1.0;
+    shed_response.error =
+        std::string("service overloaded (") + breach +
+        " over the configured limit); request was not queued — retry in ~" +
+        std::to_string(shed_response.retry_after_ms) + " ms";
+    return false;
+}
+
+void RepairService::submit_async(RepairRequest request,
+                                 std::function<void(RepairResponse)> done) {
+    const auto submitted_at = std::chrono::steady_clock::now();
+    RepairResponse shed_response;
+    shed_response.ticket = request.ticket;
+    if (!admit(shed_response)) {
+        done(std::move(shed_response));
+        return;
+    }
     auto shared_request = std::make_shared<RepairRequest>(std::move(request));
-    scheduler_->submit([this, promise, shared_request,
+    auto shared_done =
+        std::make_shared<std::function<void(RepairResponse)>>(std::move(done));
+    scheduler_->submit([this, shared_request, shared_done,
                         submitted_at](std::size_t worker) {
         const double queue_ms = elapsed_ms(submitted_at);
-        promise->set_value(
+        (*shared_done)(
             handle(*shared_request, worker, queue_ms, submitted_at));
+    });
+}
+
+std::future<RepairResponse> RepairService::submit(RepairRequest request) {
+    auto promise = std::make_shared<std::promise<RepairResponse>>();
+    std::future<RepairResponse> future = promise->get_future();
+    submit_async(std::move(request), [promise](RepairResponse response) {
+        promise->set_value(std::move(response));
     });
     return future;
 }
@@ -102,6 +148,13 @@ RepairResponse RepairService::handle(
     std::chrono::steady_clock::time_point submitted_at) {
     const std::string engine_id =
         request.engine.empty() ? options_.default_engine : request.engine;
+    {
+        // Dequeue-time accounting: the admission check wants the freshest
+        // congestion signal, not one delayed by the repair itself.
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        last_queue_ms_ = queue_ms;
+        queue_samples_.add(queue_ms);
+    }
     emit({core::TraceEventKind::ServiceQueue, engine_id,
           static_cast<std::uint64_t>(queue_ms * 1000.0), 0.0});
 
@@ -186,6 +239,9 @@ ServiceStats RepairService::stats() const {
     {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         stats = totals_;
+        stats.queue_ms_p50 = queue_samples_.percentile(0.50);
+        stats.queue_ms_p95 = queue_samples_.percentile(0.95);
+        stats.queue_ms_p99 = queue_samples_.percentile(0.99);
     }
     stats.scheduler = scheduler_->stats();
     stats.prompt_cache = prompt_cache_->stats();

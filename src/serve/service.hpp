@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,7 @@
 #include "kb/knowledge_base.hpp"
 #include "llm/caching_backend.hpp"
 #include "support/lru.hpp"
+#include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 #include "support/work_steal.hpp"
 #include "verify/oracle.hpp"
@@ -68,8 +70,17 @@ struct RepairResponse {
     std::string ticket;
     bool ok = false;
     /// Set when !ok — e.g. the registry's invalid_argument text listing
-    /// available engines/options/policies.
+    /// available engines/options/policies, or the overload notice when
+    /// `shed` is set.
     std::string error;
+    /// Admission control refused the request before it was queued: the
+    /// service (or the connection cap) was over its configured thresholds.
+    /// Always paired with ok == false and a retry_after_ms hint; the
+    /// request was never run, so retrying it later is always safe.
+    bool shed = false;
+    /// Advice when shed: roughly how long until the queue should have
+    /// drained below the breached threshold.
+    double retry_after_ms = 0.0;
     core::CaseResult result;  // default-constructed when !ok
     std::uint64_t worker = 0;  // scheduler worker that ran the repair
     double queue_ms = 0.0;    // wall time from submit to dequeue
@@ -94,6 +105,15 @@ struct ServiceOptions {
     /// per-repair engine event streams stay internal (they would interleave
     /// across workers).
     core::TraceSink* trace = nullptr;
+    /// Admission control (0 disables both): a new request is shed — an
+    /// immediate ok=false response with `shed` set and retry advice —
+    /// instead of queued when the number of queued+running requests has
+    /// reached max_inflight, or when a queue exists (in-flight > workers)
+    /// and the most recent dequeue waited longer than max_queue_ms.
+    /// Deterministic mode assumes both are 0: shedding is load-dependent
+    /// by definition (admitted requests stay bit-identical regardless).
+    std::size_t max_inflight = 0;
+    double max_queue_ms = 0.0;
 };
 
 /// Aggregate counters across the service lifetime. Latency totals are
@@ -102,9 +122,17 @@ struct ServiceOptions {
 struct ServiceStats {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
-    std::uint64_t failed = 0;  // ok == false responses
+    std::uint64_t failed = 0;  // ok == false responses that actually ran
+    /// Requests refused by admission control (counted in submitted, never
+    /// in completed — they were not run).
+    std::uint64_t shed = 0;
     double queue_ms_total = 0.0;
     double queue_ms_max = 0.0;
+    /// Queue-latency percentiles from a bounded deterministic reservoir
+    /// (support::Reservoir) of per-request queue_ms samples.
+    double queue_ms_p50 = 0.0;
+    double queue_ms_p95 = 0.0;
+    double queue_ms_p99 = 0.0;
     double service_ms_total = 0.0;
     /// Requests that opted into feedback, and how many journal records
     /// they contributed back to the warm store.
@@ -129,8 +157,17 @@ class RepairService {
 
     /// Enqueue one request; the future resolves when a worker finishes it.
     /// Never throws on a bad request — strategy errors come back as
-    /// ok == false responses so one typo cannot poison the queue.
+    /// ok == false responses so one typo cannot poison the queue. When
+    /// admission control is configured and breached, the future resolves
+    /// immediately with a shed response (the request is never queued).
     std::future<RepairResponse> submit(RepairRequest request);
+
+    /// Callback shape for the reactor: `done` runs on the worker that
+    /// finished the repair (or synchronously on the caller when the
+    /// request is shed). The callback must not block — the reactor's
+    /// completion handoff is a queue push plus an eventfd wake.
+    void submit_async(RepairRequest request,
+                      std::function<void(RepairResponse)> done);
 
     /// submit + wait: the synchronous shape connection handlers use.
     RepairResponse repair(RepairRequest request);
@@ -157,6 +194,10 @@ class RepairService {
                           double queue_ms,
                           std::chrono::steady_clock::time_point submitted_at);
     void emit(const core::TraceEvent& event);
+    /// Admission check + submitted accounting (under stats_mutex_).
+    /// Returns false when the request must be shed, with `shed_response`
+    /// filled in (ticket is the caller's job).
+    bool admit(RepairResponse& shed_response);
 
     ServiceOptions options_;
     support::ThreadPool pool_;
@@ -169,6 +210,12 @@ class RepairService {
 
     mutable std::mutex stats_mutex_;
     ServiceStats totals_;
+    /// Queue-latency samples for the percentile report (bounded,
+    /// deterministic given the arrival sequence). Guarded by stats_mutex_.
+    support::Reservoir queue_samples_;
+    /// The most recent dequeue's queue_ms — the freshest congestion signal
+    /// the max_queue_ms admission check reads. Guarded by stats_mutex_.
+    double last_queue_ms_ = 0.0;
 
     std::mutex trace_mutex_;
 };

@@ -322,6 +322,8 @@ std::string render_response(const RepairResponse& response) {
     header(out, kResponseMagic);
     write_block(out, "ticket", response.ticket);
     out << "ok " << (response.ok ? 1 : 0) << '\n';
+    out << "shed " << (response.shed ? 1 : 0) << '\n';
+    out << "retry_after_ms " << render_double(response.retry_after_ms) << '\n';
     write_block(out, "error", response.error);
     out << "worker " << response.worker << '\n';
     out << "queue_ms " << render_double(response.queue_ms) << '\n';
@@ -337,6 +339,9 @@ RepairResponse parse_response(const std::string& text) {
     RepairResponse response;
     response.ticket = reader.read_block("ticket");
     response.ok = reader.parse_bool(reader.read_field("ok"), "ok");
+    response.shed = reader.parse_bool(reader.read_field("shed"), "shed");
+    response.retry_after_ms = reader.parse_double(
+        reader.read_field("retry_after_ms"), "retry_after_ms");
     response.error = reader.read_block("error");
     response.worker = reader.parse_u64(reader.read_field("worker"), "worker");
     response.queue_ms =
@@ -400,9 +405,10 @@ bool read_exact(int fd, char* buffer, std::size_t want, bool eof_ok) {
 
 }  // namespace
 
-bool read_frame(int fd, std::string& payload) {
-    char prefix[4];
-    if (!read_exact(fd, prefix, sizeof prefix, /*eof_ok=*/true)) return false;
+namespace {
+
+/// Decode the 4-byte big-endian length prefix, enforcing the payload cap.
+std::uint32_t decode_prefix(const char* prefix) {
     const std::uint32_t size =
         (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0]))
          << 24) |
@@ -416,9 +422,51 @@ bool read_frame(int fd, std::string& payload) {
             "frame length prefix exceeds the 16 MiB wire limit (" +
             std::to_string(size) + " bytes)");
     }
+    return size;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+    char prefix[4];
+    if (!read_exact(fd, prefix, sizeof prefix, /*eof_ok=*/true)) return false;
+    const std::uint32_t size = decode_prefix(prefix);
     payload.resize(size);
     if (size > 0) {
         (void)read_exact(fd, payload.data(), size, /*eof_ok=*/false);
+    }
+    return true;
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+    buffer_.append(data, n);
+}
+
+bool FrameReader::next(std::string& payload) {
+    const std::size_t available = buffer_.size() - pos_;
+    if (available < 4) {
+        // Everything buffered is a partial prefix; compact so a stream of
+        // tiny frames never grows the buffer without bound.
+        if (pos_ > 0) {
+            buffer_.erase(0, pos_);
+            pos_ = 0;
+        }
+        return false;
+    }
+    const std::uint32_t size = decode_prefix(buffer_.data() + pos_);
+    if (available < 4 + static_cast<std::size_t>(size)) {
+        if (pos_ > 0) {
+            buffer_.erase(0, pos_);
+            pos_ = 0;
+        }
+        return false;
+    }
+    payload.assign(buffer_, pos_ + 4, size);
+    pos_ += 4 + static_cast<std::size_t>(size);
+    ++frames_;
+    if (pos_ == buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
     }
     return true;
 }

@@ -24,7 +24,9 @@
 
 namespace rustbrain::serve {
 
-constexpr int kWireFormatVersion = 1;
+// v2 added the admission-control fields (shed / retry_after_ms) to
+// responses.
+constexpr int kWireFormatVersion = 2;
 
 /// Maximum accepted frame payload (16 MiB) — a corrupt or hostile length
 /// prefix must not size a giant allocation.
@@ -54,5 +56,32 @@ RepairResponse parse_response(const std::string& text);
 /// kMaxFramePayload.
 void write_frame(int fd, const std::string& payload);
 bool read_frame(int fd, std::string& payload);
+
+/// Incremental frame decoder for nonblocking reads — the reactor's half of
+/// the wire. feed() appends whatever bytes the socket produced (any split:
+/// mid-prefix, mid-payload, many frames at once); next() extracts complete
+/// frames in order and returns false while one is still partial. The
+/// internal buffer compacts as frames are consumed, so a long-lived
+/// connection's memory is bounded by its largest in-flight frame.
+class FrameReader {
+  public:
+    /// Append `n` raw stream bytes.
+    void feed(const char* data, std::size_t n);
+    /// Extract the next complete frame payload into `payload`. Returns
+    /// false when no complete frame is buffered yet. Throws
+    /// std::runtime_error when the buffered length prefix exceeds
+    /// kMaxFramePayload — the stream is unframeable from there on.
+    bool next(std::string& payload);
+    /// Bytes buffered but not yet consumed as frames.
+    [[nodiscard]] std::size_t buffered() const {
+        return buffer_.size() - pos_;
+    }
+    [[nodiscard]] std::uint64_t frames_decoded() const { return frames_; }
+
+  private:
+    std::string buffer_;
+    std::size_t pos_ = 0;
+    std::uint64_t frames_ = 0;
+};
 
 }  // namespace rustbrain::serve

@@ -1,5 +1,6 @@
 #include "support/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -96,6 +97,35 @@ double mean_of(const std::vector<double>& samples) {
     double total = 0.0;
     for (double sample : samples) total += sample;
     return total / static_cast<double>(samples.size());
+}
+
+Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(derive_seed(seed, "reservoir")) {
+    samples_.reserve(capacity_);
+}
+
+void Reservoir::add(double sample) {
+    ++seen_;
+    if (capacity_ == 0) return;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(sample);
+        return;
+    }
+    // Algorithm R: the nth arrival replaces a uniformly chosen slot with
+    // probability capacity/n, so every arrival is kept with equal chance.
+    const std::uint64_t slot = rng_.next_below(seen_);
+    if (slot < capacity_) samples_[slot] = sample;
+}
+
+double Reservoir::percentile(double fraction) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    if (fraction < 0.0) fraction = 0.0;
+    if (fraction > 1.0) fraction = 1.0;
+    const auto index = static_cast<std::size_t>(
+        fraction * static_cast<double>(sorted.size() - 1));
+    return sorted[index];
 }
 
 }  // namespace rustbrain::support

@@ -3,7 +3,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "support/rng.hpp"
 
 namespace rustbrain::support {
 
@@ -52,5 +55,32 @@ double normal_cdf(double x);
 
 /// Arithmetic mean of a vector (0.0 for empty input).
 double mean_of(const std::vector<double>& samples);
+
+/// Bounded uniform sample of an unbounded stream (Vitter's Algorithm R)
+/// with a deterministic internal generator: the kept set is a pure function
+/// of (capacity, seed, arrival sequence), so percentile reports are
+/// reproducible given the same stream — no wall-clock, no global RNG.
+/// Memory is capped at `capacity` doubles no matter how long the stream
+/// runs; ServiceStats uses this for queue-latency p50/p95/p99.
+class Reservoir {
+  public:
+    explicit Reservoir(std::size_t capacity = 512, std::uint64_t seed = 0);
+
+    void add(double sample);
+    /// Samples offered so far (>= size()).
+    [[nodiscard]] std::uint64_t seen() const { return seen_; }
+    /// Samples currently kept (<= capacity()).
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    /// Percentile over the kept samples: sorted copy, index
+    /// fraction * (n - 1) (the bench percentile convention). 0.0 when empty.
+    [[nodiscard]] double percentile(double fraction) const;
+
+  private:
+    std::size_t capacity_;
+    Rng rng_;
+    std::vector<double> samples_;
+    std::uint64_t seen_ = 0;
+};
 
 }  // namespace rustbrain::support

@@ -249,5 +249,62 @@ TEST(RepairServerTest, ServeOnceShutsDownAfterTheRequestBudget) {
     EXPECT_EQ(server.requests_served(), 2u);
 }
 
+TEST(RepairServiceTest, QueuePercentilesReportedAndStatsStayConsistent) {
+    RepairService service(service_options(/*workers=*/2));
+    const std::size_t kCases = 12;
+    std::vector<RepairRequest> requests;
+    for (std::size_t i = 0; i < kCases; ++i) {
+        RepairRequest request;
+        request.ub_case = corpus().cases()[i % corpus().size()];
+        requests.push_back(std::move(request));
+    }
+    (void)service.run_batch(std::move(requests));
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed, kCases);
+    EXPECT_EQ(stats.shed, 0u);
+    // Percentiles come from the reservoir of per-request queue_ms samples:
+    // monotone in the fraction and bounded by the observed maximum.
+    EXPECT_GE(stats.queue_ms_p50, 0.0);
+    EXPECT_LE(stats.queue_ms_p50, stats.queue_ms_p95);
+    EXPECT_LE(stats.queue_ms_p95, stats.queue_ms_p99);
+    EXPECT_LE(stats.queue_ms_p99, stats.queue_ms_max);
+}
+
+TEST(RepairServiceTest, MaxInflightShedsSynchronouslyWithRetryAdvice) {
+    ServiceOptions options = service_options(/*workers=*/1);
+    options.max_inflight = 1;
+    RepairService service(options);
+    // Saturate the one admission slot, then submit more without waiting:
+    // everything past the slot must shed immediately, synchronously on the
+    // submitting thread, with the request never queued.
+    std::vector<std::future<RepairResponse>> futures;
+    for (std::size_t i = 0; i < 8; ++i) {
+        RepairRequest request;
+        request.ticket = "s-" + std::to_string(i);
+        request.ub_case = corpus().cases().front();
+        futures.push_back(service.submit(std::move(request)));
+    }
+    std::size_t ok = 0;
+    std::size_t shed = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const RepairResponse response = futures[i].get();
+        EXPECT_EQ(response.ticket, "s-" + std::to_string(i));
+        if (response.shed) {
+            ++shed;
+            EXPECT_FALSE(response.ok);
+            EXPECT_GE(response.retry_after_ms, 1.0);
+        } else {
+            ASSERT_TRUE(response.ok) << response.error;
+            ++ok;
+        }
+    }
+    EXPECT_GE(ok, 1u);
+    EXPECT_GE(shed, 1u);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 8u);
+    EXPECT_EQ(stats.shed, shed);
+    EXPECT_EQ(stats.completed, ok);
+}
+
 }  // namespace
 }  // namespace rustbrain::serve

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "dataset/corpus.hpp"
 #include "serve/wire.hpp"
@@ -233,6 +234,96 @@ TEST(ServeWireTest, OversizedLengthPrefixIsRejectedBeforeAllocating) {
     std::string payload;
     EXPECT_THROW((void)read_frame(fds[0], payload), std::runtime_error);
     ::close(fds[0]);
+}
+
+TEST(ServeWireTest, FrameReaderDecodesByteAtATime) {
+    // The reactor's incremental decoder must produce the same frames no
+    // matter how the stream is fragmented — here, maximally: one byte per
+    // feed, across three frames including an empty payload and binary.
+    const std::string binary("\x00\xff\x01\nnot a line\x00tail", 19);
+    const std::string stream =
+        frame("first payload") + frame("") + frame(binary);
+    FrameReader reader;
+    std::vector<std::string> frames;
+    std::string payload;
+    for (const char byte : stream) {
+        reader.feed(&byte, 1);
+        while (reader.next(payload)) frames.push_back(payload);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0], "first payload");
+    EXPECT_EQ(frames[1], "");
+    EXPECT_EQ(frames[2], binary);
+    EXPECT_EQ(reader.frames_decoded(), 3u);
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ServeWireTest, FrameReaderSurvivesEverySplitBoundary) {
+    // Two frames split at every possible position, including inside the
+    // second frame's length prefix — the decoder never loses or reorders.
+    const std::string stream = frame("alpha") + frame("beta-payload");
+    for (std::size_t split = 0; split <= stream.size(); ++split) {
+        FrameReader reader;
+        std::vector<std::string> frames;
+        std::string payload;
+        reader.feed(stream.data(), split);
+        while (reader.next(payload)) frames.push_back(payload);
+        reader.feed(stream.data() + split, stream.size() - split);
+        while (reader.next(payload)) frames.push_back(payload);
+        ASSERT_EQ(frames.size(), 2u) << "split at " << split;
+        EXPECT_EQ(frames[0], "alpha") << "split at " << split;
+        EXPECT_EQ(frames[1], "beta-payload") << "split at " << split;
+    }
+}
+
+TEST(ServeWireTest, FrameReaderDrainsManyFramesFromOneFeed) {
+    std::string stream;
+    for (int i = 0; i < 50; ++i) stream += frame("payload " + std::to_string(i));
+    FrameReader reader;
+    reader.feed(stream.data(), stream.size());
+    std::string payload;
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(reader.next(payload)) << "frame " << i;
+        EXPECT_EQ(payload, "payload " + std::to_string(i));
+    }
+    EXPECT_FALSE(reader.next(payload));
+    EXPECT_EQ(reader.frames_decoded(), 50u);
+}
+
+TEST(ServeWireTest, FrameReaderRejectsOversizedPrefix) {
+    FrameReader reader;
+    const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};  // ~4 GiB
+    reader.feed(reinterpret_cast<const char*>(prefix), 4);
+    std::string payload;
+    EXPECT_THROW((void)reader.next(payload), std::runtime_error);
+}
+
+TEST(ServeWireTest, FrameReaderReportsPartialFrameAsBuffered) {
+    const std::string framed = frame("0123456789");
+    FrameReader reader;
+    reader.feed(framed.data(), 7);  // prefix + 3 payload bytes
+    std::string payload;
+    EXPECT_FALSE(reader.next(payload));
+    EXPECT_EQ(reader.buffered(), 7u);
+    reader.feed(framed.data() + 7, framed.size() - 7);
+    ASSERT_TRUE(reader.next(payload));
+    EXPECT_EQ(payload, "0123456789");
+}
+
+TEST(ServeWireTest, ResponseShedFieldsRoundTrip) {
+    RepairResponse shed;
+    shed.ticket = "t-3";
+    shed.ok = false;
+    shed.shed = true;
+    shed.retry_after_ms = 12.5 + 1.0 / 3.0;  // not representable in decimal
+    shed.error = "service overloaded; retry later";
+    const std::string rendered = render_response(shed);
+    const RepairResponse parsed = parse_response(rendered);
+    EXPECT_EQ(render_response(parsed), rendered);
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_TRUE(parsed.shed);
+    EXPECT_EQ(parsed.retry_after_ms, shed.retry_after_ms);  // exact, not NEAR
+    EXPECT_EQ(parsed.error, shed.error);
 }
 
 }  // namespace
