@@ -17,6 +17,7 @@
 #include "miri/mirilite.hpp"
 #include "screen/screen.hpp"
 #include "verify/oracle.hpp"
+#include "vm/peephole.hpp"
 #include "vm/vm.hpp"
 
 namespace {
@@ -170,6 +171,155 @@ void BM_InterpVm(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_InterpVm);
+
+void BM_InterpVmOpt(benchmark::State& state) {
+    // Optimized-VM rung: same bytecode after vm::optimize (threaded
+    // dispatch is always on; this adds superinstructions and register
+    // promotion). Byte-identical results; this rung is the headline
+    // loop-heavy speedup over BM_InterpTreeWalk.
+    auto program = lang::try_parse(interp_ladder_source());
+    lang::type_check(*program);
+    const miri::LoweredProgram lowered = miri::lower_program(*program);
+    const vm::VmProgram bytecode = vm::compile(*program, lowered);
+    const vm::VmProgram optimized = vm::optimize(bytecode);
+    for (auto _ : state) {
+        vm::Vm machine(*program, optimized, {});
+        auto result = machine.run();
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_InterpVmOpt);
+
+// Call-heavy ladder workload: deep direct recursion (fib re-enters the
+// dispatcher through real frames) plus a long `become` chain (frame reuse
+// in place). Exercises enter_function / Ret / TailCall, where fusion and
+// promotion barely apply — the rung ratios show dispatch + frame overhead,
+// not arithmetic.
+const char* interp_call_ladder_source() {
+    return R"(
+fn fib(n: i64) -> i64 {
+    if n < 2 {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+fn spin(n: i64, acc: i64) -> i64 {
+    if n == 0 {
+        return acc;
+    }
+    become spin(n - 1, acc + n);
+}
+fn main() {
+    let mut total: i64 = 0;
+    let mut i: i64 = 0;
+    while i < 6 {
+        total = (total + fib(13) + spin(600, 0)) % 1000003;
+        i = i + 1;
+    }
+    print_int(total);
+}
+)";
+}
+
+// Memory-heavy ladder workload: array writes through computed indices and
+// whole-array reads through a reference parameter. Every access goes
+// through MemoryModel (bounds, borrows, init tracking) — the registers
+// never see these values, so the rung ratios isolate dispatch over a
+// memory-model-bound program.
+const char* interp_memory_ladder_source() {
+    return R"(
+fn sum(r: &[i64; 16]) -> i64 {
+    let mut acc: i64 = 0;
+    let mut i: i64 = 0;
+    while i < 16 {
+        acc = acc + r[i];
+        i = i + 1;
+    }
+    return acc;
+}
+fn main() {
+    let mut a: [i64; 16] = [3, 10, 17, 24, 31, 38, 45, 52,
+                            59, 66, 73, 80, 87, 94, 101, 108];
+    let mut acc: i64 = 0;
+    let mut i: i64 = 0;
+    while i < 150 {
+        a[i % 16] = (a[(i + 1) % 16] + i) % 65521;
+        acc = (acc + sum(&a)) % 1000003;
+        i = i + 1;
+    }
+    print_int(acc);
+}
+)";
+}
+
+enum class Rung { Tree, Slot, Vm, VmOpt };
+
+void BM_InterpRung(benchmark::State& state, const char* source, Rung rung) {
+    auto program = lang::try_parse(source);
+    lang::type_check(*program);
+    const miri::LoweredProgram lowered = miri::lower_program(*program);
+    const bool wants_vm = rung == Rung::Vm || rung == Rung::VmOpt;
+    const vm::VmProgram bytecode =
+        wants_vm ? vm::compile(*program, lowered) : vm::VmProgram{};
+    const vm::VmProgram optimized =
+        rung == Rung::VmOpt ? vm::optimize(bytecode) : vm::VmProgram{};
+    for (auto _ : state) {
+        miri::RunResult result;
+        switch (rung) {
+            case Rung::Tree: {
+                miri::Interpreter interp(*program, {});
+                result = interp.run();
+                break;
+            }
+            case Rung::Slot: {
+                miri::Interpreter interp(*program, {}, {}, &lowered);
+                result = interp.run();
+                break;
+            }
+            case Rung::Vm: {
+                vm::Vm machine(*program, bytecode, {});
+                result = machine.run();
+                break;
+            }
+            case Rung::VmOpt: {
+                vm::Vm machine(*program, optimized, {});
+                result = machine.run();
+                break;
+            }
+        }
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK_CAPTURE(BM_InterpRung, call_heavy_tree, interp_call_ladder_source(),
+                  Rung::Tree);
+BENCHMARK_CAPTURE(BM_InterpRung, call_heavy_slot, interp_call_ladder_source(),
+                  Rung::Slot);
+BENCHMARK_CAPTURE(BM_InterpRung, call_heavy_vm, interp_call_ladder_source(),
+                  Rung::Vm);
+BENCHMARK_CAPTURE(BM_InterpRung, call_heavy_vm_opt,
+                  interp_call_ladder_source(), Rung::VmOpt);
+BENCHMARK_CAPTURE(BM_InterpRung, memory_heavy_tree,
+                  interp_memory_ladder_source(), Rung::Tree);
+BENCHMARK_CAPTURE(BM_InterpRung, memory_heavy_slot,
+                  interp_memory_ladder_source(), Rung::Slot);
+BENCHMARK_CAPTURE(BM_InterpRung, memory_heavy_vm,
+                  interp_memory_ladder_source(), Rung::Vm);
+BENCHMARK_CAPTURE(BM_InterpRung, memory_heavy_vm_opt,
+                  interp_memory_ladder_source(), Rung::VmOpt);
+
+void BM_VmOptimize(benchmark::State& state) {
+    // The peephole-pass-cost column: fusion + promotion over the compiled
+    // loop ladder. Like BM_VmCompile, paid once per distinct source.
+    auto program = lang::try_parse(interp_ladder_source());
+    lang::type_check(*program);
+    const miri::LoweredProgram lowered = miri::lower_program(*program);
+    const vm::VmProgram bytecode = vm::compile(*program, lowered);
+    for (auto _ : state) {
+        vm::VmProgram optimized = vm::optimize(bytecode);
+        benchmark::DoNotOptimize(optimized);
+    }
+}
+BENCHMARK(BM_VmOptimize);
 
 void BM_VmCompile(benchmark::State& state) {
     // The bytecode-compile-cost column: AST -> flat instruction array.

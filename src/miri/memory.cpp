@@ -56,6 +56,21 @@ TagOrigin MemoryModel::origin_of(BorrowTag tag) const {
 AllocId MemoryModel::allocate(std::uint64_t size, std::uint64_t align,
                               AllocKind kind, std::string label,
                               support::SourceSpan span) {
+    return allocate_common(size, align, kind, std::move(label), span,
+                           /*materialize=*/true);
+}
+
+AllocId MemoryModel::allocate_shadow(std::uint64_t size, std::uint64_t align,
+                                     AllocKind kind, std::string label,
+                                     support::SourceSpan span) {
+    return allocate_common(size, align, kind, std::move(label), span,
+                           /*materialize=*/false);
+}
+
+AllocId MemoryModel::allocate_common(std::uint64_t size, std::uint64_t align,
+                                     AllocKind kind, std::string label,
+                                     support::SourceSpan span,
+                                     bool materialize) {
     if (align == 0 || (align & (align - 1)) != 0) {
         ub(UbCategory::Alloc,
            "invalid allocation alignment " + std::to_string(align) +
@@ -82,12 +97,14 @@ AllocId MemoryModel::allocate(std::uint64_t size, std::uint64_t align,
     alloc.align = align;
     alloc.label = std::move(label);
     alloc.base_tag = fresh_tag(TagOrigin::Base);
-    alloc.bytes.assign(alloc_size, 0);
-    alloc.init.assign(alloc_size, 0);
     alloc.uninit_count = alloc_size;
-    alloc.borrows.resize(alloc_size);
-    for (auto& stack : alloc.borrows) {
-        stack.push_back({alloc.base_tag, Permission::Unique});
+    if (materialize) {
+        alloc.bytes.assign(alloc_size, 0);
+        alloc.init.assign(alloc_size, 0);
+        alloc.borrows.resize(alloc_size);
+        for (auto& stack : alloc.borrows) {
+            stack.push_back({alloc.base_tag, Permission::Unique});
+        }
     }
     bytes_allocated_ += alloc_size;
     allocs_.push_back(std::move(alloc));

@@ -179,6 +179,17 @@ class MemoryModel {
     /// Create a new allocation; throws UbException (Alloc) on invalid layout.
     AllocId allocate(std::uint64_t size, std::uint64_t align, AllocKind kind,
                      std::string label, support::SourceSpan span);
+    /// allocate() minus the per-byte state (bytes / init / borrow stacks).
+    /// For register-promoted locals (vm::optimize): the allocation must go
+    /// through the identical bookkeeping — same layout UB checks, same
+    /// address-space bump, same AllocId / base-tag / bytes_allocated streams,
+    /// all observable through ptr-to-int casts and later allocations — but is
+    /// guaranteed never to be loaded/stored through, so materializing its
+    /// contents would be pure waste. kill() and check_leaks() treat it like
+    /// any other stack allocation.
+    AllocId allocate_shadow(std::uint64_t size, std::uint64_t align,
+                            AllocKind kind, std::string label,
+                            support::SourceSpan span);
     /// Heap deallocation with full layout validation.
     void deallocate(const Pointer& p, std::uint64_t size, std::uint64_t align,
                     support::SourceSpan span);
@@ -263,6 +274,10 @@ class MemoryModel {
     [[noreturn]] void ub(UbCategory category, std::string message,
                          support::SourceSpan span) const;
     [[noreturn]] static void throw_bad_alloc_id();
+
+    AllocId allocate_common(std::uint64_t size, std::uint64_t align,
+                            AllocKind kind, std::string label,
+                            support::SourceSpan span, bool materialize);
 
     BorrowTag fresh_tag(TagOrigin origin);
     [[nodiscard]] TagOrigin origin_of(BorrowTag tag) const;

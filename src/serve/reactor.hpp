@@ -11,9 +11,12 @@
 // sent frames 0..N reads responses 0..N even when the scheduler finished
 // them out of order — which is what keeps the deterministic-mode byte
 // contract intact over pipelining (DESIGN.md §10). Writes go through a
-// buffered writer: when the kernel send buffer fills, the remainder is
-// kept and EPOLLOUT is armed, so a slow reader never blocks the loop or
-// any other connection.
+// vectored buffered writer: queued response frames are flushed in batches
+// of up to kMaxWriteIovecs with a single sendmsg (writev with
+// MSG_NOSIGNAL), and when the kernel send buffer fills mid-batch the
+// remainder — including a partially accepted frame mid-iovec — is kept
+// and EPOLLOUT is armed, so a slow reader never blocks the loop or any
+// other connection.
 #pragma once
 
 #include <atomic>
@@ -21,6 +24,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +55,8 @@ struct ServerStats {
     std::uint64_t accept_retries = 0;    // EMFILE-class backoff rounds
     std::uint64_t epollout_arms = 0;     // kernel buffer filled mid-response
     std::uint64_t max_pipeline_depth = 0;  // most in-flight on one connection
+    std::uint64_t writev_batches = 0;    // vectored flush syscalls issued
+    std::uint64_t frames_per_writev_max = 0;  // largest iovec batch flushed
 };
 
 class Reactor {
@@ -63,6 +69,10 @@ class Reactor {
         /// are accepted, sent one framed shed response, and closed —
         /// never silently dropped.
         std::size_t max_connections = 0;
+        /// SO_SNDBUF requested for accepted connections (0 = kernel
+        /// default). Tests shrink it so a multi-frame vectored flush
+        /// reliably stops partway through an iovec batch.
+        int send_buffer_bytes = 0;
     };
 
     /// Takes ownership of `listen_fd` (already bound and listening) and
@@ -91,8 +101,11 @@ class Reactor {
         int fd = -1;
         std::uint64_t id = 0;
         FrameReader reader;
-        /// Framed response bytes not yet accepted by the kernel.
-        std::string out;
+        /// Framed responses not yet accepted by the kernel, one frame per
+        /// entry so a flush can gather many with a single vectored write.
+        std::deque<std::string> out;
+        /// Bytes of out.front() the kernel already took (a partial write
+        /// can stop mid-frame, including mid-iovec within a batch).
         std::size_t out_pos = 0;
         /// Sequence number handed to the next decoded frame.
         std::uint64_t next_request = 0;

@@ -64,6 +64,7 @@ RepairServer::RepairServer(ServerOptions options)
         Reactor::Options reactor_options;
         reactor_options.max_requests = options_.max_requests;
         reactor_options.max_connections = options_.max_connections;
+        reactor_options.send_buffer_bytes = options_.send_buffer_bytes;
         // The reactor takes ownership of the listening fd.
         const int fd = listen_fd_;
         listen_fd_ = -1;

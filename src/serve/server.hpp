@@ -53,6 +53,10 @@ struct ServerOptions {
     /// connections are accepted, sent one framed shed response with retry
     /// advice, and closed — never silently dropped.
     std::size_t max_connections = 0;
+    /// SO_SNDBUF requested for accepted connections (0 = kernel default).
+    /// Reactor frontend only; tests shrink it to force partial vectored
+    /// writes deterministically.
+    int send_buffer_bytes = 0;
 };
 
 class RepairServer {

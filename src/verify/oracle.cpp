@@ -7,6 +7,7 @@
 #include "lang/parser.hpp"
 #include "lang/typecheck.hpp"
 #include "support/hashing.hpp"
+#include "vm/peephole.hpp"
 #include "vm/vm.hpp"
 
 namespace rustbrain::verify {
@@ -37,6 +38,12 @@ const vm::VmProgram& CompiledProgram::bytecode() const {
     std::call_once(vm_once_,
                    [this] { vm_code_ = vm::compile(program, lowering); });
     return vm_code_;
+}
+
+const vm::VmProgram& CompiledProgram::optimized_bytecode() const {
+    std::call_once(opt_once_,
+                   [this] { opt_code_ = vm::optimize(bytecode()); });
+    return opt_code_;
 }
 
 // ---------------------------------------------------------------------------
@@ -174,6 +181,13 @@ InterpTier interp_from_env() {
     return parse_interp_tier(value).value_or(InterpTier::Slot);
 }
 
+bool vm_opt_from_env() {
+    const char* value = std::getenv("RUSTBRAIN_VM_OPT");
+    if (value == nullptr) return true;
+    const std::string text = value;
+    return !(text == "off" || text == "0" || text == "false");
+}
+
 /// Seed for the independent second source hash (an arbitrary odd constant
 /// distinct from the FNV offset basis).
 constexpr std::uint64_t kCheckSeed = 0x51ED270B8A2C1495ULL;
@@ -209,6 +223,7 @@ Oracle::Oracle(OracleOptions options)
       caching_(options.caching.value_or(cache_enabled_from_env())),
       screening_(options.screening.value_or(screen_enabled_from_env())),
       interp_(options.interp.value_or(interp_from_env())),
+      vm_opt_(options.vm_opt.value_or(vm_opt_from_env())),
       screen_options_(options.screen) {}
 
 const Oracle& Oracle::shared_default() {
@@ -297,8 +312,10 @@ miri::MiriReport Oracle::interpret(
                 break;
             }
             case InterpTier::Vm: {
-                vm::Vm vm(compiled.program, compiled.bytecode(), inputs,
-                          limits_);
+                vm::Vm vm(compiled.program,
+                          vm_opt_ ? compiled.optimized_bytecode()
+                                  : compiled.bytecode(),
+                          inputs, limits_);
                 result = vm.run();
                 break;
             }

@@ -104,9 +104,18 @@ struct CompiledProgram {
     /// every later vm interpretation of this source. Only valid when ok().
     [[nodiscard]] const vm::VmProgram& bytecode() const;
 
+    /// vm::optimize(bytecode()) — the superinstruction/register-promotion
+    /// tier — with the same lazy, exactly-once contract stacked on top:
+    /// plain-vm oracles never pay for the pass, and the optimized program
+    /// is derived at most once per compiled source. The result aliases
+    /// bytecode()'s interned storage, which this object owns alongside it.
+    [[nodiscard]] const vm::VmProgram& optimized_bytecode() const;
+
   private:
     mutable std::once_flag vm_once_;
     mutable vm::VmProgram vm_code_;
+    mutable std::once_flag opt_once_;
+    mutable vm::VmProgram opt_code_;
 };
 
 struct VerifyCacheStats {
@@ -258,6 +267,11 @@ struct OracleOptions {
     /// back to the slot default). Pure performance knob: reports are
     /// byte-identical across tiers.
     std::optional<InterpTier> interp;
+    /// Run the vm tier on vm::optimize output (superinstructions +
+    /// register promotion)? Unset => honour RUSTBRAIN_VM_OPT (anything
+    /// but "off"/"0"/"false" means on). Ignored by the tree/slot tiers;
+    /// byte-identical either way — a pure performance knob.
+    std::optional<bool> vm_opt;
 };
 
 /// Counters for the Oracle's screening tier (process- or oracle-lifetime,
@@ -310,6 +324,7 @@ class Oracle {
     [[nodiscard]] bool caching_enabled() const { return caching_; }
     [[nodiscard]] bool screening_enabled() const { return screening_; }
     [[nodiscard]] InterpTier interp_tier() const { return interp_; }
+    [[nodiscard]] bool vm_opt_enabled() const { return vm_opt_; }
     [[nodiscard]] const miri::InterpLimits& limits() const { return limits_; }
     [[nodiscard]] const std::shared_ptr<VerifyCache>& cache() const {
         return cache_;
@@ -356,6 +371,7 @@ class Oracle {
     bool caching_ = true;
     bool screening_ = true;
     InterpTier interp_ = InterpTier::Slot;
+    bool vm_opt_ = true;
     screen::ScreenOptions screen_options_;
     mutable std::atomic<std::uint64_t> screens_{0};
     mutable std::atomic<std::uint64_t> screen_proven_{0};

@@ -17,8 +17,23 @@
 // VmProgram is a side structure like LoweredProgram: it borrows type and
 // name storage from the exact Program it was compiled from and is only
 // meaningful next to it (verify::Oracle owns such pairs immutably).
+//
+// Instructions are packed to 32 bytes (half the original 56): spans, type
+// pointers, and aux pointers are interned into side tables on the VmProgram
+// and instructions carry 32-bit indices. Index 0 of each table is the
+// "absent" entry ({} span / null pointer), so zero-initialized fields keep
+// their old meaning.
+//
+// vm::optimize() (src/vm/peephole.cpp) derives a second, optimized program
+// from a compiled one: superinstruction fusion (with the constituent Step
+// bookkeeping folded in so step counts stay exact) and register promotion of
+// provably unaliased scalar locals. The optimized program shares the input
+// program's interned storage contract — keep the source VmProgram alive, or
+// at least the Program/strings it borrows from. DESIGN.md §11 documents the
+// legality argument.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -83,13 +98,41 @@ enum class Op : std::uint8_t {
     Intrinsic,    // a = IntrinsicId, b = nargs
     Ret,          // pop frame; result stays on the value stack
     Halt,         // end of a static-initializer chunk
+
+    // Superinstructions (emitted only by vm::optimize) -------------------
+    // Each is the *exact* expansion of the listed window: the handler
+    // replays the constituent step() calls (at the original spans, in the
+    // original interleaving with memory accesses), so step counts and any
+    // mid-window panic/UB snapshot stay byte-identical.
+    BinaryLocals,   // [Step, LoadLocal lhs, LoadLocal rhs, Binary]
+                    //   small = binop, a/b = lhs/rhs slot, imm = fused index
+    BinaryLocalImm, // [Step, LoadLocal lhs, PushInt, Binary]
+                    //   small = binop, a = lhs slot, b = fused index,
+                    //   imm = pre-truncated literal
+    StoreLocal,     // [PlaceLocal, StorePlace] — a = slot, no steps
+    CompareBranch,  // [Binary(cmp), JumpIfFalse] — small = binop, a = target
+
+    // Second-stage superinstructions: fuse across first-stage output.
+    // Nested expressions emit their entry Steps back to back (a chain of k
+    // binary nodes puts k Steps in a row before the first operand), and
+    // left-leaning accumulation chains leave [BinaryLocalImm, Binary]
+    // pairs. Same exact-replay contract as above.
+    StepN,          // a consecutive Steps — a = count, b = step_runs offset
+    BinaryAccImm,   // [BinaryLocalImm, Binary]: pop stack lhs, combine with
+                    //   (local `small` imm) via fused[b]'s outer operator
+    BinaryStackImm, // [PushInt, Binary]: pop lhs, eval with literal imm —
+                    //   small = binop, a = span index of the PushInt's step
+    LocalsBranch,   // [BinaryLocals(cmp), JumpIfFalse] — loop heads; target
+                    //   in fused[imm].branch_target (no inline field free)
+    LocalImmBranch, // [BinaryLocalImm(cmp), JumpIfFalse] — target in
+                    //   fused[b].branch_target
 };
 
 enum class CastKind : std::int32_t {
-    IntFromInt,  // b = source signed, c = source size; type = target
+    IntFromInt,  // b = source signed, small = source size; type = target
     IntToRawPtr,
     PtrToInt,    // type = target
-    RefToRaw,    // c = writable, imm = pointee size
+    RefToRaw,    // small = writable, imm = pointee size
     FnToInt,     // type = target
     IntToFn,
     Unsupported, // aux = prebuilt logic_error message
@@ -98,8 +141,8 @@ enum class CastKind : std::int32_t {
 enum class IntrinsicId : std::int32_t {
     Alloc,
     Dealloc,
-    Offset,     // c = count-arg size, imm = element size
-    PrintInt,   // c = signed, imm = arg size
+    Offset,     // small = count-arg size, imm = element size
+    PrintInt,   // small = signed, imm = arg size
     PrintBool,
     Input,
     Assert,
@@ -115,22 +158,50 @@ enum class IntrinsicId : std::int32_t {
     Unknown,    // aux = name; throws the tree walk's logic_error
 };
 
-/// One fixed-width instruction. `type`/`aux` alias storage owned by the AST
-/// (or by VmProgram::strings) — stable for the paired program's lifetime.
+/// One fixed-width instruction, packed to 32 bytes (a 56-byte layout with
+/// inline span/type/aux cost one extra cache line per pair of instructions).
+/// `span`/`type`/`aux` index the VmProgram side tables; index 0 is the
+/// absent entry, so zero-init preserves the unpacked semantics.
 struct Instr {
     Op op = Op::Step;
+    std::uint8_t small = 0;   // narrow operand (old `c`): sizes ≤ 8, flags
+    std::uint16_t ex = 0;     // register promotion: reg index + 1, 0 = none
     std::int32_t a = 0;
     std::int32_t b = 0;
-    std::int32_t c = 0;
+    std::uint32_t span = 0;   // index into VmProgram::spans
+    std::uint32_t type = 0;   // index into VmProgram::types
+    std::uint32_t aux = 0;    // index into VmProgram::auxes
     std::uint64_t imm = 0;
-    const lang::Type* type = nullptr;
-    const void* aux = nullptr;
-    support::SourceSpan span;
+};
+static_assert(sizeof(Instr) == 32, "Instr must stay one half cache line");
+
+/// Cold per-superinstruction operands: the constituent spans (step replay +
+/// access contexts) and names (dead-slot diagnostics), plus the promoted
+/// register of each fused load (-1 = the slot stays memory-resident).
+struct FusedDetail {
+    std::uint32_t step_span = 0;  // leading Step's span
+    std::uint32_t lhs_span = 0;   // lhs LoadLocal's span
+    std::uint32_t rhs_span = 0;   // rhs LoadLocal's / PushInt's span
+    std::uint32_t lhs_name = 0;   // aux index of the lhs slot's name
+    std::uint32_t rhs_name = 0;   // aux index of the rhs slot's name
+    std::int32_t lhs_reg = -1;
+    std::int32_t rhs_reg = -1;
+    /// BinaryAccImm only: the folded outer Binary (operator, result type,
+    /// operand Type*, span) applied to [stack top, inner result].
+    std::uint8_t outer_op = 0;
+    std::uint32_t outer_span = 0;
+    std::uint32_t outer_type = 0;
+    std::uint32_t outer_aux = 0;
+    /// LocalsBranch / LocalImmBranch only: the folded JumpIfFalse's target.
+    std::int32_t branch_target = -1;
 };
 
 struct VmFunction {
     std::int32_t entry = 0;
     std::uint32_t slot_count = 0;
+    /// Registers this frame needs for promoted locals (vm::optimize only;
+    /// 0 straight out of vm::compile).
+    std::uint32_t reg_count = 0;
     support::SourceSpan span;  // depth-check / param-declaration span
 };
 
@@ -142,7 +213,19 @@ struct VmProgram {
     /// Index of `main`, -1 when absent (the VM then reports the same
     /// CompileError finding as the tree walk).
     std::int32_t main_fn = -1;
-    /// Owns strings referenced by Instr::aux (deque: stable addresses).
+
+    /// Interned side tables ([0] is the absent entry). `types`/`auxes`
+    /// alias storage owned by the AST or by `strings`.
+    std::vector<support::SourceSpan> spans{support::SourceSpan{}};
+    std::vector<const lang::Type*> types{nullptr};
+    std::vector<const void*> auxes{nullptr};
+    /// Cold operands of superinstructions (vm::optimize only).
+    std::vector<FusedDetail> fused;
+    /// Span indices replayed by StepN, one contiguous run per instruction
+    /// (a = count, b = offset into this vector).
+    std::vector<std::uint32_t> step_runs;
+
+    /// Owns strings referenced through `auxes` (deque: stable addresses).
     std::deque<std::string> strings;
 };
 
@@ -150,5 +233,13 @@ struct VmProgram {
 /// (type-checked, renumbered) tree `lowering` was built from.
 [[nodiscard]] VmProgram compile(const lang::Program& program,
                                 const miri::LoweredProgram& lowering);
+
+/// Process-wide counters proving compilation laziness (the tree/slot tiers
+/// must never pay for bytecode) and pass coverage. Monotonic; tests diff
+/// before/after.
+struct CompileStats {
+    static std::atomic<std::uint64_t> bytecode_compiles;
+    static std::atomic<std::uint64_t> optimize_passes;
+};
 
 }  // namespace rustbrain::vm

@@ -1,13 +1,21 @@
 // AST -> bytecode. The emission rules replicate the tree walk's step(),
 // evaluation, and allocation orders exactly; see bytecode.hpp for the
 // byte-identity contract and DESIGN.md §9 for the full instruction table.
-#include "vm/bytecode.hpp"
-
+//
+// The packed 32-byte Instr stores spans/types/aux pointers as indices into
+// interned side tables on the VmProgram; the helpers si()/ti()/ai() below
+// are the only writers of those fields.
+#include <array>
+#include <map>
 #include <stdexcept>
 
 #include "miri/value.hpp"
+#include "vm/bytecode.hpp"
 
 namespace rustbrain::vm {
+
+std::atomic<std::uint64_t> CompileStats::bytecode_compiles{0};
+std::atomic<std::uint64_t> CompileStats::optimize_passes{0};
 
 namespace {
 
@@ -52,6 +60,7 @@ class Compiler {
             out_.main_fn =
                 static_cast<std::int32_t>(main_fn - program_.functions.data());
         }
+        CompileStats::bytecode_compiles.fetch_add(1, std::memory_order_relaxed);
         return std::move(out_);
     }
 
@@ -68,6 +77,40 @@ class Compiler {
         return static_cast<std::int32_t>(out_.code.size());
     }
 
+    // -- side-table interning -------------------------------------------
+
+    std::uint32_t si(support::SourceSpan span) {
+        if (!span.valid() && span.begin == 0 && span.end == 0 &&
+            span.column == 0) {
+            return 0;
+        }
+        const std::array<std::uint32_t, 4> key{span.begin, span.end, span.line,
+                                              span.column};
+        auto [it, inserted] =
+            span_ids_.try_emplace(key, static_cast<std::uint32_t>(
+                                           out_.spans.size()));
+        if (inserted) out_.spans.push_back(span);
+        return it->second;
+    }
+
+    std::uint32_t ti(const Type* type) {
+        if (type == nullptr) return 0;
+        auto [it, inserted] =
+            type_ids_.try_emplace(type, static_cast<std::uint32_t>(
+                                            out_.types.size()));
+        if (inserted) out_.types.push_back(type);
+        return it->second;
+    }
+
+    std::uint32_t ai(const void* aux) {
+        if (aux == nullptr) return 0;
+        auto [it, inserted] =
+            aux_ids_.try_emplace(aux, static_cast<std::uint32_t>(
+                                          out_.auxes.size()));
+        if (inserted) out_.auxes.push_back(aux);
+        return it->second;
+    }
+
     Instr& emit(Op op) {
         out_.code.emplace_back();
         out_.code.back().op = op;
@@ -75,8 +118,9 @@ class Compiler {
     }
 
     Instr& emit(Op op, support::SourceSpan span) {
+        const std::uint32_t span_id = si(span);
         Instr& in = emit(op);
-        in.span = span;
+        in.span = span_id;
         return in;
     }
 
@@ -116,8 +160,8 @@ class Compiler {
             Instr& in = emit(Op::DeclParam, fn.span);
             in.a = slot;
             in.b = static_cast<std::int32_t>(i);
-            in.type = &fn.params[i].type;
-            in.aux = &fn.params[i].name;
+            in.type = ti(&fn.params[i].type);
+            in.aux = ai(&fn.params[i].name);
         }
         emit(Op::DropArgs);
         compile_block(fn.body);
@@ -159,8 +203,8 @@ class Compiler {
                 scopes_.back().slots.push_back(slot);
                 Instr& in = emit(Op::DeclLocal, node.span);
                 in.a = slot;
-                in.type = &type;
-                in.aux = &node.name;
+                in.type = ti(&type);
+                in.aux = ai(&node.name);
                 return;
             }
             case lang::StmtKind::Assign: {
@@ -168,7 +212,7 @@ class Compiler {
                 compile_expr(*node.value);
                 const Type* place_type = compile_place(*node.place);
                 Instr& in = emit(Op::StorePlace, node.span);
-                in.type = place_type;
+                in.type = ti(place_type);
                 return;
             }
             case lang::StmtKind::Expr: {
@@ -239,7 +283,7 @@ class Compiler {
                 }
                 Instr& in = emit(Op::TailCall, node.span);
                 in.b = static_cast<std::int32_t>(node.args.size());
-                in.type = &node.callee->type;
+                in.type = ti(&node.callee->type);
                 return;
             }
         }
@@ -258,17 +302,17 @@ class Compiler {
                 if (res.kind == miri::VarResolution::Kind::Local) {
                     Instr& in = emit(Op::PlaceLocal);
                     in.a = res.index;
-                    in.aux = &node.name;
+                    in.aux = ai(&node.name);
                     return slot_types_[static_cast<std::size_t>(res.index)];
                 }
                 if (res.kind == miri::VarResolution::Kind::Static) {
                     Instr& in = emit(Op::PlaceStatic);
                     in.a = res.index;
-                    in.aux = &node.name;
+                    in.aux = ai(&node.name);
                     return &program_.statics[static_cast<std::size_t>(res.index)]
                                 .type;
                 }
-                emit(Op::PlaceUnresolved).aux = &node.name;
+                emit(Op::PlaceUnresolved).aux = ai(&node.name);
                 return nullptr;
             }
             case lang::ExprKind::Unary: {
@@ -336,7 +380,7 @@ class Compiler {
                 emit(Op::Step, expr.span);
                 const Type* elem = compile_place(expr);
                 Instr& in = emit(Op::LoadThrough, expr.span);
-                in.type = elem;
+                in.type = ti(elem);
                 return;
             }
             case lang::ExprKind::Call:
@@ -351,7 +395,7 @@ class Compiler {
                 }
                 Instr& in = emit(Op::CallPtr, expr.span);
                 in.b = static_cast<std::int32_t>(node.args.size());
-                in.type = &node.callee->type;
+                in.type = ti(&node.callee->type);
                 return;
             }
             case lang::ExprKind::ArrayLit: {
@@ -381,16 +425,17 @@ class Compiler {
             case miri::VarResolution::Kind::Local: {
                 Instr& in = emit(Op::LoadLocal, node.span);
                 in.a = res.index;
-                in.type = slot_types_[static_cast<std::size_t>(res.index)];
-                in.aux = &node.name;
+                in.type =
+                    ti(slot_types_[static_cast<std::size_t>(res.index)]);
+                in.aux = ai(&node.name);
                 return;
             }
             case miri::VarResolution::Kind::Static: {
                 Instr& in = emit(Op::LoadStatic, node.span);
                 in.a = res.index;
-                in.type =
-                    &program_.statics[static_cast<std::size_t>(res.index)].type;
-                in.aux = &node.name;
+                in.type = ti(
+                    &program_.statics[static_cast<std::size_t>(res.index)].type);
+                in.aux = ai(&node.name);
                 // Forward reference during static setup falls through to a
                 // same-named function item, like the tree walk.
                 in.b = function_fallback(node.name);
@@ -408,7 +453,7 @@ class Compiler {
         if (fallback >= 0) {
             emit(Op::PushFn, node.span).a = fallback;
         } else {
-            emit(Op::ThrowUnresolved, node.span).aux = &node.name;
+            emit(Op::ThrowUnresolved, node.span).aux = ai(&node.name);
         }
     }
 
@@ -424,8 +469,8 @@ class Compiler {
             case lang::UnaryOp::Neg: {
                 compile_expr(*node.operand);
                 Instr& in = emit(Op::Neg, node.span);
-                in.type = &node.type;
-                in.aux = &node.operand->type;
+                in.type = ti(&node.type);
+                in.aux = ai(&node.operand->type);
                 return;
             }
             case lang::UnaryOp::Not: {
@@ -433,14 +478,14 @@ class Compiler {
                 if (node.type.is_bool()) {
                     emit(Op::NotBool);
                 } else {
-                    emit(Op::NotBits).type = &node.type;
+                    emit(Op::NotBits).type = ti(&node.type);
                 }
                 return;
             }
             case lang::UnaryOp::Deref: {
                 compile_expr(*node.operand);
                 Instr& in = emit(Op::LoadThrough, node.span);
-                in.type = &node.type;
+                in.type = ti(&node.type);
                 return;
             }
             case lang::UnaryOp::AddrOf:
@@ -468,8 +513,8 @@ class Compiler {
         compile_expr(*node.rhs);
         Instr& in = emit(Op::Binary, node.span);
         in.a = static_cast<std::int32_t>(node.op);
-        in.type = &node.type;
-        in.aux = &node.lhs->type;
+        in.type = ti(&node.type);
+        in.aux = ai(&node.lhs->type);
     }
 
     void compile_cast(const lang::CastExpr& node) {
@@ -482,8 +527,8 @@ class Compiler {
             Instr& in = emit(Op::Cast, node.span);
             in.a = static_cast<std::int32_t>(CastKind::IntFromInt);
             in.b = source.is_signed_integer() ? 1 : 0;
-            in.c = static_cast<std::int32_t>(source.size_bytes());
-            in.type = &target;
+            in.small = static_cast<std::uint8_t>(source.size_bytes());
+            in.type = ti(&target);
             return;
         }
         if (source.is_integer() && target.is_raw_ptr()) {
@@ -494,7 +539,7 @@ class Compiler {
         if (source.is_any_pointer() && target.is_integer()) {
             Instr& in = emit(Op::Cast, node.span);
             in.a = static_cast<std::int32_t>(CastKind::PtrToInt);
-            in.type = &target;
+            in.type = ti(&target);
             return;
         }
         if (source.is_raw_ptr() && target.is_raw_ptr()) {
@@ -503,14 +548,14 @@ class Compiler {
         if (source.is_ref() && target.is_raw_ptr()) {
             Instr& in = emit(Op::Cast, node.span);
             in.a = static_cast<std::int32_t>(CastKind::RefToRaw);
-            in.c = target.is_mut() ? 1 : 0;
+            in.small = target.is_mut() ? 1 : 0;
             in.imm = source.element().size_bytes();
             return;
         }
         if (source.is_fn_ptr() && target.is_integer()) {
             Instr& in = emit(Op::Cast, node.span);
             in.a = static_cast<std::int32_t>(CastKind::FnToInt);
-            in.type = &target;
+            in.type = ti(&target);
             return;
         }
         if (source.is_integer() && target.is_fn_ptr()) {
@@ -523,8 +568,8 @@ class Compiler {
         }
         Instr& in = emit(Op::Cast, node.span);
         in.a = static_cast<std::int32_t>(CastKind::Unsupported);
-        in.aux = intern("eval_cast: unexpected cast " + source.to_string() +
-                        " as " + target.to_string());
+        in.aux = ai(intern("eval_cast: unexpected cast " + source.to_string() +
+                           " as " + target.to_string()));
     }
 
     void compile_call(const lang::CallExpr& node) {
@@ -541,19 +586,20 @@ class Compiler {
                 switch (static_cast<IntrinsicId>(in.a)) {
                     case IntrinsicId::Offset:
                         if (node.args.size() > 1) {
-                            in.c = static_cast<std::int32_t>(
+                            in.small = static_cast<std::uint8_t>(
                                 node.args[1]->type.size_bytes());
                             in.imm = node.args[0]->type.element().size_bytes();
                         }
                         break;
                     case IntrinsicId::PrintInt:
                         if (!node.args.empty()) {
-                            in.c = node.args[0]->type.is_signed_integer() ? 1 : 0;
+                            in.small =
+                                node.args[0]->type.is_signed_integer() ? 1 : 0;
                             in.imm = node.args[0]->type.size_bytes();
                         }
                         break;
                     case IntrinsicId::Unknown:
-                        in.aux = &node.callee;
+                        in.aux = ai(&node.callee);
                         break;
                     default:
                         break;
@@ -564,8 +610,9 @@ class Compiler {
                 Instr& in = emit(Op::CallLocalPtr, node.span);
                 in.a = res.index;
                 in.b = static_cast<std::int32_t>(node.args.size());
-                in.type = slot_types_[static_cast<std::size_t>(res.index)];
-                in.aux = &node.callee;
+                in.type =
+                    ti(slot_types_[static_cast<std::size_t>(res.index)]);
+                in.aux = ai(&node.callee);
                 return;
             }
             case miri::CallResolution::Kind::Direct: {
@@ -575,7 +622,7 @@ class Compiler {
                 return;
             }
             case miri::CallResolution::Kind::Unresolved:
-                emit(Op::CallUnknown, node.span).aux = &node.callee;
+                emit(Op::CallUnknown, node.span).aux = ai(&node.callee);
                 return;
         }
     }
@@ -585,6 +632,9 @@ class Compiler {
     VmProgram out_;
     std::vector<ScopeInfo> scopes_;
     std::vector<const Type*> slot_types_;
+    std::map<std::array<std::uint32_t, 4>, std::uint32_t> span_ids_;
+    std::map<const Type*, std::uint32_t> type_ids_;
+    std::map<const void*, std::uint32_t> aux_ids_;
 };
 
 }  // namespace

@@ -1,11 +1,33 @@
 // Bytecode dispatch loop. Every handler is a direct port of the matching
 // miri::Interpreter code path — same memory-model calls, same messages, same
-// spans, same step() points — so the two tiers stay byte-identical.
+// spans, same step() points — so the tiers stay byte-identical.
+//
+// Dispatch is single-sourced through the VM_CASE / VM_NEXT macros: on
+// GCC/Clang each handler ends with a computed goto straight to the next
+// opcode's handler (threaded dispatch — no shared branch for the predictor
+// to mispredict); defining RUSTBRAIN_VM_SWITCH_DISPATCH falls back to the
+// portable switch-in-a-loop. The label table in dispatch() must list every
+// Op in exact enum order.
+//
+// Superinstruction handlers (BinaryLocals, BinaryLocalImm, StoreLocal,
+// CompareBranch) execute the *exact* expansion of their fused window —
+// the same step() calls at the same spans interleaved with the same memory
+// accesses — so a panic or UB thrown mid-window observes the same steps_
+// snapshot as the unfused program. Register-promoted locals (Instr::ex /
+// FusedDetail::*_reg) skip the MemoryModel round trip; their declarations
+// still shadow-allocate so address/id/tag streams stay identical.
 #include "vm/vm.hpp"
 
 #include <limits>
 #include <stdexcept>
 #include <utility>
+
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(RUSTBRAIN_VM_SWITCH_DISPATCH)
+#define RUSTBRAIN_VM_THREADED 1
+#else
+#define RUSTBRAIN_VM_THREADED 0
+#endif
 
 namespace rustbrain::vm {
 
@@ -25,16 +47,20 @@ using miri::Value;
 using miri::VectorClock;
 
 namespace {
-const std::string& name_of(const Instr& in) {
-    return *static_cast<const std::string*>(in.aux);
-}
-
 Value arith_result(std::uint64_t bits, const Type& type) {
     return Value::scalar(miri::truncate_to_type(bits, type));
 }
 
 std::int64_t signed_value(const Value& v, const Type& t) {
     return v.as_signed(t.size_bytes());
+}
+
+/// Store+load round trip for a promoted integer slot, collapsed: store
+/// truncates to the type's width (little-endian), load zero-extends — the
+/// composition is truncate_to_type on the raw bits. (Only integer slots are
+/// promoted; bool loads add a validity check, so bools stay in memory.)
+Value reg_normalize(const Value& value, const Type& type) {
+    return Value::scalar(miri::truncate_to_type(value.bits(), type));
 }
 }  // namespace
 
@@ -165,8 +191,10 @@ void Vm::enter_function(std::int32_t fn_index, std::uint32_t nargs,
     frame.args_base = static_cast<std::uint32_t>(stack_.size() - nargs);
     frame.nargs = nargs;
     frame.slot_base = static_cast<std::uint32_t>(slots_.size());
+    frame.reg_base = static_cast<std::uint32_t>(regs_.size());
     frames_.push_back(frame);
     slots_.resize(slots_.size() + fn.slot_count);
+    regs_.resize(regs_.size() + fn.reg_count);
     pc_ = fn.entry;
 }
 
@@ -210,399 +238,664 @@ std::int32_t Vm::resolve_fn_target(const FnPtrVal& fn, const Type& static_type,
     return fn.fn_index;
 }
 
+miri::Value Vm::load_slot(std::int32_t slot_index, std::int32_t reg,
+                          std::uint32_t name_idx, support::SourceSpan span) {
+    const Frame& frame = frames_.back();
+    const SlotState& slot =
+        slots_[frame.slot_base + static_cast<std::uint32_t>(slot_index)];
+    if (slot.alloc == kNoAlloc) {
+        throw std::logic_error("eval_place: unresolved name '" +
+                               name_at(name_idx) + "'");
+    }
+    if (reg >= 0) {
+        return regs_[frame.reg_base + static_cast<std::uint32_t>(reg)];
+    }
+    return mem_.load(mem_.base_pointer(slot.alloc), *slot.type,
+                     access_ctx(span));
+}
+
 // ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
+
+#if RUSTBRAIN_VM_THREADED
+#define VM_CASE(name) lbl_##name
+#define VM_NEXT()                             \
+    goto* kLabels[static_cast<std::size_t>(   \
+        code[static_cast<std::size_t>(pc)].op)]
+#else
+#define VM_CASE(name) case Op::name
+#define VM_NEXT() goto vm_top
+#endif
+
+#define VM_FETCH const Instr& in = code[static_cast<std::size_t>(pc)]
 
 miri::Value Vm::dispatch(std::size_t frame_floor) {
     // The program counter lives in a local so the hot loop keeps it in a
     // register; it is synced with pc_ only around calls that re-enter
     // the dispatcher (enter_function sets pc_, Join saves/restores it).
+    const Instr* const code = code_.code.data();
     std::int32_t pc = pc_;
-    while (true) {
-        const Instr& in = code_.code[static_cast<std::size_t>(pc)];
-        switch (in.op) {
-            case Op::Step:
-                step(in.span);
-                ++pc;
-                continue;
-            case Op::Jump:
-                pc = in.a;
-                continue;
-            case Op::JumpIfFalse: {
-                const bool taken = !stack_.back().as_bool();
-                stack_.pop_back();
-                pc = taken ? in.a : pc + 1;
-                continue;
-            }
-            case Op::AndJump:
-                if (!stack_.back().as_bool()) {
-                    pc = in.a;
-                } else {
-                    stack_.pop_back();
-                    ++pc;
-                }
-                continue;
-            case Op::OrJump:
-                if (stack_.back().as_bool()) {
-                    pc = in.a;
-                } else {
-                    stack_.pop_back();
-                    ++pc;
-                }
-                continue;
-            case Op::BoolNorm:
-                stack_.back() = Value::boolean(stack_.back().as_bool());
-                ++pc;
-                continue;
-            case Op::Pop:
-                stack_.pop_back();
-                ++pc;
-                continue;
 
-            case Op::PushUnit:
-                stack_.push_back(Value::unit());
-                ++pc;
-                continue;
-            case Op::PushInt:
-                step(in.span);
-                stack_.push_back(Value::scalar(in.imm));
-                ++pc;
-                continue;
-            case Op::PushBool:
-                step(in.span);
-                stack_.push_back(Value::boolean(in.a != 0));
-                ++pc;
-                continue;
-            case Op::PushFn:
-                step(in.span);
-                stack_.push_back(Value::function(FnPtrVal{in.a}));
-                ++pc;
-                continue;
-            case Op::LoadLocal: {
-                step(in.span);
-                const SlotState& slot =
-                    slots_[frames_.back().slot_base +
-                           static_cast<std::uint32_t>(in.a)];
-                if (slot.alloc == kNoAlloc) {
-                    throw std::logic_error("eval_place: unresolved name '" +
-                                           name_of(in) + "'");
-                }
-                stack_.push_back(mem_.load(mem_.base_pointer(slot.alloc),
-                                           *slot.type, access_ctx(in.span)));
-                ++pc;
-                continue;
-            }
-            case Op::LoadStatic: {
-                step(in.span);
-                const AllocId alloc =
-                    static_slots_[static_cast<std::size_t>(in.a)];
-                if (alloc != kNoAlloc) {
-                    stack_.push_back(mem_.load(mem_.base_pointer(alloc),
-                                               *in.type, access_ctx(in.span)));
-                } else if (in.b >= 0) {
-                    // Forward reference during static setup: fall through to
-                    // the same-named function item, like the tree walk.
-                    stack_.push_back(Value::function(FnPtrVal{in.b}));
-                } else {
-                    throw std::logic_error("unresolved name '" + name_of(in) +
-                                           "'");
-                }
-                ++pc;
-                continue;
-            }
-            case Op::ThrowUnresolved:
-                step(in.span);
-                throw std::logic_error("unresolved name '" + name_of(in) + "'");
+#if RUSTBRAIN_VM_THREADED
+    // One label per Op, in exact enum order (bytecode.hpp).
+    static const void* const kLabels[] = {
+        &&lbl_Step,        &&lbl_Jump,         &&lbl_JumpIfFalse,
+        &&lbl_AndJump,     &&lbl_OrJump,       &&lbl_BoolNorm,
+        &&lbl_Pop,         &&lbl_PushUnit,     &&lbl_PushInt,
+        &&lbl_PushBool,    &&lbl_PushFn,       &&lbl_LoadLocal,
+        &&lbl_LoadStatic,  &&lbl_ThrowUnresolved,
+        &&lbl_PlaceLocal,  &&lbl_PlaceStatic,  &&lbl_PlaceUnresolved,
+        &&lbl_AsPtr,       &&lbl_IndexPlace,   &&lbl_LoadThrough,
+        &&lbl_StorePlace,  &&lbl_RetagRef,     &&lbl_DeclLocal,
+        &&lbl_DeclParam,   &&lbl_DropArgs,     &&lbl_KillSlot,
+        &&lbl_KillSlotTail,&&lbl_Neg,          &&lbl_NotBool,
+        &&lbl_NotBits,     &&lbl_Binary,       &&lbl_Cast,
+        &&lbl_MakeArray,   &&lbl_MakeRepeat,   &&lbl_CallDirect,
+        &&lbl_CallLocalPtr,&&lbl_CallPtr,      &&lbl_TailCall,
+        &&lbl_CallUnknown, &&lbl_Intrinsic,    &&lbl_Ret,
+        &&lbl_Halt,        &&lbl_BinaryLocals, &&lbl_BinaryLocalImm,
+        &&lbl_StoreLocal,  &&lbl_CompareBranch,&&lbl_StepN,
+        &&lbl_BinaryAccImm,&&lbl_BinaryStackImm,&&lbl_LocalsBranch,
+        &&lbl_LocalImmBranch,
+    };
+    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                      static_cast<std::size_t>(Op::LocalImmBranch) + 1,
+                  "label table must cover every Op");
+    VM_NEXT();
+#else
+vm_top:
+    switch (code[static_cast<std::size_t>(pc)].op) {
+#endif
 
-            case Op::PlaceLocal: {
-                const SlotState& slot =
-                    slots_[frames_.back().slot_base +
-                           static_cast<std::uint32_t>(in.a)];
-                if (slot.alloc == kNoAlloc) {
-                    throw std::logic_error("eval_place: unresolved name '" +
-                                           name_of(in) + "'");
-                }
-                stack_.push_back(Value::pointer(mem_.base_pointer(slot.alloc)));
-                ++pc;
-                continue;
-            }
-            case Op::PlaceStatic: {
-                const AllocId alloc =
-                    static_slots_[static_cast<std::size_t>(in.a)];
-                if (alloc == kNoAlloc) {
-                    throw std::logic_error("eval_place: unresolved name '" +
-                                           name_of(in) + "'");
-                }
-                stack_.push_back(Value::pointer(mem_.base_pointer(alloc)));
-                ++pc;
-                continue;
-            }
-            case Op::PlaceUnresolved:
-                throw std::logic_error("eval_place: unresolved name '" +
-                                       name_of(in) + "'");
-            case Op::AsPtr:
-                (void)stack_.back().as_ptr();
-                ++pc;
-                continue;
-            case Op::IndexPlace: {
-                const std::uint64_t i = stack_.back().bits();
-                stack_.pop_back();
-                Pointer element_ptr = stack_.back().as_ptr();
-                stack_.pop_back();
-                if (i >= in.imm) {
-                    panic("index out of bounds: the len is " +
-                              std::to_string(in.imm) + " but the index is " +
-                              std::to_string(i),
-                          in.span);
-                }
-                element_ptr.addr += i * static_cast<std::uint64_t>(in.a);
-                stack_.push_back(Value::pointer(element_ptr));
-                ++pc;
-                continue;
-            }
+    VM_CASE(Step): {
+        VM_FETCH;
+        step(span_of(in));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Jump): {
+        VM_FETCH;
+        pc = in.a;
+        VM_NEXT();
+    }
+    VM_CASE(JumpIfFalse): {
+        VM_FETCH;
+        const bool taken = !stack_.back().as_bool();
+        stack_.pop_back();
+        pc = taken ? in.a : pc + 1;
+        VM_NEXT();
+    }
+    VM_CASE(AndJump): {
+        VM_FETCH;
+        if (!stack_.back().as_bool()) {
+            pc = in.a;
+        } else {
+            stack_.pop_back();
+            ++pc;
+        }
+        VM_NEXT();
+    }
+    VM_CASE(OrJump): {
+        VM_FETCH;
+        if (stack_.back().as_bool()) {
+            pc = in.a;
+        } else {
+            stack_.pop_back();
+            ++pc;
+        }
+        VM_NEXT();
+    }
+    VM_CASE(BoolNorm): {
+        stack_.back() = Value::boolean(stack_.back().as_bool());
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Pop): {
+        stack_.pop_back();
+        ++pc;
+        VM_NEXT();
+    }
 
-            case Op::LoadThrough: {
-                const Pointer p = stack_.back().as_ptr();
-                stack_.pop_back();
-                stack_.push_back(mem_.load(p, *in.type, access_ctx(in.span)));
-                ++pc;
-                continue;
-            }
-            case Op::StorePlace: {
-                const Pointer p = stack_.back().as_ptr();
-                stack_.pop_back();
-                mem_.store(p, *in.type, stack_.back(), access_ctx(in.span));
-                stack_.pop_back();
-                ++pc;
-                continue;
-            }
-            case Op::RetagRef: {
-                const Pointer p = stack_.back().as_ptr();
-                stack_.pop_back();
-                stack_.push_back(Value::pointer(
-                    mem_.retag_ref(p, in.imm, in.a != 0, in.span)));
-                ++pc;
-                continue;
-            }
-            case Op::DeclLocal: {
-                const AllocId alloc =
-                    mem_.allocate(in.type->size_bytes(), in.type->align_bytes(),
-                                  AllocKind::Stack, name_of(in), in.span);
-                mem_.store(mem_.base_pointer(alloc), *in.type, stack_.back(),
-                           access_ctx(in.span));
-                stack_.pop_back();
-                slots_[frames_.back().slot_base +
-                       static_cast<std::uint32_t>(in.a)] = {alloc, in.type};
-                ++pc;
-                continue;
-            }
-            case Op::DeclParam: {
-                const Frame& frame = frames_.back();
-                const Value value =
-                    static_cast<std::uint32_t>(in.b) < frame.nargs
-                        ? stack_[frame.args_base +
-                                 static_cast<std::uint32_t>(in.b)]
-                        : Value::unit();
-                const AllocId alloc =
-                    mem_.allocate(in.type->size_bytes(), in.type->align_bytes(),
-                                  AllocKind::Stack, name_of(in), in.span);
-                mem_.store(mem_.base_pointer(alloc), *in.type, value,
-                           access_ctx(in.span));
-                slots_[frame.slot_base + static_cast<std::uint32_t>(in.a)] = {
-                    alloc, in.type};
-                ++pc;
-                continue;
-            }
-            case Op::DropArgs:
-                stack_.resize(frames_.back().args_base);
-                ++pc;
-                continue;
-            case Op::KillSlot: {
-                SlotState& slot = slots_[frames_.back().slot_base +
-                                         static_cast<std::uint32_t>(in.a)];
-                if (slot.alloc != kNoAlloc) {
-                    mem_.kill(slot.alloc);
-                    slot = {};
-                }
-                ++pc;
-                continue;
-            }
-            case Op::KillSlotTail: {
-                SlotState& slot = slots_[frames_.back().slot_base +
-                                         static_cast<std::uint32_t>(in.a)];
-                if (slot.alloc != kNoAlloc) {
-                    mem_.kill_for_tail_call(slot.alloc);
-                    slot = {};
-                }
-                ++pc;
-                continue;
-            }
+    VM_CASE(PushUnit): {
+        stack_.push_back(Value::unit());
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(PushInt): {
+        VM_FETCH;
+        step(span_of(in));
+        stack_.push_back(Value::scalar(in.imm));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(PushBool): {
+        VM_FETCH;
+        step(span_of(in));
+        stack_.push_back(Value::boolean(in.a != 0));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(PushFn): {
+        VM_FETCH;
+        step(span_of(in));
+        stack_.push_back(Value::function(FnPtrVal{in.a}));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(LoadLocal): {
+        VM_FETCH;
+        const support::SourceSpan& span = span_of(in);
+        step(span);
+        stack_.push_back(load_slot(in.a, static_cast<std::int32_t>(in.ex) - 1,
+                                   in.aux, span));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(LoadStatic): {
+        VM_FETCH;
+        const support::SourceSpan& span = span_of(in);
+        step(span);
+        const AllocId alloc = static_slots_[static_cast<std::size_t>(in.a)];
+        if (alloc != kNoAlloc) {
+            stack_.push_back(mem_.load(mem_.base_pointer(alloc), type_of(in),
+                                       access_ctx(span)));
+        } else if (in.b >= 0) {
+            // Forward reference during static setup: fall through to the
+            // same-named function item, like the tree walk.
+            stack_.push_back(Value::function(FnPtrVal{in.b}));
+        } else {
+            throw std::logic_error("unresolved name '" + name_of(in) + "'");
+        }
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(ThrowUnresolved): {
+        VM_FETCH;
+        step(span_of(in));
+        throw std::logic_error("unresolved name '" + name_of(in) + "'");
+    }
 
-            case Op::Neg: {
-                const Value operand = stack_.back();
-                stack_.pop_back();
-                const Type& operand_type =
-                    *static_cast<const Type*>(in.aux);
-                const std::int64_t value = signed_value(operand, operand_type);
-                const std::uint64_t size = in.type->size_bytes();
-                const std::int64_t min_value =
-                    size >= 8 ? std::numeric_limits<std::int64_t>::min()
-                              : -(1LL << (size * 8 - 1));
-                if (value == min_value) {
-                    panic("attempt to negate with overflow", in.span);
-                }
-                stack_.push_back(arith_result(
-                    static_cast<std::uint64_t>(-value), *in.type));
-                ++pc;
-                continue;
-            }
-            case Op::NotBool:
-                stack_.back() = Value::boolean(!stack_.back().as_bool());
-                ++pc;
-                continue;
-            case Op::NotBits:
-                stack_.back() = arith_result(~stack_.back().bits(), *in.type);
-                ++pc;
-                continue;
-            case Op::Binary: {
-                const Value rhs = std::move(stack_.back());
-                stack_.pop_back();
-                const Value lhs = std::move(stack_.back());
-                stack_.pop_back();
-                stack_.push_back(eval_binary(in, lhs, rhs));
-                ++pc;
-                continue;
-            }
-            case Op::Cast: {
-                const Value operand = std::move(stack_.back());
-                stack_.pop_back();
-                stack_.push_back(eval_cast(in, operand));
-                ++pc;
-                continue;
-            }
-            case Op::MakeArray: {
-                const std::size_t n = static_cast<std::size_t>(in.a);
-                std::vector<Value> elements(stack_.end() -
-                                                static_cast<std::ptrdiff_t>(n),
-                                            stack_.end());
-                stack_.resize(stack_.size() - n);
-                stack_.push_back(Value::array(std::move(elements)));
-                ++pc;
-                continue;
-            }
-            case Op::MakeRepeat: {
-                const Value element = stack_.back();
-                stack_.pop_back();
-                stack_.push_back(Value::array(std::vector<Value>(
-                    static_cast<std::size_t>(in.imm), element)));
-                ++pc;
-                continue;
-            }
+    VM_CASE(PlaceLocal): {
+        VM_FETCH;
+        const SlotState& slot =
+            slots_[frames_.back().slot_base + static_cast<std::uint32_t>(in.a)];
+        if (slot.alloc == kNoAlloc) {
+            throw std::logic_error("eval_place: unresolved name '" +
+                                   name_of(in) + "'");
+        }
+        stack_.push_back(Value::pointer(mem_.base_pointer(slot.alloc)));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(PlaceStatic): {
+        VM_FETCH;
+        const AllocId alloc = static_slots_[static_cast<std::size_t>(in.a)];
+        if (alloc == kNoAlloc) {
+            throw std::logic_error("eval_place: unresolved name '" +
+                                   name_of(in) + "'");
+        }
+        stack_.push_back(Value::pointer(mem_.base_pointer(alloc)));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(PlaceUnresolved): {
+        VM_FETCH;
+        throw std::logic_error("eval_place: unresolved name '" + name_of(in) +
+                               "'");
+    }
+    VM_CASE(AsPtr): {
+        (void)stack_.back().as_ptr();
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(IndexPlace): {
+        VM_FETCH;
+        const std::uint64_t i = stack_.back().bits();
+        stack_.pop_back();
+        Pointer element_ptr = stack_.back().as_ptr();
+        stack_.pop_back();
+        if (i >= in.imm) {
+            panic("index out of bounds: the len is " + std::to_string(in.imm) +
+                      " but the index is " + std::to_string(i),
+                  span_of(in));
+        }
+        element_ptr.addr += i * static_cast<std::uint64_t>(in.a);
+        stack_.push_back(Value::pointer(element_ptr));
+        ++pc;
+        VM_NEXT();
+    }
 
-            case Op::CallDirect:
-                enter_function(in.a, static_cast<std::uint32_t>(in.b), pc + 1,
-                               in.span);
-                pc = pc_;
-                continue;
-            case Op::CallLocalPtr: {
-                const SlotState& slot =
-                    slots_[frames_.back().slot_base +
-                           static_cast<std::uint32_t>(in.a)];
-                if (slot.alloc == kNoAlloc) {
-                    throw std::logic_error("call to unknown function '" +
-                                           name_of(in) + "'");
-                }
-                const Value callee =
-                    mem_.load(mem_.base_pointer(slot.alloc), *slot.type,
-                              access_ctx(in.span));
-                const std::int32_t target = resolve_fn_target(
-                    callee.as_fn(), *slot.type, in.span, /*is_become=*/false);
-                enter_function(target, static_cast<std::uint32_t>(in.b),
-                               pc + 1, in.span);
-                pc = pc_;
-                continue;
-            }
-            case Op::CallPtr: {
-                const std::size_t callee_at =
-                    stack_.size() - static_cast<std::size_t>(in.b) - 1;
-                const std::int32_t target = resolve_fn_target(
-                    stack_[callee_at].as_fn(), *in.type, in.span,
-                    /*is_become=*/false);
-                stack_.erase(stack_.begin() +
-                             static_cast<std::ptrdiff_t>(callee_at));
-                enter_function(target, static_cast<std::uint32_t>(in.b),
-                               pc + 1, in.span);
-                pc = pc_;
-                continue;
-            }
-            case Op::TailCall: {
-                const std::size_t callee_at =
-                    stack_.size() - static_cast<std::size_t>(in.b) - 1;
-                const std::int32_t target = resolve_fn_target(
-                    stack_[callee_at].as_fn(), *in.type, in.span,
-                    /*is_become=*/true);
-                stack_.erase(stack_.begin() +
-                             static_cast<std::ptrdiff_t>(callee_at));
-                // Reuse the frame in place: resize the slot window for the
-                // target, keep ret_pc, leave call_depth_ untouched.
-                Frame& frame = frames_.back();
-                const VmFunction& fn =
-                    code_.functions[static_cast<std::size_t>(target)];
-                slots_.resize(frame.slot_base);
-                slots_.resize(frame.slot_base + fn.slot_count);
-                frame.fn = target;
-                frame.nargs = static_cast<std::uint32_t>(in.b);
-                frame.args_base =
-                    static_cast<std::uint32_t>(stack_.size() - frame.nargs);
-                pc = fn.entry;
-                continue;
-            }
-            case Op::CallUnknown:
-                throw std::logic_error("call to unknown function '" +
-                                       name_of(in) + "'");
-            case Op::Intrinsic:
-                pc_ = pc;
-                do_intrinsic(in);
-                pc = pc_;
-                ++pc;
-                continue;
+    VM_CASE(LoadThrough): {
+        VM_FETCH;
+        const Pointer p = stack_.back().as_ptr();
+        stack_.pop_back();
+        stack_.push_back(mem_.load(p, type_of(in), access_ctx(span_of(in))));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(StorePlace): {
+        VM_FETCH;
+        const Pointer p = stack_.back().as_ptr();
+        stack_.pop_back();
+        mem_.store(p, type_of(in), stack_.back(), access_ctx(span_of(in)));
+        stack_.pop_back();
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(RetagRef): {
+        VM_FETCH;
+        const Pointer p = stack_.back().as_ptr();
+        stack_.pop_back();
+        stack_.push_back(Value::pointer(
+            mem_.retag_ref(p, in.imm, in.a != 0, span_of(in))));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(DeclLocal): {
+        VM_FETCH;
+        const Type& type = type_of(in);
+        const support::SourceSpan& span = span_of(in);
+        if (in.ex == 0) {
+            const AllocId alloc =
+                mem_.allocate(type.size_bytes(), type.align_bytes(),
+                              AllocKind::Stack, name_of(in), span);
+            mem_.store(mem_.base_pointer(alloc), type, stack_.back(),
+                       access_ctx(span));
+            stack_.pop_back();
+            slots_[frames_.back().slot_base +
+                   static_cast<std::uint32_t>(in.a)] = {alloc, &type};
+        } else {
+            // Register-promoted local: identical allocation bookkeeping
+            // (the address/id/tag streams are observable), value kept in
+            // the frame's register window instead of memory.
+            const AllocId alloc =
+                mem_.allocate_shadow(type.size_bytes(), type.align_bytes(),
+                                     AllocKind::Stack, name_of(in), span);
+            regs_[frames_.back().reg_base + (in.ex - 1u)] =
+                reg_normalize(stack_.back(), type);
+            stack_.pop_back();
+            slots_[frames_.back().slot_base +
+                   static_cast<std::uint32_t>(in.a)] = {alloc, &type};
+        }
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(DeclParam): {
+        VM_FETCH;
+        const Type& type = type_of(in);
+        const support::SourceSpan& span = span_of(in);
+        const Frame& frame = frames_.back();
+        const Value value =
+            static_cast<std::uint32_t>(in.b) < frame.nargs
+                ? stack_[frame.args_base + static_cast<std::uint32_t>(in.b)]
+                : Value::unit();
+        if (in.ex == 0) {
+            const AllocId alloc =
+                mem_.allocate(type.size_bytes(), type.align_bytes(),
+                              AllocKind::Stack, name_of(in), span);
+            mem_.store(mem_.base_pointer(alloc), type, value,
+                       access_ctx(span));
+            slots_[frame.slot_base + static_cast<std::uint32_t>(in.a)] = {
+                alloc, &type};
+        } else {
+            const AllocId alloc =
+                mem_.allocate_shadow(type.size_bytes(), type.align_bytes(),
+                                     AllocKind::Stack, name_of(in), span);
+            regs_[frame.reg_base + (in.ex - 1u)] = reg_normalize(value, type);
+            slots_[frame.slot_base + static_cast<std::uint32_t>(in.a)] = {
+                alloc, &type};
+        }
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(DropArgs): {
+        stack_.resize(frames_.back().args_base);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(KillSlot): {
+        VM_FETCH;
+        SlotState& slot =
+            slots_[frames_.back().slot_base + static_cast<std::uint32_t>(in.a)];
+        if (slot.alloc != kNoAlloc) {
+            mem_.kill(slot.alloc);
+            slot = {};
+        }
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(KillSlotTail): {
+        VM_FETCH;
+        SlotState& slot =
+            slots_[frames_.back().slot_base + static_cast<std::uint32_t>(in.a)];
+        if (slot.alloc != kNoAlloc) {
+            mem_.kill_for_tail_call(slot.alloc);
+            slot = {};
+        }
+        ++pc;
+        VM_NEXT();
+    }
 
-            case Op::Ret: {
-                const Frame frame = frames_.back();
-                frames_.pop_back();
-                slots_.resize(frame.slot_base);
-                --call_depth_;
-                if (frames_.size() == frame_floor) {
-                    Value result = std::move(stack_.back());
-                    stack_.pop_back();
-                    return result;
-                }
-                pc = frame.ret_pc;
-                continue;
-            }
-            case Op::Halt: {
-                Value result = std::move(stack_.back());
-                stack_.pop_back();
-                return result;
+    VM_CASE(Neg): {
+        VM_FETCH;
+        const Value operand = stack_.back();
+        stack_.pop_back();
+        const Type& operand_type = operand_type_of(in);
+        const Type& result_type = type_of(in);
+        const std::int64_t value = signed_value(operand, operand_type);
+        const std::uint64_t size = result_type.size_bytes();
+        const std::int64_t min_value =
+            size >= 8 ? std::numeric_limits<std::int64_t>::min()
+                      : -(1LL << (size * 8 - 1));
+        if (value == min_value) {
+            panic("attempt to negate with overflow", span_of(in));
+        }
+        stack_.push_back(
+            arith_result(static_cast<std::uint64_t>(-value), result_type));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(NotBool): {
+        stack_.back() = Value::boolean(!stack_.back().as_bool());
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(NotBits): {
+        VM_FETCH;
+        stack_.back() = arith_result(~stack_.back().bits(), type_of(in));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Binary): {
+        VM_FETCH;
+        const Value rhs = std::move(stack_.back());
+        stack_.pop_back();
+        Value& top = stack_.back();  // lhs, combined in place
+        top = eval_binary(static_cast<lang::BinaryOp>(in.a), type_of(in),
+                          operand_type_of(in), span_of(in), top, rhs);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Cast): {
+        VM_FETCH;
+        const Value operand = std::move(stack_.back());
+        stack_.pop_back();
+        stack_.push_back(eval_cast(in, operand));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(MakeArray): {
+        VM_FETCH;
+        const std::size_t n = static_cast<std::size_t>(in.a);
+        std::vector<Value> elements(
+            stack_.end() - static_cast<std::ptrdiff_t>(n), stack_.end());
+        stack_.resize(stack_.size() - n);
+        stack_.push_back(Value::array(std::move(elements)));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(MakeRepeat): {
+        VM_FETCH;
+        const Value element = stack_.back();
+        stack_.pop_back();
+        stack_.push_back(Value::array(
+            std::vector<Value>(static_cast<std::size_t>(in.imm), element)));
+        ++pc;
+        VM_NEXT();
+    }
+
+    VM_CASE(CallDirect): {
+        VM_FETCH;
+        enter_function(in.a, static_cast<std::uint32_t>(in.b), pc + 1,
+                       span_of(in));
+        pc = pc_;
+        VM_NEXT();
+    }
+    VM_CASE(CallLocalPtr): {
+        VM_FETCH;
+        const support::SourceSpan& span = span_of(in);
+        const SlotState& slot =
+            slots_[frames_.back().slot_base + static_cast<std::uint32_t>(in.a)];
+        if (slot.alloc == kNoAlloc) {
+            throw std::logic_error("call to unknown function '" + name_of(in) +
+                                   "'");
+        }
+        const Value callee = mem_.load(mem_.base_pointer(slot.alloc),
+                                       *slot.type, access_ctx(span));
+        const std::int32_t target = resolve_fn_target(
+            callee.as_fn(), *slot.type, span, /*is_become=*/false);
+        enter_function(target, static_cast<std::uint32_t>(in.b), pc + 1, span);
+        pc = pc_;
+        VM_NEXT();
+    }
+    VM_CASE(CallPtr): {
+        VM_FETCH;
+        const support::SourceSpan& span = span_of(in);
+        const std::size_t callee_at =
+            stack_.size() - static_cast<std::size_t>(in.b) - 1;
+        const std::int32_t target = resolve_fn_target(
+            stack_[callee_at].as_fn(), type_of(in), span, /*is_become=*/false);
+        stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(callee_at));
+        enter_function(target, static_cast<std::uint32_t>(in.b), pc + 1, span);
+        pc = pc_;
+        VM_NEXT();
+    }
+    VM_CASE(TailCall): {
+        VM_FETCH;
+        const std::size_t callee_at =
+            stack_.size() - static_cast<std::size_t>(in.b) - 1;
+        const std::int32_t target =
+            resolve_fn_target(stack_[callee_at].as_fn(), type_of(in),
+                              span_of(in), /*is_become=*/true);
+        stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(callee_at));
+        // Reuse the frame in place: resize the slot and register windows
+        // for the target, keep ret_pc, leave call_depth_ untouched.
+        Frame& frame = frames_.back();
+        const VmFunction& fn = code_.functions[static_cast<std::size_t>(target)];
+        slots_.resize(frame.slot_base);
+        slots_.resize(frame.slot_base + fn.slot_count);
+        regs_.resize(frame.reg_base);
+        regs_.resize(frame.reg_base + fn.reg_count);
+        frame.fn = target;
+        frame.nargs = static_cast<std::uint32_t>(in.b);
+        frame.args_base =
+            static_cast<std::uint32_t>(stack_.size() - frame.nargs);
+        pc = fn.entry;
+        VM_NEXT();
+    }
+    VM_CASE(CallUnknown): {
+        VM_FETCH;
+        throw std::logic_error("call to unknown function '" + name_of(in) +
+                               "'");
+    }
+    VM_CASE(Intrinsic): {
+        VM_FETCH;
+        pc_ = pc;
+        do_intrinsic(in);
+        pc = pc_;
+        ++pc;
+        VM_NEXT();
+    }
+
+    VM_CASE(Ret): {
+        const Frame frame = frames_.back();
+        frames_.pop_back();
+        slots_.resize(frame.slot_base);
+        regs_.resize(frame.reg_base);
+        --call_depth_;
+        if (frames_.size() == frame_floor) {
+            Value result = std::move(stack_.back());
+            stack_.pop_back();
+            return result;
+        }
+        pc = frame.ret_pc;
+        VM_NEXT();
+    }
+    VM_CASE(Halt): {
+        Value result = std::move(stack_.back());
+        stack_.pop_back();
+        return result;
+    }
+
+    // -- superinstructions (vm::optimize) -------------------------------
+
+    VM_CASE(BinaryLocals): {
+        VM_FETCH;
+        const FusedDetail& d = code_.fused[static_cast<std::size_t>(in.imm)];
+        step2(code_.spans[d.step_span], code_.spans[d.lhs_span]);
+        const Value lhs =
+            load_slot(in.a, d.lhs_reg, d.lhs_name, code_.spans[d.lhs_span]);
+        step(code_.spans[d.rhs_span]);
+        const Value rhs =
+            load_slot(in.b, d.rhs_reg, d.rhs_name, code_.spans[d.rhs_span]);
+        stack_.push_back(eval_binary(static_cast<lang::BinaryOp>(in.small),
+                                     type_of(in), operand_type_of(in),
+                                     span_of(in), lhs, rhs));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(BinaryLocalImm): {
+        VM_FETCH;
+        const FusedDetail& d = code_.fused[static_cast<std::size_t>(in.b)];
+        step2(code_.spans[d.step_span], code_.spans[d.lhs_span]);
+        const Value lhs =
+            load_slot(in.a, d.lhs_reg, d.lhs_name, code_.spans[d.lhs_span]);
+        step(code_.spans[d.rhs_span]);  // the folded PushInt's step
+        stack_.push_back(eval_binary(static_cast<lang::BinaryOp>(in.small),
+                                     type_of(in), operand_type_of(in),
+                                     span_of(in), lhs, Value::scalar(in.imm)));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(StoreLocal): {
+        VM_FETCH;
+        const Frame& frame = frames_.back();
+        const SlotState& slot =
+            slots_[frame.slot_base + static_cast<std::uint32_t>(in.a)];
+        if (slot.alloc == kNoAlloc) {
+            throw std::logic_error("eval_place: unresolved name '" +
+                                   name_of(in) + "'");
+        }
+        if (in.ex != 0) {
+            regs_[frame.reg_base + (in.ex - 1u)] =
+                reg_normalize(stack_.back(), type_of(in));
+        } else {
+            mem_.store(mem_.base_pointer(slot.alloc), type_of(in),
+                       stack_.back(), access_ctx(span_of(in)));
+        }
+        stack_.pop_back();
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(CompareBranch): {
+        VM_FETCH;
+        const Value rhs = std::move(stack_.back());
+        stack_.pop_back();
+        const Value lhs = std::move(stack_.back());
+        stack_.pop_back();
+        const Value cond = eval_binary(static_cast<lang::BinaryOp>(in.small),
+                                       type_of(in), operand_type_of(in),
+                                       span_of(in), lhs, rhs);
+        pc = cond.as_bool() ? pc + 1 : in.a;
+        VM_NEXT();
+    }
+    VM_CASE(StepN): {
+        VM_FETCH;
+        const std::uint64_t n = static_cast<std::uint64_t>(in.a);
+        if (steps_ + n <= limits_.max_steps) {
+            // Bulk fast path: nothing between consecutive Steps can throw,
+            // so only the final count is observable.
+            steps_ += n;
+        } else {
+            // Near the limit: replay one by one so the panic reports the
+            // exact step's span the unfused program would.
+            for (std::uint64_t i = 0; i < n; ++i) {
+                step(code_.spans[code_.step_runs[
+                    static_cast<std::size_t>(in.b) + i]]);
             }
         }
+        ++pc;
+        VM_NEXT();
     }
+    VM_CASE(BinaryAccImm): {
+        VM_FETCH;
+        const FusedDetail& d = code_.fused[static_cast<std::size_t>(in.b)];
+        step2(code_.spans[d.step_span], code_.spans[d.lhs_span]);
+        const Value local =
+            load_slot(in.a, d.lhs_reg, d.lhs_name, code_.spans[d.lhs_span]);
+        step(code_.spans[d.rhs_span]);  // the folded PushInt's step
+        const Value inner = eval_binary(static_cast<lang::BinaryOp>(in.small),
+                                        type_of(in), operand_type_of(in),
+                                        span_of(in), local,
+                                        Value::scalar(in.imm));
+        Value& top = stack_.back();  // outer lhs, combined in place
+        top = eval_binary(
+            static_cast<lang::BinaryOp>(d.outer_op), *code_.types[d.outer_type],
+            *static_cast<const lang::Type*>(code_.auxes[d.outer_aux]),
+            code_.spans[d.outer_span], top, inner);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(BinaryStackImm): {
+        VM_FETCH;
+        step(code_.spans[static_cast<std::uint32_t>(in.a)]);  // PushInt's step
+        Value& top = stack_.back();  // lhs, combined in place
+        top = eval_binary(static_cast<lang::BinaryOp>(in.small), type_of(in),
+                          operand_type_of(in), span_of(in), top,
+                          Value::scalar(in.imm));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(LocalsBranch): {
+        VM_FETCH;
+        const FusedDetail& d = code_.fused[static_cast<std::size_t>(in.imm)];
+        step2(code_.spans[d.step_span], code_.spans[d.lhs_span]);
+        const Value lhs =
+            load_slot(in.a, d.lhs_reg, d.lhs_name, code_.spans[d.lhs_span]);
+        step(code_.spans[d.rhs_span]);
+        const Value rhs =
+            load_slot(in.b, d.rhs_reg, d.rhs_name, code_.spans[d.rhs_span]);
+        const Value cond = eval_binary(static_cast<lang::BinaryOp>(in.small),
+                                       type_of(in), operand_type_of(in),
+                                       span_of(in), lhs, rhs);
+        pc = cond.as_bool() ? pc + 1 : d.branch_target;
+        VM_NEXT();
+    }
+    VM_CASE(LocalImmBranch): {
+        VM_FETCH;
+        const FusedDetail& d = code_.fused[static_cast<std::size_t>(in.b)];
+        step2(code_.spans[d.step_span], code_.spans[d.lhs_span]);
+        const Value lhs =
+            load_slot(in.a, d.lhs_reg, d.lhs_name, code_.spans[d.lhs_span]);
+        step(code_.spans[d.rhs_span]);  // the folded PushInt's step
+        const Value cond = eval_binary(static_cast<lang::BinaryOp>(in.small),
+                                       type_of(in), operand_type_of(in),
+                                       span_of(in), lhs, Value::scalar(in.imm));
+        pc = cond.as_bool() ? pc + 1 : d.branch_target;
+        VM_NEXT();
+    }
+
+#if !RUSTBRAIN_VM_THREADED
+    }
+#endif
+    throw std::logic_error("vm dispatch: fell out of the opcode table");
 }
+
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_FETCH
 
 // ---------------------------------------------------------------------------
 // Binary / cast helpers (ports of eval_binary / eval_cast)
 // ---------------------------------------------------------------------------
 
-miri::Value Vm::eval_binary(const Instr& in, const Value& lhs,
-                            const Value& rhs) {
+miri::Value Vm::eval_binary(lang::BinaryOp op, const Type& result_type,
+                            const Type& operand_type, support::SourceSpan span,
+                            const Value& lhs, const Value& rhs) {
     using lang::BinaryOp;
-    const BinaryOp op = static_cast<BinaryOp>(in.a);
-    const Type& result_type = *in.type;
-    const Type& operand_type = *static_cast<const Type*>(in.aux);
     const std::uint64_t size = operand_type.size_bytes();
     const bool is_signed = operand_type.is_signed_integer();
-    const support::SourceSpan span = in.span;
 
     auto check_overflow = [&](std::int64_t wide, const char* op_name) {
         if (size >= 8) return;
@@ -771,19 +1064,19 @@ miri::Value Vm::eval_cast(const Instr& in, const Value& operand) {
         case CastKind::IntFromInt: {
             const std::uint64_t wide =
                 in.b != 0 ? static_cast<std::uint64_t>(operand.as_signed(
-                                static_cast<std::uint64_t>(in.c)))
+                                static_cast<std::uint64_t>(in.small)))
                           : operand.bits();
-            return arith_result(wide, *in.type);
+            return arith_result(wide, type_of(in));
         }
         case CastKind::IntToRawPtr:
             return Value::pointer(Pointer{operand.bits(), kNoAlloc, kNoTag});
         case CastKind::PtrToInt:
-            return arith_result(operand.bits(), *in.type);
+            return arith_result(operand.bits(), type_of(in));
         case CastKind::RefToRaw:
             return Value::pointer(mem_.retag_raw(operand.as_ptr(), in.imm,
-                                                 in.c != 0, in.span));
+                                                 in.small != 0, span_of(in)));
         case CastKind::FnToInt:
-            return arith_result(operand.bits(), *in.type);
+            return arith_result(operand.bits(), type_of(in));
         case CastKind::IntToFn:
             return Value::function(FnPtrVal{miri::fn_addr_to_index(
                 operand.bits(), program_.functions.size())});
@@ -805,7 +1098,7 @@ void Vm::do_intrinsic(const Instr& in) {
     auto arg_bits = [&](std::size_t i) {
         return i < args.size() ? args[i].bits() : 0;
     };
-    const support::SourceSpan span = in.span;
+    const support::SourceSpan span = span_of(in);
 
     switch (static_cast<IntrinsicId>(in.a)) {
         case IntrinsicId::Alloc: {
@@ -823,14 +1116,14 @@ void Vm::do_intrinsic(const Instr& in) {
         case IntrinsicId::Offset: {
             const Pointer p = args[0].as_ptr();
             const std::int64_t count =
-                args[1].as_signed(static_cast<std::uint64_t>(in.c));
+                args[1].as_signed(static_cast<std::uint64_t>(in.small));
             const std::int64_t element_size = static_cast<std::int64_t>(in.imm);
             stack_.push_back(Value::pointer(
                 mem_.offset_pointer(p, count * element_size, span)));
             return;
         }
         case IntrinsicId::PrintInt:
-            if (in.c != 0) {
+            if (in.small != 0) {
                 output_.push_back(std::to_string(args[0].as_signed(in.imm)));
             } else {
                 output_.push_back(std::to_string(args[0].bits()));

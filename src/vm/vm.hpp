@@ -8,12 +8,19 @@
 // chains use O(1) native stack and never grow call_depth_, exactly like the
 // tree walk's trampoline.
 //
+// The same Vm runs both plain programs (straight from vm::compile) and
+// optimized ones (vm::optimize): superinstructions and register-promoted
+// locals are just additional opcodes / a per-frame register window that
+// plain programs never use. Dispatch is computed-goto (labels as values)
+// on GCC/Clang; define RUSTBRAIN_VM_SWITCH_DISPATCH to force the portable
+// switch loop.
+//
 // The VM reuses miri::MemoryModel, the vector-clock race detector, and the
 // thread/mutex/atomic bookkeeping verbatim, and enforces InterpLimits at the
 // same program points, so RunResults are byte-identical to miri::Interpreter
-// — findings, messages, spans, outputs, and step counts. The three-way
-// equivalence is asserted corpus-wide by tests/miri_vm_test.cpp and the
-// differential stress tests.
+// — findings, messages, spans, outputs, and step counts. The four-way
+// equivalence (tree / slot / vm / vm-optimized) is asserted corpus-wide by
+// tests/miri_vm_test.cpp and the differential stress tests.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +58,7 @@ class Vm {
         std::uint32_t args_base = 0;     // value-stack index of arg 0
         std::uint32_t nargs = 0;
         std::uint32_t slot_base = 0;     // window start in slots_
+        std::uint32_t reg_base = 0;      // window start in regs_
     };
 
     struct ThreadState {
@@ -77,15 +85,52 @@ class Vm {
                                    const lang::Type& static_type,
                                    support::SourceSpan span,
                                    bool is_become) const;
-    miri::Value eval_binary(const Instr& in, const miri::Value& lhs,
+    miri::Value eval_binary(lang::BinaryOp op, const lang::Type& result_type,
+                            const lang::Type& operand_type,
+                            support::SourceSpan span, const miri::Value& lhs,
                             const miri::Value& rhs);
     miri::Value eval_cast(const Instr& in, const miri::Value& operand);
 
+    /// Fused-load helper: dead-slot check, then register read or
+    /// MemoryModel load — the exact LoadLocal tail.
+    miri::Value load_slot(std::int32_t slot_index, std::int32_t reg,
+                          std::uint32_t name_idx, support::SourceSpan span);
+
     void step(const support::SourceSpan& span);
+    /// Two back-to-back step()s with nothing observable between them (the
+    /// leading [Step, LoadLocal-entry] pair of every fused binary): bulk
+    /// increment away from the limit, exact sequential replay near it so a
+    /// step-limit panic reports the same span and count as the expansion.
+    void step2(const support::SourceSpan& first,
+               const support::SourceSpan& second) {
+        if (steps_ + 2 <= limits_.max_steps) {
+            steps_ += 2;
+        } else {
+            step(first);
+            step(second);
+        }
+    }
     [[noreturn]] void panic(std::string message, support::SourceSpan span) const;
     [[nodiscard]] miri::AccessCtx access_ctx(support::SourceSpan span,
                                              bool atomic = false) const;
     miri::VectorClock& current_vc();
+
+    // Side-table accessors for the packed Instr.
+    [[nodiscard]] const support::SourceSpan& span_of(const Instr& in) const {
+        return code_.spans[in.span];
+    }
+    [[nodiscard]] const lang::Type& type_of(const Instr& in) const {
+        return *code_.types[in.type];
+    }
+    [[nodiscard]] const std::string& name_of(const Instr& in) const {
+        return *static_cast<const std::string*>(code_.auxes[in.aux]);
+    }
+    [[nodiscard]] const std::string& name_at(std::uint32_t aux_idx) const {
+        return *static_cast<const std::string*>(code_.auxes[aux_idx]);
+    }
+    [[nodiscard]] const lang::Type& operand_type_of(const Instr& in) const {
+        return *static_cast<const lang::Type*>(code_.auxes[in.aux]);
+    }
 
     const lang::Program& program_;
     const VmProgram& code_;
@@ -95,6 +140,7 @@ class Vm {
     miri::MemoryModel mem_;
     std::vector<miri::Value> stack_;
     std::vector<SlotState> slots_;
+    std::vector<miri::Value> regs_;  // promoted locals (optimized tier)
     std::vector<Frame> frames_;
     std::vector<miri::AllocId> static_slots_;
     std::int32_t pc_ = 0;

@@ -49,17 +49,26 @@ void expect_tiers_agree(const std::string& source, const Inputs& inputs,
     const MiriLite tree_walk(limits);
     const MiriReport reference = tree_walk.test_source(source, inputs);
 
-    for (const verify::InterpTier tier :
-         {verify::InterpTier::Slot, verify::InterpTier::Vm}) {
+    // Four-way: slot lowering, the VM on raw bytecode, and the VM on
+    // vm::optimize output all replay the tree walk byte for byte.
+    struct Rung {
+        verify::InterpTier tier;
+        bool vm_opt;
+        const char* label;
+    };
+    for (const Rung& rung :
+         {Rung{verify::InterpTier::Slot, false, "slot"},
+          Rung{verify::InterpTier::Vm, false, "vm"},
+          Rung{verify::InterpTier::Vm, true, "vm-opt"}}) {
         verify::OracleOptions options;
         options.limits = limits;
         options.caching = false;
         options.screening = false;
-        options.interp = tier;
+        options.interp = rung.tier;
+        options.vm_opt = rung.vm_opt;
         const verify::Oracle oracle(options);
         expect_reports_equal(reference, oracle.test_source(source, inputs),
-                             std::string(verify::to_string(tier)) + "\n" +
-                                 source);
+                             std::string(rung.label) + "\n" + source);
     }
 }
 

@@ -8,8 +8,15 @@
 // requests past the request budget before shutting down.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -297,6 +304,63 @@ TEST(ServeReactorTest, BudgetDrainsPipelinedRequestsBeforeShutdown) {
     EXPECT_GE(received, 2u);
     server.wait();
     EXPECT_EQ(server.requests_served(), received);
+}
+
+TEST(ServeReactorTest, PartialVectoredWritesMidIovecKeepBytesExact) {
+    // A tiny server send buffer plus a tiny-window client that reads
+    // nothing until the whole catalog is in flight: multi-frame writev
+    // batches must stop partway through an iovec, arm EPOLLOUT, and
+    // resume across the partially written frame — and the byte stream
+    // the client finally reads must still be exact and in order.
+    ServerOptions options = reactor_options(/*workers=*/4);
+    options.send_buffer_bytes = 4096;
+    RepairServer server(options);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    int rcvbuf = 4096;  // set before connect so the window stays small
+    ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                           sizeof rcvbuf),
+              0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+
+    for (std::size_t i = 0; i < corpus().size(); ++i) {
+        RepairRequest request;
+        request.ticket = "t-" + std::to_string(i);
+        request.ub_case = corpus().cases()[i];
+        write_frame(fd, render_request(request));
+    }
+    // Let responses pile up behind the stalled writer so flushes have
+    // multi-frame batches to gather once reading starts.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (server.stats().epollout_arms == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "writer never stalled despite the 4 KiB buffers";
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (std::size_t i = 0; i < corpus().size(); ++i) {
+        std::string payload;
+        ASSERT_TRUE(read_frame(fd, payload)) << "short stream at " << i;
+        const RepairResponse response = parse_response(payload);
+        ASSERT_TRUE(response.ok) << response.error;
+        EXPECT_EQ(response.ticket, "t-" + std::to_string(i));
+        EXPECT_EQ(render_case_result(response.result),
+                  serial_renderings().at(corpus().cases()[i].id));
+    }
+    ::close(fd);
+    const ServerStats stats = server.stats();
+    EXPECT_GE(stats.epollout_arms, 1u);
+    EXPECT_GE(stats.writev_batches, 2u);
+    EXPECT_GE(stats.frames_per_writev_max, 2u);
+    EXPECT_EQ(stats.frames_written, corpus().size());
+    server.stop();
 }
 
 }  // namespace
